@@ -1,0 +1,63 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every experiment module (``test_bench_e1_*`` .. ``test_bench_e8_*``)
+corresponds to one row of the experiment index in ``DESIGN.md`` and one
+section of ``EXPERIMENTS.md``.  Wall-clock numbers come from
+pytest-benchmark; derived metrics (byte-code counts, kernel launches,
+simulated device time, predicted speedups) are attached to each benchmark's
+``extra_info`` so they appear in ``--benchmark-json`` output, and are also
+printed so a plain ``pytest benchmarks/ --benchmark-only -s`` shows the
+paper-style comparison tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend.session import Session, set_session
+from repro.utils.config import Config, set_config
+
+
+@pytest.fixture(autouse=True)
+def clean_global_state():
+    """Reset global configuration and the default front-end session per benchmark."""
+    set_config(Config())
+    set_session(Session())
+    yield
+    set_config(Config())
+    set_session(Session())
+
+
+def record_table(benchmark, title: str, rows: list, columns: list) -> None:
+    """Attach a small result table to a benchmark and print it.
+
+    Parameters
+    ----------
+    benchmark:
+        The pytest-benchmark fixture.
+    title:
+        Table caption (e.g. ``"E1: byte-code counts"``).
+    rows:
+        List of dicts, one per row.
+    columns:
+        Column order.
+    """
+    benchmark.extra_info[title] = rows
+    header = " | ".join(f"{name:>16}" for name in columns)
+    lines = [f"\n[{title}]", header, "-" * len(header)]
+    for row in rows:
+        lines.append(" | ".join(f"{_format(row.get(name)):>16}" for name in columns))
+    print("\n".join(lines))
+
+
+def _format(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,57 @@
+"""Simulated cluster scaling of an optimized vs unoptimized workload.
+
+Bohrium's pitch is running unchanged NumPy code on multicore machines and
+clusters.  This example prices a long element-wise chain on the simulated
+partitioned executor for 1..16 workers, with and without the byte-code
+optimizer, and prints the scaling curve: the optimizer removes byte-codes
+(and therefore whole per-worker kernel rounds and synchronisations), so the
+optimized curve sits below the unoptimized one at every worker count.
+
+Run with::
+
+    python examples/cluster_scaling.py
+"""
+
+from repro import optimize
+from repro.cluster import ClusterExecutor
+from repro.workloads import elementwise_chain, repeated_constant_add
+
+
+def main() -> None:
+    size, chain_length = 1_000_000, 16
+    program, _ = elementwise_chain(size, length=chain_length)
+    optimized = optimize(program).optimized
+
+    worker_counts = (1, 2, 4, 8, 16)
+    executor = ClusterExecutor(num_workers=1, profile="single_core")
+    curve_before = executor.scaling_curve(program, worker_counts)
+    curve_after = executor.scaling_curve(optimized, worker_counts)
+
+    print(f"element-wise chain of {chain_length} byte-codes over {size} elements")
+    print(f"{'workers':>8} {'unoptimized':>14} {'optimized':>14} {'speedup':>9}")
+    for workers in worker_counts:
+        before = curve_before[workers]
+        after = curve_after[workers]
+        print(
+            f"{workers:>8} {before * 1e3:>11.3f} ms {after * 1e3:>11.3f} ms "
+            f"{before / after:>8.2f}x"
+        )
+
+    print()
+    program, _ = repeated_constant_add(size, repeats=8)
+    optimized = optimize(program).optimized
+    curve_before = executor.scaling_curve(program, worker_counts)
+    curve_after = executor.scaling_curve(optimized, worker_counts)
+    print(f"repeated constant add (8 additions) over {size} elements")
+    print(f"{'workers':>8} {'unoptimized':>14} {'optimized':>14} {'speedup':>9}")
+    for workers in worker_counts:
+        before = curve_before[workers]
+        after = curve_after[workers]
+        print(
+            f"{workers:>8} {before * 1e3:>11.3f} ms {after * 1e3:>11.3f} ms "
+            f"{before / after:>8.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments without the ``wheel`` package (pip falls back to the legacy
+``setup.py develop`` path when no ``[build-system]`` table is present).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Algebraic Transformation of Descriptive Vector "
+        "Byte-code Sequences' (Larsen, Middleware DS 2016)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.20"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["repro-opt=repro.tools.cli:main"]},
+)

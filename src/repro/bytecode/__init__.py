@@ -1,0 +1,61 @@
+"""The Bohrium-style byte-code intermediate representation.
+
+This package defines the descriptive vector byte-code language from the
+paper (Section 3): programs are linear sequences of instructions, each
+instruction has an op-code, a result operand and up to two input operands,
+and operands are either *views* over *base arrays* or scalar *constants*.
+
+The main entry points are:
+
+* :class:`OpCode` / :data:`OPCODE_INFO` — the op-code set and its metadata.
+* :class:`BaseArray` — a storage descriptor (shape-less, just element count).
+* :class:`View` — an offset/shape/stride window onto a base array.
+* :class:`Constant` — a scalar literal operand.
+* :class:`Instruction` — one byte-code.
+* :class:`Program` — an ordered sequence of instructions.
+* :class:`ProgramBuilder` — convenience constructor for programs.
+* :func:`parse_program` / :func:`format_program` — the textual format used
+  by the paper's listings.
+* :func:`validate_program` — structural validation.
+"""
+
+from repro.bytecode.dtypes import DType, float64, float32, int64, int32, bool_, promote
+from repro.bytecode.base import BaseArray
+from repro.bytecode.view import View
+from repro.bytecode.operand import Constant, Operand, is_constant, is_view
+from repro.bytecode.opcodes import OpCode, OpCodeInfo, OPCODE_INFO, opcode_info
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.program import Program
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.printer import format_instruction, format_program
+from repro.bytecode.parser import parse_program, parse_instruction
+from repro.bytecode.validate import validate_program, validate_instruction
+
+__all__ = [
+    "DType",
+    "float64",
+    "float32",
+    "int64",
+    "int32",
+    "bool_",
+    "promote",
+    "BaseArray",
+    "View",
+    "Constant",
+    "Operand",
+    "is_constant",
+    "is_view",
+    "OpCode",
+    "OpCodeInfo",
+    "OPCODE_INFO",
+    "opcode_info",
+    "Instruction",
+    "Program",
+    "ProgramBuilder",
+    "format_instruction",
+    "format_program",
+    "parse_program",
+    "parse_instruction",
+    "validate_program",
+    "validate_instruction",
+]

@@ -1,0 +1,70 @@
+"""Base arrays: the storage descriptors views point into.
+
+A base array in Bohrium is a flat, contiguous allocation of ``nelem``
+elements of a single dtype.  Shape lives on :class:`~repro.bytecode.view.View`,
+not on the base — the same base can be viewed as a vector, a matrix, or a
+strided window.  The byte-code never stores data itself; the runtime's
+memory manager materializes bases on demand.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Optional
+
+from repro.bytecode.dtypes import DType, float64
+
+_COUNTER = itertools.count()
+_COUNTER_LOCK = threading.Lock()
+
+
+def _next_serial() -> int:
+    with _COUNTER_LOCK:
+        return next(_COUNTER)
+
+
+class BaseArray:
+    """A logical flat allocation of ``nelem`` elements of ``dtype``.
+
+    Parameters
+    ----------
+    nelem:
+        Number of elements in the allocation.  Must be positive.
+    dtype:
+        Element type.  Defaults to ``float64``.
+    name:
+        Optional human-readable register name (``a0``, ``a1``, ...).  When
+        omitted a unique name is generated; the name is what the textual
+        format prints.
+
+    Notes
+    -----
+    Identity matters: two distinct ``BaseArray`` objects are different
+    storage even if they have equal sizes, so equality is identity-based and
+    bases are hashable by identity.
+    """
+
+    __slots__ = ("nelem", "dtype", "name", "serial")
+
+    def __init__(self, nelem: int, dtype: DType = float64, name: Optional[str] = None) -> None:
+        if nelem <= 0:
+            raise ValueError(f"base array must have a positive element count, got {nelem}")
+        self.nelem = int(nelem)
+        self.dtype = dtype
+        self.serial = _next_serial()
+        self.name = name if name is not None else f"a{self.serial}"
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the allocation in bytes."""
+        return self.nelem * self.dtype.itemsize
+
+    def __repr__(self) -> str:
+        return f"BaseArray(name={self.name!r}, nelem={self.nelem}, dtype={self.dtype.name})"
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other

@@ -1,0 +1,248 @@
+"""Convenience construction of byte-code programs.
+
+The :class:`ProgramBuilder` provides the small DSL that tests, examples and
+workload generators use to write programs the way the paper's listings read:
+
+>>> builder = ProgramBuilder()
+>>> a0 = builder.new_vector(10)
+>>> builder.identity(a0, 0)
+>>> builder.add(a0, a0, 1)
+>>> builder.add(a0, a0, 1)
+>>> builder.add(a0, a0, 1)
+>>> builder.sync(a0)
+>>> program = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.bytecode.base import BaseArray
+from repro.bytecode.dtypes import DType, float64
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.operand import Constant, Operand, as_operand
+from repro.bytecode.program import Program
+from repro.bytecode.validate import validate_program
+from repro.bytecode.view import View
+
+ViewLike = Union[View, BaseArray]
+OperandLike = Union[View, BaseArray, Constant, int, float, bool]
+
+
+def _as_view(value: ViewLike) -> View:
+    if isinstance(value, View):
+        return value
+    if isinstance(value, BaseArray):
+        return View.full(value)
+    raise TypeError(f"expected a View or BaseArray, got {type(value)!r}")
+
+
+def _as_operand(value: OperandLike) -> Operand:
+    if isinstance(value, BaseArray):
+        return View.full(value)
+    return as_operand(value)
+
+
+class ProgramBuilder:
+    """Incrementally builds a :class:`Program`.
+
+    All emit methods return the output view so calls can be chained
+    naturally.  ``build()`` optionally validates the finished program.
+    """
+
+    def __init__(self, dtype: DType = float64) -> None:
+        self.dtype = dtype
+        self._program = Program()
+        self._register_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Register / view management
+    # ------------------------------------------------------------------ #
+
+    def _next_name(self) -> str:
+        name = f"a{self._register_counter}"
+        self._register_counter += 1
+        return name
+
+    def new_base(
+        self, nelem: int, dtype: Optional[DType] = None, name: Optional[str] = None
+    ) -> BaseArray:
+        """Allocate a new base array of ``nelem`` elements."""
+        return BaseArray(nelem, dtype or self.dtype, name=name or self._next_name())
+
+    def new_vector(
+        self, length: int, dtype: Optional[DType] = None, name: Optional[str] = None
+    ) -> View:
+        """Allocate a base and return its full 1-D view."""
+        return View.full(self.new_base(length, dtype, name))
+
+    def new_matrix(
+        self, rows: int, cols: int, dtype: Optional[DType] = None, name: Optional[str] = None
+    ) -> View:
+        """Allocate a base and return its full ``rows x cols`` view."""
+        base = self.new_base(rows * cols, dtype, name)
+        return View.full(base, (rows, cols))
+
+    def new_like(self, view: ViewLike, name: Optional[str] = None) -> View:
+        """Allocate a new base with the same shape/dtype as ``view``."""
+        view = _as_view(view)
+        base = self.new_base(view.nelem, view.dtype, name)
+        return View.full(base, view.shape)
+
+    # ------------------------------------------------------------------ #
+    # Generic emit
+    # ------------------------------------------------------------------ #
+
+    def emit(self, opcode: OpCode, *operands: OperandLike, tag: Optional[str] = None) -> Instruction:
+        """Append a raw instruction and return it."""
+        instruction = Instruction(opcode, [_as_operand(op) for op in operands], tag=tag)
+        self._program.append(instruction)
+        return instruction
+
+    def emit_binary(
+        self, opcode: OpCode, out: ViewLike, left: OperandLike, right: OperandLike
+    ) -> View:
+        out_view = _as_view(out)
+        self.emit(opcode, out_view, left, right)
+        return out_view
+
+    def emit_unary(self, opcode: OpCode, out: ViewLike, operand: OperandLike) -> View:
+        out_view = _as_view(out)
+        self.emit(opcode, out_view, operand)
+        return out_view
+
+    # ------------------------------------------------------------------ #
+    # Element-wise helpers (named after the listings)
+    # ------------------------------------------------------------------ #
+
+    def identity(self, out: ViewLike, source: OperandLike) -> View:
+        """``BH_IDENTITY out, source`` — broadcast copy / initialisation."""
+        return self.emit_unary(OpCode.BH_IDENTITY, out, source)
+
+    def add(self, out: ViewLike, left: OperandLike, right: OperandLike) -> View:
+        return self.emit_binary(OpCode.BH_ADD, out, left, right)
+
+    def subtract(self, out: ViewLike, left: OperandLike, right: OperandLike) -> View:
+        return self.emit_binary(OpCode.BH_SUBTRACT, out, left, right)
+
+    def multiply(self, out: ViewLike, left: OperandLike, right: OperandLike) -> View:
+        return self.emit_binary(OpCode.BH_MULTIPLY, out, left, right)
+
+    def divide(self, out: ViewLike, left: OperandLike, right: OperandLike) -> View:
+        return self.emit_binary(OpCode.BH_DIVIDE, out, left, right)
+
+    def power(self, out: ViewLike, left: OperandLike, right: OperandLike) -> View:
+        return self.emit_binary(OpCode.BH_POWER, out, left, right)
+
+    def mod(self, out: ViewLike, left: OperandLike, right: OperandLike) -> View:
+        return self.emit_binary(OpCode.BH_MOD, out, left, right)
+
+    def maximum(self, out: ViewLike, left: OperandLike, right: OperandLike) -> View:
+        return self.emit_binary(OpCode.BH_MAXIMUM, out, left, right)
+
+    def minimum(self, out: ViewLike, left: OperandLike, right: OperandLike) -> View:
+        return self.emit_binary(OpCode.BH_MINIMUM, out, left, right)
+
+    def negative(self, out: ViewLike, operand: OperandLike) -> View:
+        return self.emit_unary(OpCode.BH_NEGATIVE, out, operand)
+
+    def absolute(self, out: ViewLike, operand: OperandLike) -> View:
+        return self.emit_unary(OpCode.BH_ABSOLUTE, out, operand)
+
+    def sqrt(self, out: ViewLike, operand: OperandLike) -> View:
+        return self.emit_unary(OpCode.BH_SQRT, out, operand)
+
+    def exp(self, out: ViewLike, operand: OperandLike) -> View:
+        return self.emit_unary(OpCode.BH_EXP, out, operand)
+
+    def log(self, out: ViewLike, operand: OperandLike) -> View:
+        return self.emit_unary(OpCode.BH_LOG, out, operand)
+
+    def sin(self, out: ViewLike, operand: OperandLike) -> View:
+        return self.emit_unary(OpCode.BH_SIN, out, operand)
+
+    def cos(self, out: ViewLike, operand: OperandLike) -> View:
+        return self.emit_unary(OpCode.BH_COS, out, operand)
+
+    # ------------------------------------------------------------------ #
+    # Reductions, generators and extension methods
+    # ------------------------------------------------------------------ #
+
+    def add_reduce(self, out: ViewLike, source: ViewLike, axis: int = 0) -> View:
+        out_view = _as_view(out)
+        self.emit(OpCode.BH_ADD_REDUCE, out_view, _as_view(source), Constant(int(axis)))
+        return out_view
+
+    def multiply_reduce(self, out: ViewLike, source: ViewLike, axis: int = 0) -> View:
+        out_view = _as_view(out)
+        self.emit(OpCode.BH_MULTIPLY_REDUCE, out_view, _as_view(source), Constant(int(axis)))
+        return out_view
+
+    def maximum_reduce(self, out: ViewLike, source: ViewLike, axis: int = 0) -> View:
+        out_view = _as_view(out)
+        self.emit(OpCode.BH_MAXIMUM_REDUCE, out_view, _as_view(source), Constant(int(axis)))
+        return out_view
+
+    def arange(self, out: ViewLike) -> View:
+        """``BH_RANGE out`` — fill with 0, 1, 2, ..."""
+        out_view = _as_view(out)
+        self.emit(OpCode.BH_RANGE, out_view)
+        return out_view
+
+    def random(self, out: ViewLike, seed: int) -> View:
+        """``BH_RANDOM out, seed`` — fill with uniform [0, 1) values."""
+        out_view = _as_view(out)
+        self.emit(OpCode.BH_RANDOM, out_view, Constant(int(seed)))
+        return out_view
+
+    def matmul(self, out: ViewLike, left: ViewLike, right: ViewLike) -> View:
+        out_view = _as_view(out)
+        self.emit(OpCode.BH_MATMUL, out_view, _as_view(left), _as_view(right))
+        return out_view
+
+    def matrix_inverse(self, out: ViewLike, source: ViewLike) -> View:
+        out_view = _as_view(out)
+        self.emit(OpCode.BH_MATRIX_INVERSE, out_view, _as_view(source))
+        return out_view
+
+    def lu_solve(self, out: ViewLike, matrix: ViewLike, rhs: ViewLike) -> View:
+        out_view = _as_view(out)
+        self.emit(OpCode.BH_LU_SOLVE, out_view, _as_view(matrix), _as_view(rhs))
+        return out_view
+
+    def transpose(self, out: ViewLike, source: ViewLike) -> View:
+        out_view = _as_view(out)
+        self.emit(OpCode.BH_TRANSPOSE, out_view, _as_view(source))
+        return out_view
+
+    # ------------------------------------------------------------------ #
+    # System op-codes
+    # ------------------------------------------------------------------ #
+
+    def sync(self, view: ViewLike) -> View:
+        """``BH_SYNC view`` — mark the view as a required program output."""
+        out_view = _as_view(view)
+        self.emit(OpCode.BH_SYNC, out_view)
+        return out_view
+
+    def free(self, view: ViewLike) -> View:
+        """``BH_FREE view`` — release the base array after this point."""
+        out_view = _as_view(view)
+        self.emit(OpCode.BH_FREE, out_view)
+        return out_view
+
+    # ------------------------------------------------------------------ #
+    # Finalisation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def program(self) -> Program:
+        """The program built so far (live object, not a copy)."""
+        return self._program
+
+    def build(self, validate: bool = True) -> Program:
+        """Return the finished program, validating it by default."""
+        if validate:
+            validate_program(self._program)
+        return self._program

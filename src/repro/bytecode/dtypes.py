@@ -1,0 +1,111 @@
+"""Element types for base arrays, views and constants.
+
+Bohrium byte-code is typed; every base array and constant carries an element
+type.  We model the subset of types that the paper's examples and the
+benchmark workloads need, backed by NumPy dtypes so the runtime can allocate
+storage directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DType:
+    """A byte-code element type.
+
+    Attributes
+    ----------
+    name:
+        Bohrium-style type name, e.g. ``"BH_FLOAT64"``.
+    np_dtype:
+        The corresponding NumPy dtype used for storage.
+    is_float:
+        True for floating-point types.
+    is_integer:
+        True for (signed) integer types.
+    is_bool:
+        True for the boolean type.
+    rank:
+        Promotion rank; higher rank wins in mixed-type operations.
+    """
+
+    name: str
+    np_dtype: np.dtype
+    is_float: bool
+    is_integer: bool
+    is_bool: bool
+    rank: int
+
+    @property
+    def itemsize(self) -> int:
+        """Size of one element in bytes."""
+        return int(self.np_dtype.itemsize)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+bool_ = DType("BH_BOOL", np.dtype(np.bool_), False, False, True, 0)
+int32 = DType("BH_INT32", np.dtype(np.int32), False, True, False, 1)
+int64 = DType("BH_INT64", np.dtype(np.int64), False, True, False, 2)
+float32 = DType("BH_FLOAT32", np.dtype(np.float32), True, False, False, 3)
+float64 = DType("BH_FLOAT64", np.dtype(np.float64), True, False, False, 4)
+
+_ALL_DTYPES = (bool_, int32, int64, float32, float64)
+
+_BY_NAME = {dtype.name: dtype for dtype in _ALL_DTYPES}
+_BY_NP = {dtype.np_dtype: dtype for dtype in _ALL_DTYPES}
+
+
+def from_name(name: str) -> DType:
+    """Look up a dtype by its Bohrium-style name (e.g. ``"BH_FLOAT64"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown dtype name: {name!r}") from None
+
+
+def from_numpy(np_dtype: Union[np.dtype, type]) -> DType:
+    """Map a NumPy dtype (or scalar type) to the byte-code dtype."""
+    dt = np.dtype(np_dtype)
+    if dt in _BY_NP:
+        return _BY_NP[dt]
+    # Fall back to the closest supported type rather than failing: other
+    # integer widths map to int64, other floats to float64.
+    if np.issubdtype(dt, np.bool_):
+        return bool_
+    if np.issubdtype(dt, np.integer):
+        return int64
+    if np.issubdtype(dt, np.floating):
+        return float64
+    raise KeyError(f"unsupported NumPy dtype: {dt!r}")
+
+
+def from_python(value: Union[bool, int, float]) -> DType:
+    """Infer the byte-code dtype of a Python scalar."""
+    if isinstance(value, (bool, np.bool_)):
+        return bool_
+    if isinstance(value, (int, np.integer)):
+        return int64
+    if isinstance(value, (float, np.floating)):
+        return float64
+    raise TypeError(f"cannot infer dtype of {type(value)!r}")
+
+
+def promote(left: DType, right: DType) -> DType:
+    """Return the result dtype of combining two operand dtypes.
+
+    Promotion follows rank order (bool < int32 < int64 < float32 < float64),
+    which matches the behaviour NumPy exhibits for these particular types.
+    """
+    return left if left.rank >= right.rank else right
+
+
+def all_dtypes() -> tuple:
+    """Return the tuple of all supported dtypes."""
+    return _ALL_DTYPES

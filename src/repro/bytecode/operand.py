@@ -1,0 +1,80 @@
+"""Instruction operands: views or scalar constants."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.bytecode import dtypes
+from repro.bytecode.dtypes import DType
+from repro.bytecode.view import View
+
+
+class Constant:
+    """A scalar literal operand.
+
+    Constants appear only in input positions; the validator rejects programs
+    with a constant in an output slot.  Equality is value + dtype equality so
+    that the constant-merge pass can compare and combine them.
+    """
+
+    __slots__ = ("value", "dtype")
+
+    def __init__(self, value, dtype: DType = None) -> None:
+        if isinstance(value, Constant):
+            value, dtype = value.value, dtype or value.dtype
+        if dtype is None:
+            dtype = dtypes.from_python(value)
+        if dtype.is_bool:
+            value = bool(value)
+        elif dtype.is_integer:
+            value = int(value)
+        else:
+            value = float(value)
+        self.value = value
+        self.dtype = dtype
+
+    def as_numpy(self):
+        """Return the constant as a NumPy scalar of its dtype."""
+        return self.dtype.np_dtype.type(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Constant):
+            return self.value == other.value and self.dtype == other.dtype
+        if isinstance(other, (bool, int, float, np.generic)):
+            return self.value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.dtype.name))
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r}, {self.dtype.name})"
+
+
+Operand = Union[View, Constant]
+
+
+def is_constant(operand: Operand) -> bool:
+    """True when ``operand`` is a scalar constant."""
+    return isinstance(operand, Constant)
+
+
+def is_view(operand: Operand) -> bool:
+    """True when ``operand`` is a view over a base array."""
+    return isinstance(operand, View)
+
+
+def as_operand(value) -> Operand:
+    """Coerce a Python scalar, Constant or View into an operand."""
+    if isinstance(value, (View, Constant)):
+        return value
+    if isinstance(value, (bool, int, float, np.generic)):
+        return Constant(value)
+    raise TypeError(f"cannot use {type(value)!r} as an instruction operand")
+
+
+def operand_dtype(operand: Operand) -> DType:
+    """Return the element type of any operand."""
+    return operand.dtype

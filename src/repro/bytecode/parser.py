@@ -1,0 +1,196 @@
+"""Parser for the textual byte-code format produced by the printer.
+
+The grammar is line-oriented::
+
+    line      := opcode operand* comment?
+    opcode    := "BH_" NAME
+    operand   := view | constant | register
+    view      := register "[" start ":" stop ":" step "]"
+               | register "[" offset ";" shape ";" strides "]"
+    register  := NAME
+    constant  := integer | float | "true" | "false"
+    comment   := "#" anything
+
+Bare register names (the abbreviated listings of the paper) are interpreted
+as the full contiguous view over that register.  Register sizes are inferred
+from the largest view extent seen anywhere in the text, or from
+``default_nelem`` when a register is only ever used bare.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bytecode.base import BaseArray
+from repro.bytecode.dtypes import DType, float64
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode, opcode_from_name
+from repro.bytecode.operand import Constant
+from repro.bytecode.program import Program
+from repro.bytecode.view import View
+from repro.utils.errors import ParseError
+
+_SLICE_VIEW_RE = re.compile(r"^(?P<name>[A-Za-z_]\w*)\[(?P<start>\d+):(?P<stop>\d+):(?P<step>\d+)\]$")
+_GENERAL_VIEW_RE = re.compile(
+    r"^(?P<name>[A-Za-z_]\w*)\[(?P<offset>\d+);(?P<shape>[\d,]+);(?P<strides>[-\d,]+)\]$"
+)
+_REGISTER_RE = re.compile(r"^[A-Za-z_]\w*$")
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+
+
+def _strip_comment(line: str) -> str:
+    hash_index = line.find("#")
+    if hash_index >= 0:
+        return line[:hash_index]
+    return line
+
+
+def _tokenize(line: str) -> List[str]:
+    return line.split()
+
+
+class _RegisterTable:
+    """Tracks register names and the extents required of each base array."""
+
+    def __init__(self, dtype: DType, default_nelem: int) -> None:
+        self.dtype = dtype
+        self.default_nelem = default_nelem
+        self.required_nelem: Dict[str, int] = {}
+        self.bases: Dict[str, BaseArray] = {}
+
+    def require(self, name: str, nelem: int) -> None:
+        current = self.required_nelem.get(name, 0)
+        self.required_nelem[name] = max(current, nelem)
+
+    def base_for(self, name: str) -> BaseArray:
+        if name not in self.bases:
+            nelem = self.required_nelem.get(name, 0) or self.default_nelem
+            self.bases[name] = BaseArray(nelem, self.dtype, name=name)
+        return self.bases[name]
+
+
+def _scan_extents(lines: Sequence[str], table: _RegisterTable) -> None:
+    """First pass: record the largest element index needed per register."""
+    for line in lines:
+        for token in _tokenize(_strip_comment(line)):
+            match = _SLICE_VIEW_RE.match(token)
+            if match:
+                stop = int(match.group("stop"))
+                table.require(match.group("name"), stop)
+                continue
+            match = _GENERAL_VIEW_RE.match(token)
+            if match:
+                offset = int(match.group("offset"))
+                shape = [int(v) for v in match.group("shape").split(",") if v]
+                strides = [int(v) for v in match.group("strides").split(",") if v]
+                extent = offset + 1
+                for dim, stride in zip(shape, strides):
+                    if dim > 0:
+                        extent += (dim - 1) * abs(stride)
+                table.require(match.group("name"), extent)
+
+
+def _parse_operand(token: str, table: _RegisterTable):
+    match = _SLICE_VIEW_RE.match(token)
+    if match:
+        base = table.base_for(match.group("name"))
+        return View.from_slice(
+            base, int(match.group("start")), int(match.group("stop")), int(match.group("step"))
+        )
+    match = _GENERAL_VIEW_RE.match(token)
+    if match:
+        base = table.base_for(match.group("name"))
+        shape = tuple(int(v) for v in match.group("shape").split(",") if v)
+        strides = tuple(int(v) for v in match.group("strides").split(",") if v)
+        return View(base, int(match.group("offset")), shape, strides)
+    if token == "true":
+        return Constant(True)
+    if token == "false":
+        return Constant(False)
+    if _INT_RE.match(token):
+        return Constant(int(token))
+    if _FLOAT_RE.match(token):
+        return Constant(float(token))
+    if token.startswith("BH_"):
+        raise ParseError(f"unexpected op-code {token!r} in operand position")
+    if _REGISTER_RE.match(token):
+        base = table.base_for(token)
+        return View.full(base)
+    raise ParseError(f"cannot parse operand {token!r}")
+
+
+def parse_instruction(
+    line: str,
+    registers: Optional[Dict[str, BaseArray]] = None,
+    dtype: DType = float64,
+    default_nelem: int = 1,
+) -> Instruction:
+    """Parse a single instruction line.
+
+    ``registers`` may carry pre-existing base arrays keyed by name; parsed
+    registers are added to it so successive calls share bases.
+    """
+    table = _RegisterTable(dtype, default_nelem)
+    if registers:
+        table.bases.update(registers)
+    _scan_extents([line], table)
+    instruction = _parse_line(line, table)
+    if instruction is None:
+        raise ParseError(f"line is empty or a comment: {line!r}")
+    if registers is not None:
+        registers.update(table.bases)
+    return instruction
+
+
+def _parse_line(line: str, table: _RegisterTable) -> Optional[Instruction]:
+    stripped = _strip_comment(line).strip()
+    if not stripped:
+        return None
+    tokens = _tokenize(stripped)
+    opcode_name = tokens[0]
+    try:
+        opcode = opcode_from_name(opcode_name)
+    except KeyError as exc:
+        raise ParseError(str(exc)) from None
+    operands = [_parse_operand(token, table) for token in tokens[1:]]
+    return Instruction(opcode, operands)
+
+
+def parse_program(
+    text: str,
+    dtype: DType = float64,
+    default_nelem: int = 1,
+    registers: Optional[Dict[str, BaseArray]] = None,
+) -> Program:
+    """Parse a multi-line byte-code listing into a :class:`Program`.
+
+    Parameters
+    ----------
+    text:
+        The listing text.  Blank lines and ``#`` comments are ignored.
+    dtype:
+        Element type given to every register created by the parser.
+    default_nelem:
+        Size used for registers that never appear with an explicit view.
+    registers:
+        Optional pre-populated register table (name -> BaseArray); also used
+        to return the registers created while parsing.
+    """
+    lines = text.splitlines()
+    table = _RegisterTable(dtype, default_nelem)
+    if registers:
+        table.bases.update(registers)
+    _scan_extents(lines, table)
+    program = Program()
+    for line_number, line in enumerate(lines, start=1):
+        try:
+            instruction = _parse_line(line, table)
+        except ParseError as exc:
+            raise ParseError(f"line {line_number}: {exc}") from None
+        if instruction is not None:
+            program.append(instruction)
+    if registers is not None:
+        registers.update(table.bases)
+    return program

@@ -1,0 +1,85 @@
+"""Textual rendering of byte-code, matching the paper's listing syntax.
+
+Example output (Listing 2 of the paper)::
+
+    BH_IDENTITY a0[0:10:1] 0
+    BH_ADD a0[0:10:1] a0[0:10:1] 1
+    BH_ADD a0[0:10:1] a0[0:10:1] 1
+    BH_ADD a0[0:10:1] a0[0:10:1] 1
+    BH_SYNC a0[0:10:1]
+
+Contiguous 1-D views are printed in the ``name[start:stop:step]`` form; other
+views fall back to an explicit ``name[offset;shape;strides]`` form that the
+parser also understands.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.operand import Constant, Operand, is_constant, is_view
+from repro.bytecode.view import View
+
+
+def format_view(view: View) -> str:
+    """Render a view operand."""
+    if view.ndim == 1:
+        start = view.offset
+        step = view.strides[0] if view.strides else 1
+        if step > 0:
+            stop = start + view.shape[0] * step
+            return f"{view.base.name}[{start}:{stop}:{step}]"
+    shape = ",".join(str(dim) for dim in view.shape)
+    strides = ",".join(str(stride) for stride in view.strides)
+    return f"{view.base.name}[{view.offset};{shape};{strides}]"
+
+
+def format_constant(constant: Constant) -> str:
+    """Render a constant operand."""
+    value = constant.value
+    if constant.dtype.is_bool:
+        return "true" if value else "false"
+    if constant.dtype.is_integer:
+        return str(int(value))
+    text = repr(float(value))
+    return text
+
+
+def format_operand(operand: Operand) -> str:
+    """Render any operand (view or constant)."""
+    if is_view(operand):
+        return format_view(operand)
+    if is_constant(operand):
+        return format_constant(operand)
+    raise TypeError(f"cannot format operand of type {type(operand)!r}")
+
+
+def format_instruction(instruction: Instruction, include_views: bool = True) -> str:
+    """Render a single instruction on one line.
+
+    When ``include_views`` is false, view operands are printed as their bare
+    register names, matching the abbreviated listings later in the paper
+    ("I assume the view is the same for all registers").
+    """
+    parts: List[str] = [instruction.opcode.value]
+    for operand in instruction.operands:
+        if is_view(operand) and not include_views:
+            parts.append(operand.base.name)
+        else:
+            parts.append(format_operand(operand))
+    line = " ".join(parts)
+    if instruction.kernel is not None:
+        inner = "; ".join(
+            format_instruction(inner_instr, include_views=include_views)
+            for inner_instr in instruction.kernel
+        )
+        line = f"{line} {{ {inner} }}".strip()
+    if instruction.tag:
+        line = f"{line}  # {instruction.tag}"
+    return line
+
+
+def format_program(program: Iterable[Instruction], include_views: bool = True) -> str:
+    """Render a whole program, one instruction per line."""
+    return "\n".join(format_instruction(instr, include_views=include_views) for instr in program)

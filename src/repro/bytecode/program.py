@@ -1,0 +1,180 @@
+"""Programs: ordered sequences of byte-code instructions.
+
+A :class:`Program` is the unit that the optimizer transforms and that the
+backends execute.  It is a thin, list-like container with helpers the passes
+need repeatedly: op-code histograms, the set of base arrays involved, work
+estimates, and structural equality.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.bytecode.base import BaseArray
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+
+
+class Program:
+    """An ordered sequence of :class:`Instruction` objects.
+
+    Programs are mutable (passes replace their instruction list) but the
+    instructions themselves are treated as immutable values.
+    """
+
+    def __init__(self, instructions: Optional[Iterable[Instruction]] = None) -> None:
+        self._instructions: List[Instruction] = list(instructions or [])
+        for instr in self._instructions:
+            if not isinstance(instr, Instruction):
+                raise TypeError(f"expected Instruction, got {type(instr)!r}")
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index):
+        result = self._instructions[index]
+        if isinstance(index, slice):
+            return Program(result)
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Program):
+            return NotImplemented
+        return self._instructions == other._instructions
+
+    def __repr__(self) -> str:
+        return f"Program({len(self._instructions)} instructions)"
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def append(self, instruction: Instruction) -> None:
+        """Append one instruction at the end of the program."""
+        if not isinstance(instruction, Instruction):
+            raise TypeError(f"expected Instruction, got {type(instruction)!r}")
+        self._instructions.append(instruction)
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        """Append several instructions at the end of the program."""
+        for instruction in instructions:
+            self.append(instruction)
+
+    def replace_instructions(self, instructions: Iterable[Instruction]) -> None:
+        """Replace the whole instruction list (used by passes)."""
+        new_list = list(instructions)
+        for instr in new_list:
+            if not isinstance(instr, Instruction):
+                raise TypeError(f"expected Instruction, got {type(instr)!r}")
+        self._instructions = new_list
+
+    def copy(self) -> "Program":
+        """Return a shallow copy (instructions are shared, list is new)."""
+        return Program(self._instructions)
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by passes, cost model and tests
+    # ------------------------------------------------------------------ #
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        """The instructions as an immutable tuple."""
+        return tuple(self._instructions)
+
+    def opcode_histogram(self) -> Dict[OpCode, int]:
+        """Count instructions per op-code (fused payloads are not expanded)."""
+        return dict(Counter(instr.opcode for instr in self._instructions))
+
+    def count(self, opcode: OpCode, include_fused: bool = True) -> int:
+        """Number of instructions with ``opcode``.
+
+        When ``include_fused`` is true, instructions folded inside
+        ``BH_FUSED`` kernels are counted as well.
+        """
+        total = 0
+        for instr in self._instructions:
+            if instr.opcode is opcode:
+                total += 1
+            if include_fused and instr.kernel is not None:
+                total += sum(1 for inner in instr.kernel if inner.opcode is opcode)
+        return total
+
+    def num_operations(self) -> int:
+        """Number of non-system instructions (the "real work" count)."""
+        return sum(1 for instr in self._instructions if not instr.is_system())
+
+    def num_kernels(self) -> int:
+        """Number of kernel launches a naive backend would perform.
+
+        Every non-system top-level instruction is one launch; a fused
+        instruction counts as a single launch regardless of payload size.
+        """
+        return self.num_operations()
+
+    def element_traversals(self) -> int:
+        """Total elements touched by all non-system instructions.
+
+        This is the simple memory-traffic proxy the paper's motivation uses:
+        every byte-code traverses its output view once per operand.
+        """
+        total = 0
+        for instr in self._instructions:
+            if instr.is_system():
+                continue
+            for view in instr.views():
+                total += view.nelem
+        return total
+
+    def bases(self) -> Tuple[BaseArray, ...]:
+        """All distinct base arrays referenced, in first-use order."""
+        seen: List[BaseArray] = []
+        seen_ids = set()
+        for instr in self._instructions:
+            for view in instr.views():
+                if id(view.base) not in seen_ids:
+                    seen_ids.add(id(view.base))
+                    seen.append(view.base)
+        return tuple(seen)
+
+    def synced_views(self):
+        """Views that are the target of a ``BH_SYNC`` (the program outputs)."""
+        result = []
+        for instr in self._instructions:
+            if instr.opcode is OpCode.BH_SYNC:
+                result.extend(op for op in instr.operands)
+        return tuple(result)
+
+    def without_system(self) -> "Program":
+        """A copy of the program with system instructions removed."""
+        return Program(instr for instr in self._instructions if not instr.is_system())
+
+    def flattened(self) -> "Program":
+        """A copy with every fused kernel expanded back to its payload."""
+        result: List[Instruction] = []
+        for instr in self._instructions:
+            if instr.kernel is not None:
+                result.extend(instr.kernel)
+            else:
+                result.append(instr)
+        return Program(result)
+
+    def index_of(self, instruction: Instruction) -> int:
+        """Position of ``instruction`` (by identity, falling back to equality)."""
+        for index, candidate in enumerate(self._instructions):
+            if candidate is instruction:
+                return index
+        return self._instructions.index(instruction)
+
+    def to_text(self) -> str:
+        """Render the program in the paper's textual listing format."""
+        from repro.bytecode.printer import format_program
+
+        return format_program(self)

@@ -1,0 +1,50 @@
+"""Communication cost model for the simulated cluster executor."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CommunicationModel:
+    """Latency/bandwidth (alpha-beta) model of the interconnect.
+
+    Attributes
+    ----------
+    latency_s:
+        Fixed per-message latency (alpha).
+    bytes_per_second:
+        Point-to-point bandwidth (1/beta).
+    """
+
+    latency_s: float = 5e-6
+    bytes_per_second: float = 10e9
+
+    def point_to_point(self, nbytes: float) -> float:
+        """Seconds to send one message of ``nbytes``."""
+        return self.latency_s + nbytes / self.bytes_per_second
+
+    def gather(self, num_workers: int, nbytes_per_worker: float) -> float:
+        """Gather one block from every worker to the master (serialised receives)."""
+        if num_workers <= 1:
+            return 0.0
+        return (num_workers - 1) * self.point_to_point(nbytes_per_worker)
+
+    def scatter(self, num_workers: int, nbytes_per_worker: float) -> float:
+        """Scatter one block from the master to every worker."""
+        return self.gather(num_workers, nbytes_per_worker)
+
+    def broadcast(self, num_workers: int, nbytes: float) -> float:
+        """Binomial-tree broadcast of ``nbytes`` to every worker."""
+        if num_workers <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(num_workers))
+        return rounds * self.point_to_point(nbytes)
+
+    def allreduce(self, num_workers: int, nbytes: float) -> float:
+        """Reduce-then-broadcast estimate for an all-reduce of ``nbytes``."""
+        if num_workers <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(num_workers))
+        return 2 * rounds * self.point_to_point(nbytes)

@@ -1,0 +1,45 @@
+"""Partitioning of views across simulated workers."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bytecode.view import View
+from repro.utils.errors import ClusterError
+
+
+def partition_length(length: int, num_workers: int) -> List[Tuple[int, int]]:
+    """Split ``length`` elements into ``num_workers`` contiguous (start, count) chunks.
+
+    The first ``length % num_workers`` workers get one extra element, the
+    standard block distribution.  Workers beyond ``length`` get empty chunks.
+    """
+    if num_workers < 1:
+        raise ClusterError(f"need at least one worker, got {num_workers}")
+    base = length // num_workers
+    remainder = length % num_workers
+    chunks: List[Tuple[int, int]] = []
+    start = 0
+    for worker in range(num_workers):
+        count = base + (1 if worker < remainder else 0)
+        chunks.append((start, count))
+        start += count
+    return chunks
+
+
+def partition_view(view: View, num_workers: int) -> List[View]:
+    """Split ``view`` along its first axis into per-worker sub-views.
+
+    Empty chunks (more workers than rows) are returned as ``None`` place-
+    holders so the caller can keep worker indices aligned.
+    """
+    chunks = partition_length(view.shape[0], num_workers)
+    parts: List[View] = []
+    for start, count in chunks:
+        if count == 0:
+            parts.append(None)
+            continue
+        offset = view.offset + start * view.strides[0]
+        shape = (count,) + view.shape[1:]
+        parts.append(View(view.base, offset, shape, view.strides))
+    return parts

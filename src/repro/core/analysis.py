@@ -1,0 +1,270 @@
+"""Dataflow analysis over byte-code programs.
+
+The context-aware transformations of the paper are only sound under
+conditions like "the inverse tensor is not used for anything else" or "no
+other byte-code observes the intermediate sum".  This module provides the
+queries the passes use to establish those conditions:
+
+* def-use indexing (which instructions read / write which base arrays),
+* "is this value dead after instruction *i*" liveness queries,
+* "does anything touch base *b* between *i* and *j*" interference queries.
+
+All queries are expressed at base-array granularity with view-overlap
+refinement: two accesses interfere only if their views may overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bytecode.base import BaseArray
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.program import Program
+from repro.bytecode.view import View
+
+
+@dataclass
+class Access:
+    """One read or write of a view by an instruction."""
+
+    index: int
+    instruction: Instruction
+    view: View
+    is_write: bool
+
+
+@dataclass
+class DefUse:
+    """Def-use index for a program.
+
+    Maps every base array to the ordered list of accesses (reads and writes)
+    made to it, and records which bases are synced (observable program
+    outputs) and which are freed.
+    """
+
+    program: Program
+    accesses: Dict[int, List[Access]] = field(default_factory=dict)
+    bases: Dict[int, BaseArray] = field(default_factory=dict)
+    synced: Dict[int, List[int]] = field(default_factory=dict)
+    freed: Dict[int, List[int]] = field(default_factory=dict)
+
+    @classmethod
+    def analyze(cls, program: Program) -> "DefUse":
+        """Build the def-use index for ``program``."""
+        info = cls(program=program)
+        for index, instruction in enumerate(program):
+            if instruction.opcode is OpCode.BH_SYNC:
+                for view in instruction.views():
+                    info._note_base(view.base)
+                    info.synced.setdefault(id(view.base), []).append(index)
+                    info._add(Access(index, instruction, view, is_write=False))
+                continue
+            if instruction.opcode is OpCode.BH_FREE:
+                for view in instruction.views():
+                    info._note_base(view.base)
+                    info.freed.setdefault(id(view.base), []).append(index)
+                continue
+            for view in instruction.reads():
+                info._note_base(view.base)
+                info._add(Access(index, instruction, view, is_write=False))
+            for view in instruction.writes():
+                info._note_base(view.base)
+                info._add(Access(index, instruction, view, is_write=True))
+        return info
+
+    def _note_base(self, base: BaseArray) -> None:
+        self.bases.setdefault(id(base), base)
+
+    def _add(self, access: Access) -> None:
+        self.accesses.setdefault(id(access.view.base), []).append(access)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def accesses_of(self, base: BaseArray) -> Tuple[Access, ...]:
+        """All accesses of ``base`` in program order."""
+        return tuple(self.accesses.get(id(base), ()))
+
+    def reads_of(self, base: BaseArray) -> Tuple[Access, ...]:
+        """All read accesses of ``base``."""
+        return tuple(a for a in self.accesses_of(base) if not a.is_write)
+
+    def writes_of(self, base: BaseArray) -> Tuple[Access, ...]:
+        """All write accesses of ``base``."""
+        return tuple(a for a in self.accesses_of(base) if a.is_write)
+
+    def is_synced(self, base: BaseArray) -> bool:
+        """True when ``base`` is the target of any ``BH_SYNC``."""
+        return id(base) in self.synced
+
+    def sync_indices(self, base: BaseArray) -> Tuple[int, ...]:
+        """Positions of the ``BH_SYNC`` instructions targeting ``base``."""
+        return tuple(self.synced.get(id(base), ()))
+
+    def is_freed(self, base: BaseArray) -> bool:
+        """True when ``base`` is explicitly freed."""
+        return id(base) in self.freed
+
+    def read_indices_after(self, base: BaseArray, index: int) -> Tuple[int, ...]:
+        """Indices of instructions after ``index`` that read ``base``."""
+        return tuple(a.index for a in self.reads_of(base) if a.index > index)
+
+    def write_indices_after(self, base: BaseArray, index: int) -> Tuple[int, ...]:
+        """Indices of instructions after ``index`` that write ``base``."""
+        return tuple(a.index for a in self.writes_of(base) if a.index > index)
+
+
+# ---------------------------------------------------------------------- #
+# Stand-alone query helpers (operate directly on a program)
+# ---------------------------------------------------------------------- #
+
+
+def reads_of_base(program: Program, base: BaseArray) -> List[int]:
+    """Indices of instructions that read ``base`` (SYNC counts as a read)."""
+    result = []
+    for index, instruction in enumerate(program):
+        if instruction.opcode is OpCode.BH_SYNC:
+            if any(view.base is base for view in instruction.views()):
+                result.append(index)
+            continue
+        if any(view.base is base for view in instruction.reads()):
+            result.append(index)
+    return result
+
+
+def writes_to_base(program: Program, base: BaseArray) -> List[int]:
+    """Indices of instructions that write ``base``."""
+    result = []
+    for index, instruction in enumerate(program):
+        if any(view.base is base for view in instruction.writes()):
+            result.append(index)
+    return result
+
+
+def base_read_between(
+    program: Program, base: BaseArray, start: int, stop: int, within: Optional[View] = None
+) -> bool:
+    """Is ``base`` read by any instruction with index in the open range (start, stop)?
+
+    When ``within`` is given, only reads whose view may overlap ``within``
+    count.
+    """
+    for index in range(start + 1, stop):
+        instruction = program[index]
+        views = (
+            instruction.views()
+            if instruction.opcode is OpCode.BH_SYNC
+            else instruction.reads()
+        )
+        for view in views:
+            if view.base is not base:
+                continue
+            if within is None or view.overlaps(within):
+                return True
+    return False
+
+
+def base_written_between(
+    program: Program, base: BaseArray, start: int, stop: int, within: Optional[View] = None
+) -> bool:
+    """Is ``base`` written by any instruction with index in the open range (start, stop)?"""
+    for index in range(start + 1, stop):
+        instruction = program[index]
+        for view in instruction.writes():
+            if view.base is not base:
+                continue
+            if within is None or view.overlaps(within):
+                return True
+    return False
+
+
+def is_dead_after(
+    program: Program,
+    index: int,
+    view: View,
+    observable_at_end: bool = True,
+) -> bool:
+    """Is the value held by ``view`` unobservable after instruction ``index``?
+
+    The value is *dead* when no later instruction reads the view's base (in a
+    possibly-overlapping region) before the base is either completely
+    overwritten or freed, and the base is never synced after ``index``.
+
+    This is the safety condition behind both the paper's Equation 2 rewrite
+    ("only faster if we do not use the inverse for anything else") and
+    dead-code elimination.
+
+    Parameters
+    ----------
+    observable_at_end:
+        How to treat a value that survives to the end of the program without
+        being freed.  The front-end may still hold a handle to such a base
+        and observe it in a *later* flush, so the default is the
+        conservative answer ("still live").  Bohrium frees a base when the
+        owning Python object is garbage collected, and our front-end does
+        the same, so truly temporary values do end in ``BH_FREE`` and are
+        correctly recognised as dead.  Pass ``False`` only for whole-program
+        (closed-world) analyses.
+    """
+    base = view.base
+    for later_index in range(index + 1, len(program)):
+        instruction = program[later_index]
+        if instruction.opcode is OpCode.BH_SYNC:
+            if any(v.base is base for v in instruction.views()):
+                return False
+            continue
+        if instruction.opcode is OpCode.BH_FREE:
+            if any(v.base is base for v in instruction.views()):
+                return True
+            continue
+        for read_view in instruction.reads():
+            if read_view.base is base and read_view.overlaps(view):
+                return False
+        for write_view in instruction.writes():
+            if write_view.base is base and _covers(write_view, view):
+                # Completely overwritten before being read: dead.
+                return True
+    return not observable_at_end
+
+
+def _covers(writer: View, target: View) -> bool:
+    """Does writing ``writer`` definitely overwrite every element of ``target``?"""
+    if writer.base is not target.base:
+        return False
+    if writer.same_view(target):
+        return True
+    if writer.covers_base():
+        return True
+    small_limit = 4096
+    if writer.nelem <= small_limit and target.nelem <= small_limit:
+        return set(target.element_indices()) <= set(writer.element_indices())
+    return False
+
+
+def observable_views(program: Program) -> Tuple[View, ...]:
+    """Views whose final contents are observable program outputs.
+
+    A view is observable when it is synced, or when its base is written and
+    never freed (the front-end may still hold a reference to it).  This is
+    the set the semantic verifier compares between the original and the
+    optimized program.
+    """
+    defuse = DefUse.analyze(program)
+    result: List[View] = []
+    seen = set()
+    for base_id, base in defuse.bases.items():
+        if defuse.is_freed(base) and not defuse.is_synced(base):
+            continue
+        writes = defuse.writes_of(base)
+        if not writes and not defuse.is_synced(base):
+            continue
+        key = base_id
+        if key in seen:
+            continue
+        seen.add(key)
+        # Prefer the full view of the base so all written regions compare.
+        result.append(View.full(base))
+    return tuple(result)

@@ -1,0 +1,111 @@
+"""Copy propagation.
+
+``BH_IDENTITY dst, src`` copies a whole view.  When later byte-codes read
+``dst`` while neither ``dst`` nor ``src`` has been written in between, they
+can read ``src`` directly.  Once every reader has been redirected the copy
+itself usually becomes dead and is swept up by DCE — together the two passes
+implement the "temporary elimination" side of the paper's fusion-like
+contractions.
+
+The pass is deliberately conservative:
+
+* only full-view to full-view copies with identical shapes are propagated;
+* propagation stops at the first write to either base, at a ``BH_SYNC`` of
+  the destination, and at a ``BH_FREE`` of the source;
+* the destination view is only replaced when it appears as a *read* operand
+  with exactly the same view as the copy wrote.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.operand import is_view
+from repro.bytecode.program import Program
+from repro.bytecode.view import View
+from repro.core.rules import Pass, PassResult
+
+
+class CopyPropagationPass(Pass):
+    """Redirect readers of a copied view to the copy's source."""
+
+    name = "copy_propagation"
+
+    def run(self, program: Program) -> PassResult:
+        stats = self._new_stats(program)
+        instructions = list(program)
+        for index, instruction in enumerate(instructions):
+            copy = self._as_copy(instruction)
+            if copy is None:
+                continue
+            dst, src = copy
+            propagated = self._propagate(instructions, index, dst, src)
+            if propagated:
+                stats.rewrites_applied += 1
+                stats.note(
+                    f"redirected {propagated} read(s) of {dst.base.name} to {src.base.name}"
+                )
+        return self._finish(Program(instructions), stats)
+
+    def _as_copy(self, instruction: Instruction) -> Optional[tuple]:
+        if instruction.opcode is not OpCode.BH_IDENTITY:
+            return None
+        out = instruction.out
+        inputs = instruction.inputs
+        if out is None or len(inputs) != 1 or not is_view(inputs[0]):
+            return None
+        src = inputs[0]
+        if out.shape != src.shape:
+            return None
+        if out.base is src.base:
+            return None
+        return out, src
+
+    def _propagate(
+        self, instructions: List[Instruction], copy_index: int, dst: View, src: View
+    ) -> int:
+        """Rewrite readers of ``dst`` after ``copy_index``; returns the count."""
+        propagated = 0
+        for index in range(copy_index + 1, len(instructions)):
+            instruction = instructions[index]
+            # Stop conditions first: anything that changes either value, or
+            # makes the source unavailable, ends the propagation window.
+            if instruction.opcode is OpCode.BH_FREE:
+                if any(v.base is src.base or v.base is dst.base for v in instruction.views()):
+                    break
+                continue
+            if instruction.opcode is OpCode.BH_SYNC:
+                continue
+            writes_dst = any(
+                v.base is dst.base and v.overlaps(dst) for v in instruction.writes()
+            )
+            writes_src = any(
+                v.base is src.base and v.overlaps(src) for v in instruction.writes()
+            )
+            replaced = self._rewrite_reads(instructions, index, dst, src)
+            propagated += replaced
+            if writes_dst or writes_src:
+                break
+        return propagated
+
+    def _rewrite_reads(
+        self, instructions: List[Instruction], index: int, dst: View, src: View
+    ) -> int:
+        """Replace read operands equal to ``dst`` with ``src`` in one instruction."""
+        instruction = instructions[index]
+        if instruction.kernel is not None:
+            return 0
+        info = instruction.info
+        new_operands = list(instruction.operands)
+        replaced = 0
+        start = 1 if info.has_output else 0
+        for position in range(start, len(new_operands)):
+            operand = new_operands[position]
+            if is_view(operand) and operand.same_view(dst):
+                new_operands[position] = src
+                replaced += 1
+        if replaced:
+            instructions[index] = instruction.replace(operands=new_operands, tag=self.name)
+        return replaced

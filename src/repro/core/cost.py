@@ -1,0 +1,111 @@
+"""Cost model used to gate and evaluate rewrites.
+
+The paper's Section 4 observes that power expansion is only enabled because
+"benchmarks have shown that for values close to a power of 2, multiplying
+multiple times is faster than doing an actual BH_POWER" — i.e. the rewrite
+decision is a *cost* decision, not a purely algebraic one.  The
+:class:`CostModel` prices individual byte-codes and whole programs against a
+device profile (the same roofline model the simulated accelerator uses), so
+passes can ask "is the rewritten sequence actually cheaper on this device?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.program import Program
+from repro.runtime.simulator import (
+    DEVICE_PROFILES,
+    DeviceProfile,
+    instruction_bytes,
+    instruction_flops,
+    simulate_program_time,
+)
+from repro.utils.errors import CostModelError
+
+
+@dataclass
+class CostBreakdown:
+    """Itemised cost of a program under one device profile."""
+
+    kernel_launches: int
+    flops: float
+    bytes_moved: float
+    seconds: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form for reports and benchmark tables."""
+        return {
+            "kernel_launches": self.kernel_launches,
+            "flops": self.flops,
+            "bytes_moved": self.bytes_moved,
+            "seconds": self.seconds,
+        }
+
+
+class CostModel:
+    """Prices byte-codes and programs for one device profile."""
+
+    def __init__(self, profile: Union[str, DeviceProfile] = "gpu") -> None:
+        if isinstance(profile, DeviceProfile):
+            self.profile = profile
+        else:
+            try:
+                self.profile = DEVICE_PROFILES[profile]
+            except KeyError:
+                raise CostModelError(
+                    f"unknown device profile {profile!r}; available: {tuple(DEVICE_PROFILES)}"
+                ) from None
+
+    # ------------------------------------------------------------------ #
+    # Pricing
+    # ------------------------------------------------------------------ #
+
+    def instruction_cost(self, instruction: Instruction) -> float:
+        """Simulated seconds for one byte-code (launch overhead included)."""
+        if instruction.is_system():
+            return 0.0
+        flops = instruction_flops(instruction)
+        bytes_moved = instruction_bytes(instruction)
+        return self.profile.kernel_launch_overhead_s + self.profile.roofline_time(
+            flops, bytes_moved
+        )
+
+    def program_cost(self, program: Program) -> float:
+        """Simulated seconds for a whole program."""
+        return simulate_program_time(program, self.profile)
+
+    def breakdown(self, program: Program) -> CostBreakdown:
+        """Itemised cost of a program."""
+        launches = 0
+        flops = 0.0
+        bytes_moved = 0.0
+        for instruction in program:
+            if instruction.is_system():
+                continue
+            launches += 1
+            flops += instruction_flops(instruction)
+            bytes_moved += instruction_bytes(instruction)
+        return CostBreakdown(
+            kernel_launches=launches,
+            flops=flops,
+            bytes_moved=bytes_moved,
+            seconds=self.program_cost(program),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Decisions
+    # ------------------------------------------------------------------ #
+
+    def is_improvement(self, before: Program, after: Program) -> bool:
+        """Does ``after`` cost strictly less than ``before`` on this device?"""
+        return self.program_cost(after) < self.program_cost(before)
+
+    def speedup(self, before: Program, after: Program) -> float:
+        """Predicted speedup factor of ``after`` relative to ``before``."""
+        after_cost = self.program_cost(after)
+        if after_cost == 0.0:
+            return float("inf")
+        return self.program_cost(before) / after_cost

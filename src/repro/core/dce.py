@@ -1,0 +1,62 @@
+"""Dead-code elimination.
+
+A byte-code is dead when the value it writes can never be observed: no later
+instruction reads the written view before it is completely overwritten or
+freed, and the view's base is never synced afterwards.  Such byte-codes
+commonly appear after copy propagation and after the linear-solve rewrite
+(the now-unused ``BH_MATRIX_INVERSE``).
+
+The pass iterates to a local fixed point because removing one dead
+instruction can make its producers dead as well.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.program import Program
+from repro.core.analysis import is_dead_after
+from repro.core.rules import Pass, PassResult
+
+
+class DeadCodeEliminationPass(Pass):
+    """Remove byte-codes whose results are never observed."""
+
+    name = "dce"
+
+    def __init__(self, max_iterations: int = 8) -> None:
+        self.max_iterations = max_iterations
+
+    def run(self, program: Program) -> PassResult:
+        stats = self._new_stats(program)
+        current = program
+        for _ in range(self.max_iterations):
+            removed, current = self._sweep(current, stats)
+            if removed == 0:
+                break
+        return self._finish(current, stats)
+
+    def _sweep(self, program: Program, stats) -> tuple:
+        """One removal sweep; returns (number removed, new program)."""
+        keep: List[Instruction] = []
+        removed = 0
+        for index, instruction in enumerate(program):
+            if self._is_removable(program, index, instruction):
+                removed += 1
+                stats.rewrites_applied += 1
+                stats.note(f"removed dead {instruction.opcode.value} at {index}")
+                continue
+            keep.append(instruction)
+        return removed, Program(keep)
+
+    def _is_removable(self, program: Program, index: int, instruction: Instruction) -> bool:
+        # System byte-codes, frees and syncs are control/observability points
+        # and are never removed here.
+        if instruction.is_system():
+            return False
+        writes = instruction.writes()
+        if not writes:
+            return False
+        return all(is_dead_after(program, index, view) for view in writes)

@@ -1,0 +1,65 @@
+"""Fusion: contract element-wise byte-code chains into single kernels.
+
+The paper describes the low end of its transformation spectrum as "small
+loop-fusion-like contractions of byte-codes".  This pass performs exactly
+that contraction at the IR level: maximal runs of consecutive element-wise
+byte-codes sharing one iteration space are wrapped into a single
+``BH_FUSED`` instruction, so a backend launches one kernel (and, under the
+simulated accelerator's cost model, streams each operand once) instead of
+one kernel per byte-code.
+
+The clustering policy is shared with the runtime's fusing JIT
+(:func:`repro.runtime.kernel.partition_into_kernels`) so "what the optimizer
+fuses" and "what the backend would fuse anyway" stay consistent; running the
+pass simply bakes the decision into the program, which the simulated
+accelerator and the cluster executor honour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.program import Program
+from repro.core.rules import Pass, PassResult
+from repro.runtime.kernel import Kernel, partition_into_kernels
+from repro.utils.config import get_config
+
+
+class FusionPass(Pass):
+    """Wrap fusable element-wise chains into ``BH_FUSED`` kernels."""
+
+    name = "fusion"
+
+    def __init__(self, max_kernel_size: Optional[int] = None, min_kernel_size: int = 2) -> None:
+        """
+        Parameters
+        ----------
+        max_kernel_size:
+            Largest number of byte-codes per fused kernel (defaults to the
+            library configuration).
+        min_kernel_size:
+            Chains shorter than this are left alone — fusing a single
+            byte-code only adds wrapper overhead.
+        """
+        self.max_kernel_size = (
+            max_kernel_size
+            if max_kernel_size is not None
+            else get_config().fusion_max_kernel_size
+        )
+        self.min_kernel_size = min_kernel_size
+
+    def run(self, program: Program) -> PassResult:
+        stats = self._new_stats(program)
+        result: List[Instruction] = []
+        for item in partition_into_kernels(program, self.max_kernel_size):
+            if isinstance(item, Kernel):
+                if item.size >= self.min_kernel_size:
+                    stats.rewrites_applied += 1
+                    stats.note(f"fused {item.size} element-wise byte-codes into one kernel")
+                    result.append(item.as_instruction(tag=self.name))
+                else:
+                    result.extend(item.instructions)
+            else:
+                result.append(item)
+        return self._finish(Program(result), stats)

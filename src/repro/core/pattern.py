@@ -1,0 +1,245 @@
+"""Declarative patterns over byte-code instructions.
+
+The idiom-detecting rules (constant merge, linear solve) need to express
+conditions like "a ``BH_ADD`` whose output view equals its first input view
+and whose second input is a constant".  This module provides a small,
+explicit pattern language for that:
+
+>>> accumulate_add = InstructionPattern(
+...     opcodes=(OpCode.BH_ADD,),
+...     output="acc",            # capture the output view under the name "acc"
+...     inputs=(Capture("acc"),  # first input must be the same view
+...             IsConstant("delta")),
+... )
+
+Patterns return a :class:`MatchResult` carrying the captured operands, and a
+:class:`SequencePattern` matches a list of instruction patterns against
+consecutive (or gap-tolerant) instruction windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.operand import Constant, Operand, is_constant, is_view
+from repro.bytecode.program import Program
+from repro.bytecode.view import View
+
+
+@dataclass
+class MatchResult:
+    """Captured operands and matched instruction indices from one match."""
+
+    captures: Dict[str, Operand] = field(default_factory=dict)
+    indices: List[int] = field(default_factory=list)
+
+    def view(self, name: str) -> View:
+        """Return a captured operand known to be a view."""
+        operand = self.captures[name]
+        if not is_view(operand):
+            raise KeyError(f"capture {name!r} is not a view")
+        return operand
+
+    def constant(self, name: str) -> Constant:
+        """Return a captured operand known to be a constant."""
+        operand = self.captures[name]
+        if not is_constant(operand):
+            raise KeyError(f"capture {name!r} is not a constant")
+        return operand
+
+
+class OperandPattern:
+    """Base class for operand-level patterns."""
+
+    def matches(self, operand: Operand, result: MatchResult) -> bool:
+        """Test ``operand``; record captures into ``result`` on success."""
+        raise NotImplementedError
+
+
+@dataclass
+class Any(OperandPattern):
+    """Matches any operand, optionally capturing it."""
+
+    capture: Optional[str] = None
+
+    def matches(self, operand: Operand, result: MatchResult) -> bool:
+        if self.capture is not None:
+            result.captures[self.capture] = operand
+        return True
+
+
+@dataclass
+class IsView(OperandPattern):
+    """Matches a view operand, optionally capturing it."""
+
+    capture: Optional[str] = None
+
+    def matches(self, operand: Operand, result: MatchResult) -> bool:
+        if not is_view(operand):
+            return False
+        if self.capture is not None:
+            result.captures[self.capture] = operand
+        return True
+
+
+@dataclass
+class IsConstant(OperandPattern):
+    """Matches a constant operand, optionally restricted by a predicate."""
+
+    capture: Optional[str] = None
+    predicate: Optional[Callable[[Constant], bool]] = None
+
+    def matches(self, operand: Operand, result: MatchResult) -> bool:
+        if not is_constant(operand):
+            return False
+        if self.predicate is not None and not self.predicate(operand):
+            return False
+        if self.capture is not None:
+            result.captures[self.capture] = operand
+        return True
+
+
+@dataclass
+class Capture(OperandPattern):
+    """Matches an operand equal to a previously captured one (or captures it).
+
+    For views "equal" means :meth:`View.same_view`; for constants it is value
+    equality.  When the name has not been captured yet this behaves like
+    :class:`Any` with a capture, which lets the same pattern both bind and
+    constrain.
+    """
+
+    name: str
+    same_base_only: bool = False
+
+    def matches(self, operand: Operand, result: MatchResult) -> bool:
+        if self.name not in result.captures:
+            result.captures[self.name] = operand
+            return True
+        existing = result.captures[self.name]
+        if is_view(existing) and is_view(operand):
+            if self.same_base_only:
+                return existing.base is operand.base
+            return existing.same_view(operand)
+        if is_constant(existing) and is_constant(operand):
+            return existing == operand
+        return False
+
+
+@dataclass
+class InstructionPattern:
+    """Pattern over a single instruction.
+
+    Attributes
+    ----------
+    opcodes:
+        Acceptable op-codes.
+    output:
+        Pattern (or capture name) for the output view; ``None`` means
+        "don't care".  A bare string is shorthand for ``Capture(name)``.
+    inputs:
+        Patterns for each input operand, in order.  ``None`` means "don't
+        care about the inputs at all"; otherwise the arity must match.
+    predicate:
+        Optional extra predicate over the whole instruction.
+    """
+
+    opcodes: Tuple[OpCode, ...]
+    output: Union[None, str, OperandPattern] = None
+    inputs: Optional[Sequence[Union[str, OperandPattern]]] = None
+    predicate: Optional[Callable[[Instruction], bool]] = None
+
+    def _coerce(self, pattern: Union[str, OperandPattern]) -> OperandPattern:
+        if isinstance(pattern, str):
+            return Capture(pattern)
+        return pattern
+
+    def matches(self, instruction: Instruction, result: Optional[MatchResult] = None) -> Optional[MatchResult]:
+        """Match one instruction; return the (updated) result or ``None``."""
+        result = result if result is not None else MatchResult()
+        if instruction.opcode not in self.opcodes:
+            return None
+        if self.predicate is not None and not self.predicate(instruction):
+            return None
+        # Work on a copy of captures so a failed match does not pollute them.
+        trial = MatchResult(captures=dict(result.captures), indices=list(result.indices))
+        if self.output is not None:
+            out = instruction.out
+            if out is None:
+                return None
+            if not self._coerce(self.output).matches(out, trial):
+                return None
+        if self.inputs is not None:
+            inputs = instruction.inputs
+            if len(inputs) != len(self.inputs):
+                return None
+            for operand, pattern in zip(inputs, self.inputs):
+                if not self._coerce(pattern).matches(operand, trial):
+                    return None
+        result.captures = trial.captures
+        result.indices = trial.indices
+        return result
+
+
+@dataclass
+class SequencePattern:
+    """Matches a list of instruction patterns against a program window.
+
+    Parameters
+    ----------
+    steps:
+        The instruction patterns, in order.
+    allow_gaps:
+        When true, unrelated instructions may appear between matched steps as
+        long as ``gap_filter`` accepts them (default: any instruction is an
+        acceptable gap).  When false the steps must be consecutive.
+    gap_filter:
+        Predicate deciding whether an instruction may sit inside a gap.
+    """
+
+    steps: Sequence[InstructionPattern]
+    allow_gaps: bool = False
+    gap_filter: Optional[Callable[[Instruction], bool]] = None
+
+    def match_at(self, program: Program, start: int) -> Optional[MatchResult]:
+        """Try to match the sequence beginning at instruction ``start``."""
+        result = MatchResult()
+        position = start
+        for step_number, step in enumerate(self.steps):
+            found = None
+            while position < len(program):
+                instruction = program[position]
+                matched = step.matches(instruction, result)
+                if matched is not None:
+                    matched.indices.append(position)
+                    result = matched
+                    found = position
+                    position += 1
+                    break
+                if step_number == 0 or not self.allow_gaps:
+                    return None
+                if self.gap_filter is not None and not self.gap_filter(instruction):
+                    return None
+                position += 1
+            if found is None:
+                return None
+        return result
+
+    def find_all(self, program: Program) -> List[MatchResult]:
+        """All non-overlapping matches, scanning left to right."""
+        matches: List[MatchResult] = []
+        taken: set = set()
+        for start in range(len(program)):
+            if start in taken:
+                continue
+            result = self.match_at(program, start)
+            if result is None:
+                continue
+            if any(index in taken for index in result.indices):
+                continue
+            taken.update(result.indices)
+            matches.append(result)
+        return matches

@@ -1,0 +1,217 @@
+"""The optimization pipeline (pass manager).
+
+Composes the individual transformation passes, optionally iterates them to a
+fixed point (one rewrite frequently enables another: power expansion creates
+multiply chains that fusion then contracts; the linear-solve rewrite leaves a
+dead inversion that DCE then removes), optionally verifies semantic
+equivalence, and reports per-pass statistics.
+
+The top-level convenience function is :func:`optimize`:
+
+>>> report = optimize(program)
+>>> report.optimized            # the rewritten program
+>>> report.total_rewrites       # how many rewrite sites fired
+>>> report.instructions_removed # net byte-code count change
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.bytecode.program import Program
+from repro.bytecode.validate import validate_program
+from repro.core.rules import DEFAULT_PASS_ORDER, EXTENDED_PASS_ORDER, Pass, PassStats, create_pass
+from repro.core.verifier import SemanticVerifier
+from repro.utils.config import get_config
+
+
+@dataclass
+class OptimizationReport:
+    """Everything the pipeline did to one program."""
+
+    original: Program
+    optimized: Program
+    pass_stats: List[PassStats] = field(default_factory=list)
+    iterations: int = 0
+    verified: Optional[bool] = None
+
+    @property
+    def total_rewrites(self) -> int:
+        """Total number of rewrite sites applied across all passes."""
+        return sum(stats.rewrites_applied for stats in self.pass_stats)
+
+    @property
+    def changed(self) -> bool:
+        """True when the optimized program differs from the original."""
+        return self.total_rewrites > 0
+
+    @property
+    def instructions_before(self) -> int:
+        """Instruction count of the original program."""
+        return len(self.original)
+
+    @property
+    def instructions_after(self) -> int:
+        """Instruction count of the optimized program."""
+        return len(self.optimized)
+
+    @property
+    def instructions_removed(self) -> int:
+        """Net instruction-count reduction (negative when code was added)."""
+        return self.instructions_before - self.instructions_after
+
+    def stats_for(self, pass_name: str) -> List[PassStats]:
+        """All stats records produced by a given pass (one per iteration)."""
+        return [stats for stats in self.pass_stats if stats.pass_name == pass_name]
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary of what happened."""
+        lines = [
+            f"optimization summary: {self.instructions_before} -> "
+            f"{self.instructions_after} byte-codes in {self.iterations} iteration(s), "
+            f"{self.total_rewrites} rewrite(s)"
+        ]
+        for stats in self.pass_stats:
+            if stats.rewrites_applied == 0:
+                continue
+            lines.append(
+                f"  {stats.pass_name}: {stats.rewrites_applied} rewrite(s), "
+                f"{stats.instructions_before} -> {stats.instructions_after} byte-codes"
+            )
+            for note in stats.notes:
+                lines.append(f"    - {note}")
+        if self.verified is not None:
+            lines.append(f"  semantic verification: {'passed' if self.verified else 'FAILED'}")
+        return "\n".join(lines)
+
+
+class Pipeline:
+    """An ordered list of passes with fixed-point iteration and verification."""
+
+    def __init__(
+        self,
+        passes: Sequence[Union[str, Pass]],
+        fixed_point: bool = True,
+        max_iterations: Optional[int] = None,
+        verify: Optional[bool] = None,
+        validate: bool = True,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        passes:
+            Pass instances or registered pass names, in execution order.
+        fixed_point:
+            Re-run the whole pass list until no pass reports a rewrite (or
+            ``max_iterations`` is hit).
+        max_iterations:
+            Bound on fixed-point iterations; defaults to the configuration.
+        verify:
+            Run the semantic verifier on the final result; defaults to the
+            configuration (``verify_rewrites``).
+        validate:
+            Structurally validate the input and output programs.
+        """
+        self.passes: List[Pass] = [
+            create_pass(item) if isinstance(item, str) else item for item in passes
+        ]
+        self.fixed_point = fixed_point
+        self.max_iterations = (
+            max_iterations
+            if max_iterations is not None
+            else get_config().fixed_point_max_iterations
+        )
+        self.verify = verify if verify is not None else get_config().verify_rewrites
+        self.validate = validate
+
+    def pass_names(self) -> List[str]:
+        """Names of the passes in execution order."""
+        return [p.name for p in self.passes]
+
+    def run(self, program: Program) -> OptimizationReport:
+        """Optimize ``program`` and return the full report."""
+        if self.validate:
+            validate_program(program)
+        report = OptimizationReport(original=program.copy(), optimized=program.copy())
+        current = program.copy()
+        iterations = 0
+        while True:
+            iterations += 1
+            changed_this_round = False
+            for transformation in self.passes:
+                result = transformation.run(current)
+                report.pass_stats.append(result.stats)
+                if result.changed:
+                    changed_this_round = True
+                    current = result.program
+            if not self.fixed_point or not changed_this_round:
+                break
+            if iterations >= self.max_iterations:
+                break
+        report.iterations = iterations
+        report.optimized = current
+        if self.validate:
+            validate_program(current)
+        if self.verify:
+            verifier = SemanticVerifier(seed=get_config().random_seed)
+            report.verified = verifier.equivalent(report.original, report.optimized)
+        return report
+
+
+def default_pipeline(
+    enabled_passes: Optional[Iterable[str]] = None,
+    fixed_point: bool = True,
+    verify: Optional[bool] = None,
+    extended: bool = False,
+    **pass_kwargs,
+) -> Pipeline:
+    """Build the canonical pipeline.
+
+    Parameters
+    ----------
+    enabled_passes:
+        Subset of pass names to include (order is always the canonical
+        :data:`~repro.core.rules.DEFAULT_PASS_ORDER`, or the extended order
+        when ``extended`` is true).  ``None`` uses the configuration, which
+        itself defaults to "all".
+    fixed_point / verify:
+        Forwarded to :class:`Pipeline`.
+    extended:
+        Include the extension passes (scalar constant folding, strength
+        reduction, common-subexpression elimination) that go beyond the
+        paper's concrete listings.
+    pass_kwargs:
+        Per-pass constructor overrides keyed by pass name, e.g.
+        ``power_expansion={"strategy": "binary"}``.
+    """
+    canonical_order = EXTENDED_PASS_ORDER if extended else DEFAULT_PASS_ORDER
+    if enabled_passes is None:
+        enabled_passes = get_config().enabled_passes
+    if enabled_passes is None:
+        names = list(canonical_order)
+    else:
+        requested = set(enabled_passes)
+        order = EXTENDED_PASS_ORDER if extended or requested - set(DEFAULT_PASS_ORDER) else canonical_order
+        names = [name for name in order if name in requested]
+    passes = [create_pass(name, **pass_kwargs.get(name, {})) for name in names]
+    return Pipeline(passes, fixed_point=fixed_point, verify=verify)
+
+
+def optimize(
+    program: Program,
+    enabled_passes: Optional[Iterable[str]] = None,
+    fixed_point: bool = True,
+    verify: Optional[bool] = None,
+    extended: bool = False,
+    **pass_kwargs,
+) -> OptimizationReport:
+    """Optimize ``program`` with the default pipeline and return the report."""
+    pipeline = default_pipeline(
+        enabled_passes=enabled_passes,
+        fixed_point=fixed_point,
+        verify=verify,
+        extended=extended,
+        **pass_kwargs,
+    )
+    return pipeline.run(program)

@@ -1,0 +1,90 @@
+"""Strength reduction: replace expensive op-codes with cheaper equivalents.
+
+An extension pass in the spirit of the paper's power-expansion argument
+(Section 4: the transcendental kernel is far more expensive than arithmetic):
+
+* ``x / c``  →  ``x * (1/c)`` for floating-point constants (division is
+  several times slower than multiplication on every vector engine);
+* ``x ** 0.5``  →  ``sqrt(x)``;
+* ``x ** -1``  →  ``reciprocal(x)`` (float outputs only);
+* ``x ** 2`` with distinct output → ``x * x`` (the degenerate power
+  expansion, handled here so the pass is useful stand-alone).
+
+Like the other extension passes it is registered under its own name
+(``"strength_reduction"``) and included by ``default_pipeline(extended=True)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.operand import Constant, is_constant, is_view
+from repro.bytecode.program import Program
+from repro.core.rules import Pass, PassResult
+
+
+class StrengthReductionPass(Pass):
+    """Swap expensive element-wise byte-codes for cheaper equivalents."""
+
+    name = "strength_reduction"
+
+    def run(self, program: Program) -> PassResult:
+        stats = self._new_stats(program)
+        result: List[Instruction] = []
+        for instruction in program:
+            replacement = self._reduce(instruction)
+            if replacement is None:
+                result.append(instruction)
+                continue
+            stats.rewrites_applied += 1
+            stats.note(
+                f"replaced {instruction.opcode.value} with {replacement.opcode.value}"
+            )
+            result.append(replacement)
+        return self._finish(Program(result), stats)
+
+    def _reduce(self, instruction: Instruction) -> Optional[Instruction]:
+        if instruction.opcode is OpCode.BH_DIVIDE:
+            return self._reduce_division(instruction)
+        if instruction.opcode is OpCode.BH_POWER:
+            return self._reduce_power(instruction)
+        return None
+
+    def _reduce_division(self, instruction: Instruction) -> Optional[Instruction]:
+        out = instruction.out
+        inputs = instruction.inputs
+        if out is None or len(inputs) != 2:
+            return None
+        numerator, denominator = inputs
+        if not is_constant(denominator) or not is_view(numerator):
+            return None
+        if not denominator.dtype.is_float or not out.dtype.is_float:
+            # Integer division by a constant is not a multiplication.
+            return None
+        value = denominator.value
+        if value == 0:
+            return None
+        return Instruction(
+            OpCode.BH_MULTIPLY,
+            (out, numerator, Constant(1.0 / value, denominator.dtype)),
+            tag=self.name,
+        )
+
+    def _reduce_power(self, instruction: Instruction) -> Optional[Instruction]:
+        out = instruction.out
+        inputs = instruction.inputs
+        if out is None or len(inputs) != 2:
+            return None
+        base, exponent = inputs
+        if not is_constant(exponent) or not is_view(base):
+            return None
+        value = exponent.value
+        if value == 0.5 and out.dtype.is_float:
+            return Instruction(OpCode.BH_SQRT, (out, base), tag=self.name)
+        if value == -1 and out.dtype.is_float:
+            return Instruction(OpCode.BH_RECIPROCAL, (out, base), tag=self.name)
+        if value == 2 and not out.overlaps(base):
+            return Instruction(OpCode.BH_MULTIPLY, (out, base, base), tag=self.name)
+        return None

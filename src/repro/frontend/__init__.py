@@ -1,0 +1,104 @@
+"""Lazy NumPy-like front-end ("change the import, keep the code").
+
+Bohrium's promise is that a scientific Python program keeps using the NumPy
+API while the runtime records byte-code behind the scenes and executes it in
+optimized, fused batches.  This package reproduces that programming model:
+
+>>> from repro import frontend as np
+>>> a = np.zeros(10)
+>>> a += 1
+>>> a += 1
+>>> a += 1
+>>> print(a)                # the flush point: optimize + execute
+[3. 3. 3. ...]
+
+Operations on :class:`BhArray` objects record byte-code into the active
+:class:`Session`; the program is optimized by the transformation engine and
+executed by the configured backend only when a value is actually observed
+(``to_numpy()``, ``repr``, ``float(...)``) or :func:`flush` is called.
+"""
+
+from repro.frontend.session import Session, get_session, reset_session, set_session
+from repro.frontend.array import BhArray
+from repro.frontend.creation import (
+    array,
+    arange,
+    empty,
+    empty_like,
+    full,
+    linspace,
+    ones,
+    ones_like,
+    zeros,
+    zeros_like,
+)
+from repro.frontend.ufuncs import (
+    absolute,
+    add,
+    arccos,
+    arcsin,
+    arctan,
+    cos,
+    divide,
+    erf,
+    exp,
+    log,
+    maximum,
+    minimum,
+    multiply,
+    negative,
+    power,
+    sin,
+    sqrt,
+    subtract,
+    tan,
+)
+from repro.frontend.reductions import amax, amin, mean, prod, sum  # noqa: A004
+from repro.frontend.flush import flush, last_report
+from repro.frontend import linalg, random
+
+__all__ = [
+    "Session",
+    "get_session",
+    "set_session",
+    "reset_session",
+    "BhArray",
+    "array",
+    "arange",
+    "empty",
+    "empty_like",
+    "full",
+    "linspace",
+    "ones",
+    "ones_like",
+    "zeros",
+    "zeros_like",
+    "absolute",
+    "add",
+    "arccos",
+    "arcsin",
+    "arctan",
+    "cos",
+    "divide",
+    "erf",
+    "exp",
+    "log",
+    "maximum",
+    "minimum",
+    "multiply",
+    "negative",
+    "power",
+    "sin",
+    "sqrt",
+    "subtract",
+    "tan",
+    "sum",
+    "prod",
+    "amax",
+    "amin",
+    "mean",
+    "flush",
+    "last_report",
+    "linalg",
+    "random",
+]

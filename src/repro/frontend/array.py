@@ -1,0 +1,384 @@
+"""The lazy array type recorded against the byte-code session."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.bytecode import dtypes
+from repro.bytecode.base import BaseArray
+from repro.bytecode.dtypes import DType, float64, promote
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.operand import Constant
+from repro.bytecode.view import View
+from repro.frontend.indexing import IndexKey, slice_view
+from repro.frontend.session import Session, get_session
+from repro.utils.errors import FrontendError
+
+ScalarLike = Union[bool, int, float, np.generic]
+OperandLike = Union["BhArray", ScalarLike]
+
+
+def _result_shape(left_shape: Tuple[int, ...], right_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    try:
+        return tuple(np.broadcast_shapes(left_shape, right_shape))
+    except ValueError:
+        raise FrontendError(
+            f"operands with shapes {left_shape} and {right_shape} cannot be broadcast"
+        ) from None
+
+
+class BhArray:
+    """A lazily evaluated, byte-code-backed array.
+
+    A ``BhArray`` is a view over a base array plus a reference to the
+    session it records into.  Arithmetic produces new arrays and records
+    byte-code; nothing is computed until the value is observed
+    (:meth:`to_numpy`, ``repr``, ``float(...)``) or the session is flushed.
+    """
+
+    __array_priority__ = 100  # make NumPy defer to our reflected operators
+
+    def __init__(self, view: View, session: Optional[Session] = None) -> None:
+        self.view = view
+        self.session = session if session is not None else get_session()
+        self.session.retain_base(view.base)
+
+    def __del__(self) -> None:
+        # Mirror Bohrium: when the last Python handle to a base array is
+        # collected, record a BH_FREE so the optimizer knows the value is
+        # dead and the backend can release the storage.  Guarded broadly
+        # because __del__ may run during interpreter shutdown.
+        try:
+            self.session.release_base(self.view.base)
+        except Exception:  # pragma: no cover - interpreter-shutdown races
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def new(
+        cls,
+        shape: Union[int, Sequence[int]],
+        dtype: DType = float64,
+        session: Optional[Session] = None,
+    ) -> "BhArray":
+        """Allocate a fresh (uninitialised) array of ``shape``."""
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        shape = tuple(int(dim) for dim in shape)
+        nelem = 1
+        for dim in shape:
+            nelem *= dim
+        if nelem <= 0:
+            raise FrontendError(f"cannot allocate an array with shape {shape}")
+        base = BaseArray(nelem, dtype)
+        return cls(View.full(base, shape), session)
+
+    @classmethod
+    def from_numpy(cls, data: np.ndarray, session: Optional[Session] = None) -> "BhArray":
+        """Wrap existing NumPy data (the data is copied into base storage)."""
+        data = np.asarray(data)
+        if data.ndim == 0:
+            data = data.reshape(1)
+        dtype = dtypes.from_numpy(data.dtype)
+        result = cls.new(data.shape, dtype, session)
+        result.session.memory.set_data(result.view.base, data)
+        return result
+
+    def _spawn(self, shape: Tuple[int, ...], dtype: DType) -> "BhArray":
+        """Allocate a new array in the same session."""
+        return BhArray.new(shape, dtype, self.session)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Array shape."""
+        return self.view.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.view.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.view.nelem
+
+    @property
+    def dtype(self) -> DType:
+        """Element type."""
+        return self.view.dtype
+
+    # ------------------------------------------------------------------ #
+    # Recording helpers
+    # ------------------------------------------------------------------ #
+
+    def _record(self, opcode: OpCode, *operands) -> None:
+        self.session.record(Instruction(opcode, operands))
+
+    def _coerce_operand(self, other: OperandLike):
+        """Turn ``other`` into a byte-code operand (view or constant)."""
+        if isinstance(other, BhArray):
+            if other.session is not self.session:
+                raise FrontendError("cannot combine arrays from different sessions")
+            return other.view
+        if isinstance(other, (bool, int, float, np.bool_, np.integer, np.floating)):
+            return Constant(other)
+        if isinstance(other, np.ndarray):
+            return BhArray.from_numpy(other, self.session).view
+        raise FrontendError(f"cannot operate on object of type {type(other).__name__}")
+
+    def _operand_shape(self, operand) -> Tuple[int, ...]:
+        if isinstance(operand, Constant):
+            return ()
+        return operand.shape
+
+    def _operand_dtype(self, operand) -> DType:
+        return operand.dtype
+
+    def _binary(self, opcode: OpCode, other: OperandLike, reflected: bool = False) -> "BhArray":
+        operand = self._coerce_operand(other)
+        shape = _result_shape(self.shape, self._operand_shape(operand))
+        dtype = promote(self.dtype, self._operand_dtype(operand))
+        if opcode in (
+            OpCode.BH_GREATER,
+            OpCode.BH_GREATER_EQUAL,
+            OpCode.BH_LESS,
+            OpCode.BH_LESS_EQUAL,
+            OpCode.BH_EQUAL,
+            OpCode.BH_NOT_EQUAL,
+        ):
+            dtype = dtypes.bool_
+        elif opcode is OpCode.BH_DIVIDE or opcode is OpCode.BH_POWER:
+            dtype = float64 if not dtype.is_float else dtype
+        result = self._spawn(shape, dtype)
+        left, right = (operand, self.view) if reflected else (self.view, operand)
+        result._record(opcode, result.view, left, right)
+        return result
+
+    def _binary_inplace(self, opcode: OpCode, other: OperandLike) -> "BhArray":
+        operand = self._coerce_operand(other)
+        shape = _result_shape(self.shape, self._operand_shape(operand))
+        if shape != self.shape:
+            raise FrontendError(
+                f"in-place result shape {shape} does not match array shape {self.shape}"
+            )
+        self._record(opcode, self.view, self.view, operand)
+        return self
+
+    def _unary(self, opcode: OpCode) -> "BhArray":
+        dtype = float64 if opcode in _FLOAT_RESULT_UNARY and not self.dtype.is_float else self.dtype
+        result = self._spawn(self.shape, dtype)
+        result._record(opcode, result.view, self.view)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic operators
+    # ------------------------------------------------------------------ #
+
+    def __add__(self, other: OperandLike) -> "BhArray":
+        return self._binary(OpCode.BH_ADD, other)
+
+    def __radd__(self, other: OperandLike) -> "BhArray":
+        return self._binary(OpCode.BH_ADD, other, reflected=True)
+
+    def __iadd__(self, other: OperandLike) -> "BhArray":
+        return self._binary_inplace(OpCode.BH_ADD, other)
+
+    def __sub__(self, other: OperandLike) -> "BhArray":
+        return self._binary(OpCode.BH_SUBTRACT, other)
+
+    def __rsub__(self, other: OperandLike) -> "BhArray":
+        return self._binary(OpCode.BH_SUBTRACT, other, reflected=True)
+
+    def __isub__(self, other: OperandLike) -> "BhArray":
+        return self._binary_inplace(OpCode.BH_SUBTRACT, other)
+
+    def __mul__(self, other: OperandLike) -> "BhArray":
+        return self._binary(OpCode.BH_MULTIPLY, other)
+
+    def __rmul__(self, other: OperandLike) -> "BhArray":
+        return self._binary(OpCode.BH_MULTIPLY, other, reflected=True)
+
+    def __imul__(self, other: OperandLike) -> "BhArray":
+        return self._binary_inplace(OpCode.BH_MULTIPLY, other)
+
+    def __truediv__(self, other: OperandLike) -> "BhArray":
+        return self._binary(OpCode.BH_DIVIDE, other)
+
+    def __rtruediv__(self, other: OperandLike) -> "BhArray":
+        return self._binary(OpCode.BH_DIVIDE, other, reflected=True)
+
+    def __itruediv__(self, other: OperandLike) -> "BhArray":
+        return self._binary_inplace(OpCode.BH_DIVIDE, other)
+
+    def __mod__(self, other: OperandLike) -> "BhArray":
+        return self._binary(OpCode.BH_MOD, other)
+
+    def __pow__(self, other: OperandLike) -> "BhArray":
+        return self._binary(OpCode.BH_POWER, other)
+
+    def __ipow__(self, other: OperandLike) -> "BhArray":
+        return self._binary_inplace(OpCode.BH_POWER, other)
+
+    def __neg__(self) -> "BhArray":
+        return self._unary(OpCode.BH_NEGATIVE)
+
+    def __abs__(self) -> "BhArray":
+        return self._unary(OpCode.BH_ABSOLUTE)
+
+    def __matmul__(self, other: "BhArray") -> "BhArray":
+        from repro.frontend import linalg
+
+        return linalg.matmul(self, other)
+
+    # ------------------------------------------------------------------ #
+    # Comparisons (return boolean arrays)
+    # ------------------------------------------------------------------ #
+
+    def __gt__(self, other: OperandLike) -> "BhArray":
+        return self._binary(OpCode.BH_GREATER, other)
+
+    def __ge__(self, other: OperandLike) -> "BhArray":
+        return self._binary(OpCode.BH_GREATER_EQUAL, other)
+
+    def __lt__(self, other: OperandLike) -> "BhArray":
+        return self._binary(OpCode.BH_LESS, other)
+
+    def __le__(self, other: OperandLike) -> "BhArray":
+        return self._binary(OpCode.BH_LESS_EQUAL, other)
+
+    def equals(self, other: OperandLike) -> "BhArray":
+        """Element-wise equality (named method; ``==`` keeps identity semantics)."""
+        return self._binary(OpCode.BH_EQUAL, other)
+
+    def not_equals(self, other: OperandLike) -> "BhArray":
+        """Element-wise inequality."""
+        return self._binary(OpCode.BH_NOT_EQUAL, other)
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation and indexing
+    # ------------------------------------------------------------------ #
+
+    def __getitem__(self, key: IndexKey) -> "BhArray":
+        return BhArray(slice_view(self.view, key), self.session)
+
+    def __setitem__(self, key: IndexKey, value: OperandLike) -> None:
+        target = slice_view(self.view, key)
+        operand = self._coerce_operand(value)
+        self.session.record(Instruction(OpCode.BH_IDENTITY, (target, operand)))
+
+    def reshape(self, *shape) -> "BhArray":
+        """Reshape (contiguous views only, no data movement)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return BhArray(self.view.reshape(shape), self.session)
+
+    def flatten(self) -> "BhArray":
+        """Flatten to 1-D (contiguous views only)."""
+        return self.reshape((self.size,))
+
+    @property
+    def T(self) -> "BhArray":
+        """Matrix transpose (records a ``BH_TRANSPOSE`` into a new array)."""
+        if self.ndim != 2:
+            raise FrontendError("T is only defined for two-dimensional arrays")
+        rows, cols = self.shape
+        result = self._spawn((cols, rows), self.dtype)
+        result._record(OpCode.BH_TRANSPOSE, result.view, self.view)
+        return result
+
+    def copy(self) -> "BhArray":
+        """An independent copy (records a ``BH_IDENTITY``)."""
+        result = self._spawn(self.shape, self.dtype)
+        result._record(OpCode.BH_IDENTITY, result.view, self.view)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Reductions (delegating to the reductions module)
+    # ------------------------------------------------------------------ #
+
+    def sum(self, axis: Optional[int] = None) -> "BhArray":
+        from repro.frontend import reductions
+
+        return reductions.sum(self, axis=axis)
+
+    def prod(self, axis: Optional[int] = None) -> "BhArray":
+        from repro.frontend import reductions
+
+        return reductions.prod(self, axis=axis)
+
+    def max(self, axis: Optional[int] = None) -> "BhArray":
+        from repro.frontend import reductions
+
+        return reductions.amax(self, axis=axis)
+
+    def min(self, axis: Optional[int] = None) -> "BhArray":
+        from repro.frontend import reductions
+
+        return reductions.amin(self, axis=axis)
+
+    def mean(self, axis: Optional[int] = None) -> "BhArray":
+        from repro.frontend import reductions
+
+        return reductions.mean(self, axis=axis)
+
+    # ------------------------------------------------------------------ #
+    # Materialisation
+    # ------------------------------------------------------------------ #
+
+    def to_numpy(self) -> np.ndarray:
+        """Flush the session and return this array's value as NumPy data."""
+        self.session.flush(sync_views=(self.view,))
+        return self.session.memory.read_view(self.view)
+
+    def item(self) -> float:
+        """Return the value of a single-element array as a Python scalar."""
+        data = self.to_numpy().reshape(-1)
+        if data.size != 1:
+            raise FrontendError(f"item() requires a single-element array, got {data.size}")
+        return data[0].item()
+
+    def __float__(self) -> float:
+        return float(self.item())
+
+    def __int__(self) -> int:
+        return int(self.item())
+
+    def __len__(self) -> int:
+        if self.ndim == 0:
+            raise TypeError("len() of unsized array")
+        return self.shape[0]
+
+    def __repr__(self) -> str:
+        return f"BhArray(shape={self.shape}, dtype={self.dtype.name})\n{self.to_numpy()!r}"
+
+    def __str__(self) -> str:
+        return str(self.to_numpy())
+
+
+#: Unary op-codes whose results are floating point even for integer inputs.
+_FLOAT_RESULT_UNARY = frozenset(
+    {
+        OpCode.BH_SQRT,
+        OpCode.BH_EXP,
+        OpCode.BH_LOG,
+        OpCode.BH_SIN,
+        OpCode.BH_COS,
+        OpCode.BH_TAN,
+        OpCode.BH_ARCSIN,
+        OpCode.BH_ARCCOS,
+        OpCode.BH_ARCTAN,
+        OpCode.BH_ERF,
+        OpCode.BH_RECIPROCAL,
+    }
+)

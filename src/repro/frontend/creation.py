@@ -1,0 +1,122 @@
+"""Array creation functions for the lazy front-end."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.bytecode.dtypes import DType, float64, int64
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.operand import Constant
+from repro.frontend.array import BhArray
+from repro.frontend.session import Session
+from repro.utils.errors import FrontendError
+
+ShapeLike = Union[int, Sequence[int]]
+
+
+def empty(shape: ShapeLike, dtype: DType = float64, session: Optional[Session] = None) -> BhArray:
+    """Allocate an array without initialising it (storage is zero-filled lazily)."""
+    return BhArray.new(shape, dtype, session)
+
+
+def full(
+    shape: ShapeLike,
+    value: Union[int, float, bool],
+    dtype: Optional[DType] = None,
+    session: Optional[Session] = None,
+) -> BhArray:
+    """An array filled with ``value`` (records one ``BH_IDENTITY``)."""
+    if dtype is None:
+        dtype = float64 if isinstance(value, float) else int64 if isinstance(value, int) and not isinstance(value, bool) else float64
+    result = BhArray.new(shape, dtype, session)
+    result.session.record(
+        Instruction(OpCode.BH_IDENTITY, (result.view, Constant(value, dtype)))
+    )
+    return result
+
+
+def zeros(shape: ShapeLike, dtype: DType = float64, session: Optional[Session] = None) -> BhArray:
+    """An array of zeros — the paper's ``np.zeros(10)`` from Listing 1."""
+    result = BhArray.new(shape, dtype, session)
+    result.session.record(Instruction(OpCode.BH_IDENTITY, (result.view, Constant(0, dtype))))
+    return result
+
+
+def ones(shape: ShapeLike, dtype: DType = float64, session: Optional[Session] = None) -> BhArray:
+    """An array of ones."""
+    result = BhArray.new(shape, dtype, session)
+    result.session.record(Instruction(OpCode.BH_IDENTITY, (result.view, Constant(1, dtype))))
+    return result
+
+
+def zeros_like(template: BhArray) -> BhArray:
+    """An array of zeros with the shape and dtype of ``template``."""
+    return zeros(template.shape, template.dtype, template.session)
+
+
+def ones_like(template: BhArray) -> BhArray:
+    """An array of ones with the shape and dtype of ``template``."""
+    return ones(template.shape, template.dtype, template.session)
+
+
+def empty_like(template: BhArray) -> BhArray:
+    """An uninitialised array with the shape and dtype of ``template``."""
+    return empty(template.shape, template.dtype, template.session)
+
+
+def arange(
+    start: Union[int, float],
+    stop: Optional[Union[int, float]] = None,
+    step: Union[int, float] = 1,
+    dtype: DType = float64,
+    session: Optional[Session] = None,
+) -> BhArray:
+    """Evenly spaced values, recorded as ``BH_RANGE`` plus scale/offset byte-codes."""
+    if stop is None:
+        start, stop = 0, start
+    if step == 0:
+        raise FrontendError("arange step must not be zero")
+    length = int(np.ceil((stop - start) / step))
+    if length <= 0:
+        raise FrontendError(f"arange({start}, {stop}, {step}) would be empty")
+    result = BhArray.new(length, dtype, session)
+    session = result.session
+    session.record(Instruction(OpCode.BH_RANGE, (result.view,)))
+    if step != 1:
+        session.record(
+            Instruction(OpCode.BH_MULTIPLY, (result.view, result.view, Constant(step)))
+        )
+    if start != 0:
+        session.record(Instruction(OpCode.BH_ADD, (result.view, result.view, Constant(start))))
+    return result
+
+
+def linspace(
+    start: float,
+    stop: float,
+    num: int = 50,
+    dtype: DType = float64,
+    session: Optional[Session] = None,
+) -> BhArray:
+    """``num`` evenly spaced samples over ``[start, stop]`` (endpoint included)."""
+    if num < 2:
+        raise FrontendError("linspace requires num >= 2")
+    step = (stop - start) / (num - 1)
+    result = BhArray.new(num, dtype, session)
+    session = result.session
+    session.record(Instruction(OpCode.BH_RANGE, (result.view,)))
+    session.record(Instruction(OpCode.BH_MULTIPLY, (result.view, result.view, Constant(step))))
+    if start != 0:
+        session.record(Instruction(OpCode.BH_ADD, (result.view, result.view, Constant(start))))
+    return result
+
+
+def array(data, dtype: Optional[DType] = None, session: Optional[Session] = None) -> BhArray:
+    """Wrap a Python sequence or NumPy array as a lazy array (data is copied)."""
+    np_data = np.asarray(data)
+    if dtype is not None:
+        np_data = np_data.astype(dtype.np_dtype)
+    return BhArray.from_numpy(np_data, session)

@@ -1,0 +1,24 @@
+"""Explicit flush control for the lazy front-end."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.pipeline import OptimizationReport
+from repro.frontend.session import get_session
+from repro.runtime.instrumentation import ExecutionResult
+
+
+def flush() -> Optional[ExecutionResult]:
+    """Execute everything recorded so far in the default session.
+
+    Equivalent to Bohrium's implicit flush at interpreter sync points, but
+    callable explicitly — benchmarks use it to control exactly what one
+    measured execution contains.
+    """
+    return get_session().flush()
+
+
+def last_report() -> Optional[OptimizationReport]:
+    """The optimization report of the most recent flush (``None`` if nothing ran)."""
+    return get_session().last_report

@@ -1,0 +1,76 @@
+"""Basic (NumPy-style) slicing of views for the lazy front-end.
+
+Only *basic indexing* is supported — integers and slices with positive
+steps — because that is what maps directly onto the byte-code's
+offset/shape/stride views without copying.  Fancy indexing would require a
+gather byte-code and is out of scope for the paper's examples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from repro.bytecode.view import View
+from repro.utils.errors import FrontendError
+
+IndexItem = Union[int, slice]
+IndexKey = Union[IndexItem, Tuple[IndexItem, ...]]
+
+
+def _normalise_index(index: int, length: int, axis: int) -> int:
+    if index < 0:
+        index += length
+    if index < 0 or index >= length:
+        raise FrontendError(f"index {index} out of bounds for axis {axis} with size {length}")
+    return index
+
+
+def slice_view(view: View, key: IndexKey) -> View:
+    """Return the sub-view of ``view`` selected by ``key``.
+
+    Integer indices drop their axis; slices keep the axis with an adjusted
+    offset, extent and stride.  The result shares the base array — no data
+    is copied, matching the byte-code's "views are windows" semantics.
+    """
+    if not isinstance(key, tuple):
+        key = (key,)
+    if len(key) > view.ndim:
+        raise FrontendError(
+            f"too many indices: array has {view.ndim} dimension(s), got {len(key)}"
+        )
+
+    offset = view.offset
+    new_shape = []
+    new_strides = []
+    for axis in range(view.ndim):
+        length = view.shape[axis]
+        stride = view.strides[axis]
+        if axis >= len(key):
+            new_shape.append(length)
+            new_strides.append(stride)
+            continue
+        item = key[axis]
+        if isinstance(item, int):
+            index = _normalise_index(int(item), length, axis)
+            offset += index * stride
+            continue
+        if isinstance(item, slice):
+            start, stop, step = item.indices(length)
+            if step <= 0:
+                raise FrontendError("only positive slice steps are supported")
+            extent = max(0, (stop - start + step - 1) // step)
+            offset += start * stride
+            new_shape.append(extent)
+            new_strides.append(stride * step)
+            continue
+        raise FrontendError(
+            f"unsupported index of type {type(item).__name__}; "
+            f"only integers and slices are supported"
+        )
+
+    if not new_shape:
+        # Fully indexed: a zero-dimensional result is represented as a
+        # single-element view, which keeps every byte-code operand shaped.
+        new_shape = [1]
+        new_strides = [1]
+    return View(view.base, offset, tuple(new_shape), tuple(new_strides))

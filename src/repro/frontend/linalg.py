@@ -1,0 +1,99 @@
+"""Linear-algebra operations for the lazy front-end.
+
+These record the extension byte-codes (``BH_MATMUL``, ``BH_MATRIX_INVERSE``,
+``BH_LU_SOLVE``, ``BH_TRANSPOSE``).  Writing the paper's Equation 2 idiom
+naturally —
+
+>>> x = linalg.inv(A) @ b
+
+— records an inversion followed by a matrix product, which the optimizer's
+:class:`~repro.core.linear_solve.LinearSolveRewritePass` turns into a single
+``BH_LU_SOLVE`` when the inverse is not used for anything else.  Calling
+:func:`solve` records the ``BH_LU_SOLVE`` directly.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.frontend.array import BhArray
+from repro.utils.errors import FrontendError
+
+
+def _require_matrix(value: BhArray, name: str) -> BhArray:
+    if not isinstance(value, BhArray):
+        raise FrontendError(f"{name} expects a BhArray, got {type(value).__name__}")
+    if value.ndim != 2:
+        raise FrontendError(f"{name} expects a 2-D array, got shape {value.shape}")
+    return value
+
+
+def _require_square(value: BhArray, name: str) -> BhArray:
+    _require_matrix(value, name)
+    if value.shape[0] != value.shape[1]:
+        raise FrontendError(f"{name} expects a square matrix, got shape {value.shape}")
+    return value
+
+
+def matmul(left: BhArray, right: BhArray) -> BhArray:
+    """Matrix-matrix or matrix-vector product (``BH_MATMUL``)."""
+    _require_matrix(left, "matmul")
+    if not isinstance(right, BhArray):
+        raise FrontendError(f"matmul expects a BhArray, got {type(right).__name__}")
+    if right.ndim not in (1, 2):
+        raise FrontendError(f"matmul right operand must be 1-D or 2-D, got {right.shape}")
+    if left.shape[1] != right.shape[0]:
+        raise FrontendError(f"matmul inner dimensions disagree: {left.shape} @ {right.shape}")
+    if right.ndim == 1:
+        out_shape = (left.shape[0],)
+    else:
+        out_shape = (left.shape[0], right.shape[1])
+    result = BhArray.new(out_shape, left.dtype, left.session)
+    result.session.record(
+        Instruction(OpCode.BH_MATMUL, (result.view, left.view, right.view))
+    )
+    return result
+
+
+def dot(left: BhArray, right: BhArray) -> BhArray:
+    """Alias of :func:`matmul` for the common NumPy spelling."""
+    return matmul(left, right)
+
+
+def inv(matrix: BhArray) -> BhArray:
+    """Explicit matrix inverse (``BH_MATRIX_INVERSE``) — the slow idiom of Eq. 2."""
+    _require_square(matrix, "inv")
+    result = BhArray.new(matrix.shape, matrix.dtype, matrix.session)
+    result.session.record(
+        Instruction(OpCode.BH_MATRIX_INVERSE, (result.view, matrix.view))
+    )
+    return result
+
+
+def solve(matrix: BhArray, rhs: BhArray) -> BhArray:
+    """Solve ``A x = b`` directly via ``BH_LU_SOLVE`` — the fast idiom of Eq. 2."""
+    _require_square(matrix, "solve")
+    if not isinstance(rhs, BhArray):
+        raise FrontendError(f"solve expects a BhArray right-hand side, got {type(rhs).__name__}")
+    if rhs.shape[0] != matrix.shape[0]:
+        raise FrontendError(
+            f"solve right-hand side has {rhs.shape[0]} rows, matrix has {matrix.shape[0]}"
+        )
+    result = BhArray.new(rhs.shape, matrix.dtype, matrix.session)
+    result.session.record(
+        Instruction(OpCode.BH_LU_SOLVE, (result.view, matrix.view, rhs.view))
+    )
+    return result
+
+
+def transpose(matrix: BhArray) -> BhArray:
+    """Matrix transpose (``BH_TRANSPOSE``)."""
+    return _require_matrix(matrix, "transpose").T
+
+
+def lu(matrix: BhArray) -> BhArray:
+    """Packed LU factorisation (``BH_LU``); mainly useful for inspection."""
+    _require_square(matrix, "lu")
+    result = BhArray.new(matrix.shape, matrix.dtype, matrix.session)
+    result.session.record(Instruction(OpCode.BH_LU, (result.view, matrix.view)))
+    return result

@@ -1,0 +1,64 @@
+"""Random number generation for the lazy front-end (``BH_RANDOM``)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.bytecode.dtypes import float64
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.operand import Constant
+from repro.frontend.array import BhArray
+from repro.frontend.session import Session, get_session
+
+ShapeLike = Union[int, Sequence[int]]
+
+_EXPLICIT_SEED: Optional[int] = None
+
+
+def seed(value: int) -> None:
+    """Fix the seed used by subsequent :func:`random` / :func:`rand` calls."""
+    global _EXPLICIT_SEED
+    _EXPLICIT_SEED = int(value)
+
+
+def _next_seed(session: Session) -> int:
+    global _EXPLICIT_SEED
+    if _EXPLICIT_SEED is not None:
+        value = _EXPLICIT_SEED
+        _EXPLICIT_SEED += 1
+        return value
+    return session.next_seed()
+
+
+def random(shape: ShapeLike, session: Optional[Session] = None) -> BhArray:
+    """Uniform values in ``[0, 1)`` with the given shape."""
+    result = BhArray.new(shape, float64, session)
+    session = result.session
+    result.session.record(
+        Instruction(OpCode.BH_RANDOM, (result.view, Constant(_next_seed(session))))
+    )
+    return result
+
+
+def rand(*shape: int, session: Optional[Session] = None) -> BhArray:
+    """NumPy-style ``rand(n, m, ...)`` spelling of :func:`random`."""
+    if not shape:
+        shape = (1,)
+    return random(shape, session=session)
+
+
+def uniform(
+    low: float,
+    high: float,
+    shape: ShapeLike,
+    session: Optional[Session] = None,
+) -> BhArray:
+    """Uniform values in ``[low, high)``."""
+    result = random(shape, session=session)
+    span = high - low
+    if span != 1.0:
+        result *= span
+    if low != 0.0:
+        result += low
+    return result

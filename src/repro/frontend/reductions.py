@@ -1,0 +1,72 @@
+"""Reductions for the lazy front-end (sum, prod, max, min, mean)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bytecode.dtypes import float64
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.operand import Constant
+from repro.frontend.array import BhArray
+from repro.utils.errors import FrontendError
+
+
+def _reduce(opcode: OpCode, value: BhArray, axis: Optional[int]) -> BhArray:
+    if not isinstance(value, BhArray):
+        raise FrontendError(f"reduction expects a BhArray, got {type(value).__name__}")
+    if axis is None:
+        # Full reduction: fold axes one at a time until a single element is left.
+        result = value
+        while result.size > 1:
+            result = _reduce_axis(opcode, result, 0)
+        return result
+    return _reduce_axis(opcode, value, axis)
+
+
+def _reduce_axis(opcode: OpCode, value: BhArray, axis: int) -> BhArray:
+    if axis < 0:
+        axis += value.ndim
+    if axis < 0 or axis >= value.ndim:
+        raise FrontendError(f"axis {axis} out of range for array of rank {value.ndim}")
+    out_shape = tuple(dim for index, dim in enumerate(value.shape) if index != axis)
+    if out_shape == ():
+        out_shape = (1,)
+    result = BhArray.new(out_shape, value.dtype, value.session)
+    result.session.record(
+        Instruction(opcode, (result.view, value.view, Constant(int(axis))))
+    )
+    return result
+
+
+def sum(value: BhArray, axis: Optional[int] = None) -> BhArray:  # noqa: A001 - numpy-style name
+    """Sum over ``axis`` (or over everything when ``axis`` is ``None``)."""
+    return _reduce(OpCode.BH_ADD_REDUCE, value, axis)
+
+
+def prod(value: BhArray, axis: Optional[int] = None) -> BhArray:
+    """Product over ``axis`` (or over everything)."""
+    return _reduce(OpCode.BH_MULTIPLY_REDUCE, value, axis)
+
+
+def amax(value: BhArray, axis: Optional[int] = None) -> BhArray:
+    """Maximum over ``axis`` (or over everything)."""
+    return _reduce(OpCode.BH_MAXIMUM_REDUCE, value, axis)
+
+
+def amin(value: BhArray, axis: Optional[int] = None) -> BhArray:
+    """Minimum over ``axis`` (or over everything)."""
+    return _reduce(OpCode.BH_MINIMUM_REDUCE, value, axis)
+
+
+def mean(value: BhArray, axis: Optional[int] = None) -> BhArray:
+    """Arithmetic mean over ``axis`` (or over everything)."""
+    if axis is None:
+        count = value.size
+    else:
+        normalised = axis + value.ndim if axis < 0 else axis
+        if normalised < 0 or normalised >= value.ndim:
+            raise FrontendError(f"axis {axis} out of range for array of rank {value.ndim}")
+        count = value.shape[normalised]
+    total = sum(value, axis=axis)
+    return total / float(count)

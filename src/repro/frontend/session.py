@@ -1,0 +1,196 @@
+"""The recording session behind the lazy front-end.
+
+A :class:`Session` owns:
+
+* the byte-code recorded since the last flush (the *pending program*),
+* the memory manager holding materialized base arrays across flushes,
+* the optimization pipeline and the execution backend,
+* statistics of every flush (useful for the end-to-end benchmarks).
+
+A module-level default session exists so the front-end can be used like
+NumPy without explicitly threading a session object around; tests create
+private sessions to stay isolated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.program import Program
+from repro.bytecode.view import View
+from repro.core.pipeline import OptimizationReport, default_pipeline
+from repro.runtime.backend import Backend, get_backend
+from repro.runtime.instrumentation import ExecutionResult, ExecutionStats
+from repro.runtime.memory import MemoryManager
+from repro.utils.config import get_config
+
+
+class Session:
+    """Records byte-code lazily and executes it at flush points."""
+
+    def __init__(
+        self,
+        backend: Optional[object] = None,
+        optimize: Optional[bool] = None,
+        pipeline=None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        backend:
+            Backend instance or registered backend name; defaults to the
+            configuration's ``default_backend``.
+        optimize:
+            Whether flushes run the transformation pipeline first; defaults
+            to the configuration's ``optimize`` flag.
+        pipeline:
+            Custom :class:`~repro.core.pipeline.Pipeline`; defaults to the
+            canonical pipeline.
+        """
+        config = get_config()
+        self._backend_spec = backend if backend is not None else config.default_backend
+        self.optimize_enabled = optimize if optimize is not None else config.optimize
+        self._pipeline = pipeline
+        self.memory = MemoryManager()
+        self.pending = Program()
+        self.flush_count = 0
+        self.last_report: Optional[OptimizationReport] = None
+        self.stats_history: List[ExecutionStats] = []
+        self._seed_counter = config.random_seed
+        self._base_refcounts: dict = {}
+        self._bases_by_id: dict = {}
+        self._deferred_frees: list = []
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    @property
+    def backend(self) -> Backend:
+        """The resolved backend instance."""
+        return get_backend(self._backend_spec)
+
+    def record(self, instruction: Instruction) -> None:
+        """Append one byte-code to the pending program."""
+        self.pending.append(instruction)
+
+    def next_seed(self) -> int:
+        """Deterministic per-call seed for ``BH_RANDOM`` byte-codes."""
+        self._seed_counter += 1
+        return self._seed_counter
+
+    def pending_size(self) -> int:
+        """Number of byte-codes recorded since the last flush."""
+        return len(self.pending)
+
+    # ------------------------------------------------------------------ #
+    # Base-array lifetime tracking (mirrors Bohrium's BH_FREE-on-GC)
+    # ------------------------------------------------------------------ #
+
+    def retain_base(self, base) -> None:
+        """Note that one more front-end array refers to ``base``."""
+        key = id(base)
+        self._base_refcounts[key] = self._base_refcounts.get(key, 0) + 1
+        self._bases_by_id[key] = base
+
+    def release_base(self, base) -> None:
+        """Note that one front-end array referring to ``base`` was collected.
+
+        When the last reference disappears a ``BH_FREE`` byte-code is
+        scheduled — exactly what Bohrium does when the owning Python object
+        is garbage collected.  The free is *deferred to the end of the next
+        flush* rather than recorded immediately: garbage collection can run
+        between two recorded byte-codes of one expression, and an eager free
+        would then precede (and invalidate) uses recorded a moment later.
+        Deferring keeps every free after every recorded use of the base,
+        which is what lets the optimizer's liveness analysis prove such
+        temporaries dead (and makes the Equation 2 rewrite legal for the
+        ``inv(A) @ b`` idiom, where the inverse is an unnamed temporary).
+        """
+        key = id(base)
+        count = self._base_refcounts.get(key)
+        if count is None:
+            return
+        if count > 1:
+            self._base_refcounts[key] = count - 1
+            return
+        del self._base_refcounts[key]
+        self._bases_by_id.pop(key, None)
+        self._deferred_frees.append(base)
+
+    # ------------------------------------------------------------------ #
+    # Flushing
+    # ------------------------------------------------------------------ #
+
+    def flush(self, sync_views: Sequence[View] = ()) -> Optional[ExecutionResult]:
+        """Optimize and execute the pending byte-code.
+
+        Parameters
+        ----------
+        sync_views:
+            Views whose values the caller is about to observe; a ``BH_SYNC``
+            is appended for each so the optimizer knows they are outputs.
+
+        Returns the backend's :class:`ExecutionResult`, or ``None`` when
+        there was nothing to execute.
+        """
+        if len(self.pending) == 0 and not sync_views and not self._deferred_frees:
+            return None
+        program = self.pending.copy()
+        for view in sync_views:
+            program.append(Instruction(OpCode.BH_SYNC, (view,)))
+        # Garbage-collected temporaries are freed at the end of the batch so
+        # the free always follows every recorded use of the base.
+        for base in self._deferred_frees:
+            program.append(Instruction(OpCode.BH_FREE, (View.full(base),)))
+        self._deferred_frees = []
+        if len(program) == 0:
+            return None
+        if self.optimize_enabled:
+            pipeline = self._pipeline if self._pipeline is not None else default_pipeline()
+            report = pipeline.run(program)
+            self.last_report = report
+            program = report.optimized
+        result = self.backend.execute(program, self.memory)
+        self.memory = result.memory
+        self.stats_history.append(result.stats)
+        self.flush_count += 1
+        self.pending = Program()
+        return result
+
+    def total_stats(self) -> ExecutionStats:
+        """Aggregate statistics across every flush so far."""
+        total = ExecutionStats(backend_name=str(self._backend_spec))
+        for stats in self.stats_history:
+            total.merge(stats)
+        return total
+
+
+_SESSION: Optional[Session] = None
+
+
+def get_session() -> Session:
+    """Return the active default session, creating it on first use."""
+    global _SESSION
+    if _SESSION is None:
+        _SESSION = Session()
+    return _SESSION
+
+
+def set_session(session: Session) -> Session:
+    """Install ``session`` as the default session and return it."""
+    global _SESSION
+    _SESSION = session
+    return session
+
+
+def reset_session(
+    backend: Optional[object] = None,
+    optimize: Optional[bool] = None,
+    pipeline=None,
+) -> Session:
+    """Discard any recorded state and start a fresh default session."""
+    return set_session(Session(backend=backend, optimize=optimize, pipeline=pipeline))

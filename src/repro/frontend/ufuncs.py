@@ -1,0 +1,128 @@
+"""Element-wise functions (NumPy ufunc equivalents) for the lazy front-end."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.bytecode.opcodes import OpCode
+from repro.frontend.array import BhArray, OperandLike
+from repro.utils.errors import FrontendError
+
+
+def _require_array(value, name: str) -> BhArray:
+    if not isinstance(value, BhArray):
+        raise FrontendError(f"{name} expects a BhArray, got {type(value).__name__}")
+    return value
+
+
+def _unary(opcode: OpCode, value: BhArray) -> BhArray:
+    return _require_array(value, opcode.value.lower())._unary(opcode)
+
+
+def _binary(opcode: OpCode, left: OperandLike, right: OperandLike) -> BhArray:
+    if isinstance(left, BhArray):
+        return left._binary(opcode, right)
+    if isinstance(right, BhArray):
+        return right._binary(opcode, left, reflected=True)
+    raise FrontendError("at least one operand must be a BhArray")
+
+
+# Unary element-wise functions ------------------------------------------- #
+
+
+def sqrt(value: BhArray) -> BhArray:
+    """Element-wise square root (``BH_SQRT``)."""
+    return _unary(OpCode.BH_SQRT, value)
+
+
+def exp(value: BhArray) -> BhArray:
+    """Element-wise exponential (``BH_EXP``)."""
+    return _unary(OpCode.BH_EXP, value)
+
+
+def log(value: BhArray) -> BhArray:
+    """Element-wise natural logarithm (``BH_LOG``)."""
+    return _unary(OpCode.BH_LOG, value)
+
+
+def sin(value: BhArray) -> BhArray:
+    """Element-wise sine (``BH_SIN``)."""
+    return _unary(OpCode.BH_SIN, value)
+
+
+def cos(value: BhArray) -> BhArray:
+    """Element-wise cosine (``BH_COS``)."""
+    return _unary(OpCode.BH_COS, value)
+
+
+def tan(value: BhArray) -> BhArray:
+    """Element-wise tangent (``BH_TAN``)."""
+    return _unary(OpCode.BH_TAN, value)
+
+
+def arcsin(value: BhArray) -> BhArray:
+    """Element-wise inverse sine (``BH_ARCSIN``)."""
+    return _unary(OpCode.BH_ARCSIN, value)
+
+
+def arccos(value: BhArray) -> BhArray:
+    """Element-wise inverse cosine (``BH_ARCCOS``)."""
+    return _unary(OpCode.BH_ARCCOS, value)
+
+
+def arctan(value: BhArray) -> BhArray:
+    """Element-wise inverse tangent (``BH_ARCTAN``)."""
+    return _unary(OpCode.BH_ARCTAN, value)
+
+
+def erf(value: BhArray) -> BhArray:
+    """Element-wise error function (``BH_ERF``), used by Black-Scholes."""
+    return _unary(OpCode.BH_ERF, value)
+
+
+def absolute(value: BhArray) -> BhArray:
+    """Element-wise absolute value (``BH_ABSOLUTE``)."""
+    return _unary(OpCode.BH_ABSOLUTE, value)
+
+
+def negative(value: BhArray) -> BhArray:
+    """Element-wise negation (``BH_NEGATIVE``)."""
+    return _unary(OpCode.BH_NEGATIVE, value)
+
+
+# Binary element-wise functions ------------------------------------------ #
+
+
+def add(left: OperandLike, right: OperandLike) -> BhArray:
+    """Element-wise addition (``BH_ADD``)."""
+    return _binary(OpCode.BH_ADD, left, right)
+
+
+def subtract(left: OperandLike, right: OperandLike) -> BhArray:
+    """Element-wise subtraction (``BH_SUBTRACT``)."""
+    return _binary(OpCode.BH_SUBTRACT, left, right)
+
+
+def multiply(left: OperandLike, right: OperandLike) -> BhArray:
+    """Element-wise multiplication (``BH_MULTIPLY``)."""
+    return _binary(OpCode.BH_MULTIPLY, left, right)
+
+
+def divide(left: OperandLike, right: OperandLike) -> BhArray:
+    """Element-wise division (``BH_DIVIDE``)."""
+    return _binary(OpCode.BH_DIVIDE, left, right)
+
+
+def power(left: OperandLike, right: OperandLike) -> BhArray:
+    """Element-wise power (``BH_POWER``) — the target of Equation 1's rewrite."""
+    return _binary(OpCode.BH_POWER, left, right)
+
+
+def maximum(left: OperandLike, right: OperandLike) -> BhArray:
+    """Element-wise maximum (``BH_MAXIMUM``)."""
+    return _binary(OpCode.BH_MAXIMUM, left, right)
+
+
+def minimum(left: OperandLike, right: OperandLike) -> BhArray:
+    """Element-wise minimum (``BH_MINIMUM``)."""
+    return _binary(OpCode.BH_MINIMUM, left, right)

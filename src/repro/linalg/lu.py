@@ -1,0 +1,99 @@
+"""LU factorisation with partial pivoting (Doolittle, packed storage)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.errors import ExecutionError
+
+
+def lu_factor(matrix: np.ndarray, pivot_threshold: float = 1e-12) -> Tuple[np.ndarray, np.ndarray]:
+    """Factor ``matrix`` as ``P A = L U`` using partial pivoting.
+
+    Parameters
+    ----------
+    matrix:
+        A square 2-D array.  The input is copied, not modified.
+    pivot_threshold:
+        Absolute pivot magnitude below which the matrix is declared singular.
+
+    Returns
+    -------
+    (packed, pivots):
+        ``packed`` stores ``U`` on and above the diagonal and the strictly
+        lower part of ``L`` below it (``L`` has an implicit unit diagonal).
+        ``pivots`` is an integer array where ``pivots[k]`` is the row swapped
+        with row ``k`` at step ``k`` (LAPACK ``getrf`` convention).
+
+    Notes
+    -----
+    The elimination update for each column is expressed as a rank-1 update
+    on the trailing sub-matrix, so the inner loops are NumPy vector
+    operations — the same granularity at which the byte-code backend would
+    execute them.
+    """
+    a = np.array(matrix, dtype=np.float64, copy=True)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ExecutionError(f"lu_factor expects a square matrix, got shape {a.shape}")
+    n = a.shape[0]
+    pivots = np.arange(n, dtype=np.int64)
+    for k in range(n):
+        # Partial pivoting: bring the largest remaining entry of column k up.
+        pivot_row = k + int(np.argmax(np.abs(a[k:, k])))
+        if abs(a[pivot_row, k]) < pivot_threshold:
+            raise ExecutionError(f"matrix is singular at elimination step {k}")
+        pivots[k] = pivot_row
+        if pivot_row != k:
+            a[[k, pivot_row], :] = a[[pivot_row, k], :]
+        # Multipliers for column k.
+        a[k + 1:, k] /= a[k, k]
+        # Rank-1 update of the trailing sub-matrix.
+        if k + 1 < n:
+            a[k + 1:, k + 1:] -= np.outer(a[k + 1:, k], a[k, k + 1:])
+    return a, pivots
+
+
+def lu_unpack(packed: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Split packed LU storage into explicit ``L`` (unit diagonal) and ``U``."""
+    n = packed.shape[0]
+    lower = np.tril(packed, k=-1) + np.eye(n)
+    upper = np.triu(packed)
+    return lower, upper
+
+
+def permutation_from_pivots(pivots: np.ndarray) -> np.ndarray:
+    """Build the explicit permutation matrix ``P`` such that ``P A = L U``."""
+    n = pivots.shape[0]
+    perm = np.eye(n)
+    for k, pivot_row in enumerate(pivots):
+        if pivot_row != k:
+            perm[[k, pivot_row], :] = perm[[pivot_row, k], :]
+    return perm
+
+
+def apply_pivots(vector_or_matrix: np.ndarray, pivots: np.ndarray) -> np.ndarray:
+    """Apply the row swaps recorded in ``pivots`` to a right-hand side."""
+    result = np.array(vector_or_matrix, dtype=np.float64, copy=True)
+    for k, pivot_row in enumerate(pivots):
+        if pivot_row != k:
+            result[[k, pivot_row]] = result[[pivot_row, k]]
+    return result
+
+
+def lu_reconstruct(packed: np.ndarray, pivots: np.ndarray) -> np.ndarray:
+    """Rebuild the original matrix ``A`` from its packed factorisation.
+
+    Mainly used by tests: ``lu_reconstruct(*lu_factor(A))`` should equal
+    ``A`` up to round-off.
+    """
+    lower, upper = lu_unpack(packed)
+    permuted = lower @ upper
+    # P A = L U  =>  A = P^T (L U); undo the row swaps in reverse order.
+    result = permuted
+    for k in range(len(pivots) - 1, -1, -1):
+        pivot_row = pivots[k]
+        if pivot_row != k:
+            result[[k, pivot_row], :] = result[[pivot_row, k], :]
+    return result

@@ -1,0 +1,51 @@
+"""Linear solves via LU factorisation — the fast path of Equation 2."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.linalg.lu import apply_pivots, lu_factor, lu_unpack
+
+
+def lu_solve(factorisation: Tuple[np.ndarray, np.ndarray], rhs: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` given the packed factorisation of ``A``.
+
+    Parameters
+    ----------
+    factorisation:
+        The ``(packed, pivots)`` pair returned by
+        :func:`repro.linalg.lu.lu_factor`.
+    rhs:
+        Right-hand side vector ``(n,)`` or matrix ``(n, k)``.
+    """
+    packed, pivots = factorisation
+    lower, upper = lu_unpack(packed)
+    permuted = apply_pivots(rhs, pivots)
+    intermediate = _forward(lower, permuted)
+    return _backward(upper, intermediate)
+
+
+def _forward(lower: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    from repro.linalg.triangular import forward_substitution
+
+    return forward_substitution(lower, rhs, unit_diagonal=False)
+
+
+def _backward(upper: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    from repro.linalg.triangular import back_substitution
+
+    return back_substitution(upper, rhs)
+
+
+def solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` by LU factorisation with partial pivoting.
+
+    This is the target of the paper's context-aware rewrite: about
+    ``2/3 n^3`` flops for the factorisation plus two ``n^2`` triangular
+    solves, versus ``~2 n^3`` for explicit inversion followed by a
+    matrix-vector product.
+    """
+    factorisation = lu_factor(np.asarray(matrix, dtype=np.float64))
+    return lu_solve(factorisation, np.asarray(rhs, dtype=np.float64))

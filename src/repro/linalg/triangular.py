@@ -1,0 +1,57 @@
+"""Triangular solves used by the LU-based linear solver."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ExecutionError
+
+
+def forward_substitution(
+    lower: np.ndarray, rhs: np.ndarray, unit_diagonal: bool = False
+) -> np.ndarray:
+    """Solve ``L y = b`` for lower-triangular ``L``.
+
+    Parameters
+    ----------
+    lower:
+        Lower-triangular square matrix.
+    rhs:
+        Right-hand side vector (n,) or matrix (n, k).
+    unit_diagonal:
+        When true the diagonal of ``L`` is taken to be all ones and is not
+        read (packed-LU convention).
+    """
+    n = lower.shape[0]
+    if lower.shape != (n, n):
+        raise ExecutionError(f"expected a square matrix, got shape {lower.shape}")
+    b = np.array(rhs, dtype=np.float64, copy=True)
+    if b.shape[0] != n:
+        raise ExecutionError(f"rhs has {b.shape[0]} rows, matrix has {n}")
+    for i in range(n):
+        if i > 0:
+            b[i] -= lower[i, :i] @ b[:i]
+        if not unit_diagonal:
+            diag = lower[i, i]
+            if diag == 0.0:
+                raise ExecutionError(f"zero diagonal at row {i} in forward substitution")
+            b[i] /= diag
+    return b
+
+
+def back_substitution(upper: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``U x = y`` for upper-triangular ``U``."""
+    n = upper.shape[0]
+    if upper.shape != (n, n):
+        raise ExecutionError(f"expected a square matrix, got shape {upper.shape}")
+    b = np.array(rhs, dtype=np.float64, copy=True)
+    if b.shape[0] != n:
+        raise ExecutionError(f"rhs has {b.shape[0]} rows, matrix has {n}")
+    for i in range(n - 1, -1, -1):
+        if i + 1 < n:
+            b[i] -= upper[i, i + 1:] @ b[i + 1:]
+        diag = upper[i, i]
+        if diag == 0.0:
+            raise ExecutionError(f"zero diagonal at row {i} in back substitution")
+        b[i] /= diag
+    return b

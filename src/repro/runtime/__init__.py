@@ -1,0 +1,47 @@
+"""Execution backends for byte-code programs.
+
+Bohrium dispatches its byte-code to *vector engines* (OpenMP, OpenCL, CUDA).
+We provide three Python equivalents:
+
+* :class:`NumPyInterpreter` — the reference backend: executes one byte-code
+  at a time on NumPy storage.  Used for correctness and for wall-clock
+  benchmarks where "one byte-code = one full-array traversal" holds, exactly
+  the cost structure the paper's transformations attack.
+* :class:`FusingJIT` — clusters consecutive element-wise byte-codes into
+  kernels before executing them, mimicking Bohrium's JIT fuser.
+* :class:`SimulatedAccelerator` — executes via the interpreter for
+  correctness but additionally *prices* the program with an explicit device
+  cost model (kernel-launch latency, per-element cost, memory bandwidth),
+  standing in for the GPU the paper targets.
+
+All backends return an :class:`ExecutionResult` carrying the output arrays
+and an :class:`ExecutionStats` record (kernel launches, elements traversed,
+bytes moved, wall-clock and simulated time).
+"""
+
+from repro.runtime.memory import MemoryManager
+from repro.runtime.instrumentation import ExecutionStats, ExecutionResult
+from repro.runtime.backend import Backend, get_backend, register_backend, available_backends
+from repro.runtime.interpreter import NumPyInterpreter
+from repro.runtime.kernel import Kernel, partition_into_kernels
+from repro.runtime.jit import FusingJIT
+from repro.runtime.simulator import SimulatedAccelerator, DeviceProfile, DEVICE_PROFILES
+from repro.runtime.scheduler import split_into_batches
+
+__all__ = [
+    "MemoryManager",
+    "ExecutionStats",
+    "ExecutionResult",
+    "Backend",
+    "get_backend",
+    "register_backend",
+    "available_backends",
+    "NumPyInterpreter",
+    "Kernel",
+    "partition_into_kernels",
+    "FusingJIT",
+    "SimulatedAccelerator",
+    "DeviceProfile",
+    "DEVICE_PROFILES",
+    "split_into_batches",
+]

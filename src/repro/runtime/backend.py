@@ -1,0 +1,86 @@
+"""Backend interface and registry.
+
+A backend turns a byte-code :class:`~repro.bytecode.program.Program` into
+results.  Backends are registered by name so configuration and the lazy
+front-end can select them with a string (``"interpreter"``, ``"jit"``,
+``"simulator"``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Optional
+
+from repro.bytecode.program import Program
+from repro.runtime.instrumentation import ExecutionResult
+from repro.runtime.memory import MemoryManager
+from repro.utils.errors import ExecutionError
+
+
+class Backend(abc.ABC):
+    """Abstract execution backend."""
+
+    #: Human-readable backend name, set by subclasses.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def execute(
+        self, program: Program, memory: Optional[MemoryManager] = None
+    ) -> ExecutionResult:
+        """Execute ``program`` and return the resulting memory and statistics.
+
+        Parameters
+        ----------
+        program:
+            The byte-code program to run.
+        memory:
+            Optional pre-populated memory manager (input data).  When
+            omitted a fresh, zero-initialised manager is created.
+        """
+
+    def run(self, program: Program, memory: Optional[MemoryManager] = None) -> ExecutionResult:
+        """Alias of :meth:`execute` kept for readability at call sites."""
+        return self.execute(program, memory)
+
+
+_BACKEND_FACTORIES: Dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register a backend factory under ``name`` (overwrites silently)."""
+    _BACKEND_FACTORIES[name] = factory
+
+
+def available_backends() -> tuple:
+    """Names of every registered backend."""
+    _ensure_default_backends()
+    return tuple(sorted(_BACKEND_FACTORIES))
+
+
+def get_backend(name_or_backend) -> Backend:
+    """Resolve a backend instance from a name or pass an instance through."""
+    if isinstance(name_or_backend, Backend):
+        return name_or_backend
+    if isinstance(name_or_backend, str):
+        _ensure_default_backends()
+        try:
+            factory = _BACKEND_FACTORIES[name_or_backend]
+        except KeyError:
+            raise ExecutionError(
+                f"unknown backend {name_or_backend!r}; available: {available_backends()}"
+            ) from None
+        return factory()
+    raise TypeError(f"expected backend name or Backend, got {type(name_or_backend)!r}")
+
+
+def _ensure_default_backends() -> None:
+    """Lazily register the built-in backends (avoids import cycles)."""
+    if _BACKEND_FACTORIES:
+        return
+    from repro.runtime.interpreter import NumPyInterpreter
+    from repro.runtime.jit import FusingJIT
+    from repro.runtime.simulator import SimulatedAccelerator
+
+    register_backend("interpreter", NumPyInterpreter)
+    register_backend("jit", FusingJIT)
+    register_backend("simulator", SimulatedAccelerator)

@@ -1,0 +1,102 @@
+"""Execution statistics and results returned by every backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.view import View
+from repro.runtime.memory import MemoryManager
+
+
+@dataclass
+class ExecutionStats:
+    """Counters describing one program execution.
+
+    Attributes
+    ----------
+    instructions_executed:
+        Number of byte-codes executed, counting fused payload instructions.
+    kernel_launches:
+        Number of kernel launches — every top-level non-system instruction
+        is one launch; a fused instruction is a single launch.
+    elements_processed:
+        Total output elements produced across all launches.
+    bytes_read / bytes_written:
+        Memory traffic estimate derived from operand view sizes.
+    opcode_counts:
+        Histogram of executed op-codes.
+    wall_time_seconds:
+        Measured wall-clock execution time.
+    simulated_time_seconds:
+        Device-model time (only filled in by the simulated backend).
+    backend_name:
+        Which backend produced these statistics.
+    """
+
+    instructions_executed: int = 0
+    kernel_launches: int = 0
+    elements_processed: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    opcode_counts: Dict[OpCode, int] = field(default_factory=dict)
+    wall_time_seconds: float = 0.0
+    simulated_time_seconds: float = 0.0
+    backend_name: str = ""
+
+    def record_instruction(self, opcode: OpCode) -> None:
+        """Count one executed instruction of ``opcode``."""
+        self.instructions_executed += 1
+        self.opcode_counts[opcode] = self.opcode_counts.get(opcode, 0) + 1
+
+    def merge(self, other: "ExecutionStats") -> "ExecutionStats":
+        """Fold another stats record into this one (in place) and return self."""
+        self.instructions_executed += other.instructions_executed
+        self.kernel_launches += other.kernel_launches
+        self.elements_processed += other.elements_processed
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.wall_time_seconds += other.wall_time_seconds
+        self.simulated_time_seconds += other.simulated_time_seconds
+        for opcode, count in other.opcode_counts.items():
+            self.opcode_counts[opcode] = self.opcode_counts.get(opcode, 0) + count
+        return self
+
+    @property
+    def total_bytes(self) -> int:
+        """Total estimated memory traffic in bytes."""
+        return self.bytes_read + self.bytes_written
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict summary used by benchmark reporting."""
+        return {
+            "instructions": self.instructions_executed,
+            "kernels": self.kernel_launches,
+            "elements": self.elements_processed,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "wall_time_s": self.wall_time_seconds,
+            "simulated_time_s": self.simulated_time_seconds,
+        }
+
+
+@dataclass
+class ExecutionResult:
+    """What a backend returns: the memory state plus execution statistics."""
+
+    memory: MemoryManager
+    stats: ExecutionStats
+
+    def value(self, view: View) -> np.ndarray:
+        """Read the final contents of ``view`` as a NumPy array (copy)."""
+        return self.memory.read_view(view)
+
+    def scalar(self, view: View) -> float:
+        """Read a single-element view as a Python float."""
+        array = self.value(view)
+        if array.size != 1:
+            raise ValueError(f"view has {array.size} elements, expected 1")
+        return float(array.reshape(-1)[0])

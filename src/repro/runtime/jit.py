@@ -1,0 +1,76 @@
+"""The fusing JIT backend.
+
+Clusters consecutive element-wise byte-codes into kernels (one launch per
+cluster) before executing.  Non-element-wise byte-codes — reductions,
+extension methods, system directives — are executed individually through
+the reference interpreter.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.program import Program
+from repro.runtime.backend import Backend
+from repro.runtime.instrumentation import ExecutionResult, ExecutionStats
+from repro.runtime.interpreter import NumPyInterpreter
+from repro.runtime.kernel import Kernel, partition_into_kernels
+from repro.runtime.memory import MemoryManager
+from repro.utils.config import get_config
+
+
+class FusingJIT(Backend):
+    """Kernel-fusing backend with a per-kernel compilation cache."""
+
+    name = "jit"
+
+    def __init__(self, max_kernel_size: Optional[int] = None) -> None:
+        self.max_kernel_size = (
+            max_kernel_size
+            if max_kernel_size is not None
+            else get_config().fusion_max_kernel_size
+        )
+        self._interpreter = NumPyInterpreter()
+        self._kernel_cache: Dict[Tuple[Instruction, ...], object] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _compiled(self, kernel: Kernel):
+        key = tuple(kernel.instructions)
+        cached = self._kernel_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        compiled = kernel.compile()
+        self._kernel_cache[key] = compiled
+        return compiled
+
+    def execute(
+        self, program: Program, memory: Optional[MemoryManager] = None
+    ) -> ExecutionResult:
+        memory = memory if memory is not None else MemoryManager()
+        stats = ExecutionStats(backend_name=self.name)
+        start = time.perf_counter()
+        for item in partition_into_kernels(program, self.max_kernel_size):
+            if isinstance(item, Kernel):
+                self._execute_kernel(item, memory, stats)
+            else:
+                self._interpreter._execute_instruction(item, memory, stats, top_level=True)
+        stats.wall_time_seconds = time.perf_counter() - start
+        return ExecutionResult(memory=memory, stats=stats)
+
+    def _execute_kernel(self, kernel: Kernel, memory: MemoryManager, stats: ExecutionStats) -> None:
+        stats.kernel_launches += 1
+        for instruction in kernel.instructions:
+            stats.record_instruction(instruction.opcode)
+            out = instruction.out
+            if out is not None:
+                stats.elements_processed += out.nelem
+                stats.bytes_written += out.nbytes
+            for view in instruction.reads():
+                stats.bytes_read += view.nbytes
+        compiled = self._compiled(kernel)
+        compiled(memory)

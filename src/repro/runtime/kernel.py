@@ -1,0 +1,182 @@
+"""Kernels: groups of element-wise byte-codes executed as one launch.
+
+Bohrium's JIT fuses consecutive element-wise byte-codes that iterate over
+the same index space into a single generated OpenCL/OpenMP kernel, so the
+data is traversed once instead of once per byte-code.  We reproduce the
+clustering logic and provide a "compiled" Python closure per kernel so the
+:class:`~repro.runtime.jit.FusingJIT` backend can launch each cluster as a
+unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode, opcode_info
+from repro.bytecode.operand import is_constant, is_view
+from repro.bytecode.program import Program
+from repro.bytecode.view import View
+from repro.runtime.memory import MemoryManager
+from repro.utils.errors import ExecutionError
+
+
+@dataclass
+class Kernel:
+    """A fusable cluster of element-wise instructions.
+
+    Attributes
+    ----------
+    instructions:
+        The element-wise byte-codes in execution order.
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of fused byte-codes."""
+        return len(self.instructions)
+
+    @property
+    def shape(self) -> Optional[Tuple[int, ...]]:
+        """The common output shape of the fused byte-codes."""
+        for instruction in self.instructions:
+            out = instruction.out
+            if out is not None:
+                return out.shape
+        return None
+
+    def output_views(self) -> Tuple[View, ...]:
+        """Views written by the kernel."""
+        return tuple(v for instr in self.instructions for v in instr.writes())
+
+    def input_views(self) -> Tuple[View, ...]:
+        """Views read by the kernel."""
+        return tuple(v for instr in self.instructions for v in instr.reads())
+
+    def can_accept(self, instruction: Instruction, max_size: int) -> bool:
+        """Whether ``instruction`` may be appended to this kernel.
+
+        Fusion requires the candidate to be element-wise, the kernel to have
+        room, and the candidate's output shape to match the kernel's shape
+        (all fused byte-codes share one iteration space).
+        """
+        if not instruction.is_elementwise():
+            return False
+        if self.size >= max_size:
+            return False
+        if not self.instructions:
+            return True
+        out = instruction.out
+        return out is not None and self.shape == out.shape
+
+    def append(self, instruction: Instruction) -> None:
+        """Add one instruction to the cluster."""
+        self.instructions.append(instruction)
+
+    def as_instruction(self, tag: Optional[str] = None) -> Instruction:
+        """Wrap the cluster into a single ``BH_FUSED`` byte-code."""
+        return Instruction(OpCode.BH_FUSED, (), kernel=self.instructions, tag=tag)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def compile(self) -> Callable[[MemoryManager], None]:
+        """Return a closure that executes the whole kernel on a memory manager.
+
+        The closure evaluates each fused byte-code with NumPy but is built
+        once per kernel, mirroring how Bohrium compiles a fused kernel once
+        and launches it many times.
+        """
+        steps = []
+        for instruction in self.instructions:
+            steps.append(_compile_elementwise(instruction))
+
+        def run(memory: MemoryManager) -> None:
+            for step in steps:
+                step(memory)
+
+        return run
+
+
+def _compile_elementwise(instruction: Instruction) -> Callable[[MemoryManager], None]:
+    """Compile one element-wise byte-code into a memory -> None closure."""
+    info = opcode_info(instruction.opcode)
+    if not info.elementwise:
+        raise ExecutionError(f"cannot compile non-element-wise {instruction.opcode} into a kernel")
+    out_view = instruction.out
+    inputs = instruction.inputs
+
+    if instruction.opcode is OpCode.BH_IDENTITY:
+
+        def run_identity(memory: MemoryManager) -> None:
+            out = memory.view_array(out_view)
+            source = inputs[0]
+            value = source.as_numpy() if is_constant(source) else memory.view_array(source)
+            np.copyto(out, value, casting="unsafe")
+
+        return run_identity
+
+    numpy_name = info.numpy_name
+    if numpy_name is None:
+        # Fall back to the interpreter's special cases (e.g. BH_ERF).
+        from repro.runtime.interpreter import NumPyInterpreter
+
+        interpreter = NumPyInterpreter()
+
+        def run_fallback(memory: MemoryManager) -> None:
+            interpreter._dispatch(instruction, memory)
+
+        return run_fallback
+
+    func = getattr(np, numpy_name)
+
+    def run(memory: MemoryManager) -> None:
+        out = memory.view_array(out_view)
+        values = [
+            operand.as_numpy() if is_constant(operand) else memory.view_array(operand)
+            for operand in inputs
+        ]
+        np.copyto(out, func(*values), casting="unsafe")
+
+    return run
+
+
+def partition_into_kernels(
+    program: Program, max_kernel_size: int = 32
+) -> List[object]:
+    """Greedy fusion clustering of a program.
+
+    Returns a list whose items are either :class:`Kernel` objects (clusters
+    of consecutive fusable element-wise byte-codes) or bare
+    :class:`Instruction` objects (reductions, extension methods, system
+    byte-codes and anything else that cannot be fused).
+
+    The clustering is the same "consecutive, same shape" policy Bohrium's
+    simple fuser applies; a kernel is cut whenever the next instruction is
+    not element-wise, has a different iteration space, or the kernel reached
+    ``max_kernel_size``.
+    """
+    partition: List[object] = []
+    current: Optional[Kernel] = None
+    for instruction in program:
+        if instruction.is_elementwise():
+            if current is None:
+                current = Kernel()
+            if not current.can_accept(instruction, max_kernel_size):
+                partition.append(current)
+                current = Kernel()
+            current.append(instruction)
+            continue
+        if current is not None and current.size > 0:
+            partition.append(current)
+            current = None
+        partition.append(instruction)
+    if current is not None and current.size > 0:
+        partition.append(current)
+    return partition

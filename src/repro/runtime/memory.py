@@ -1,0 +1,135 @@
+"""Memory management for byte-code execution.
+
+Base arrays are materialized lazily as flat NumPy allocations; views are
+realized as strided windows over those allocations, so an instruction that
+writes a view writes straight into its base storage — the semantics the
+paper relies on when it reuses the result tensor as scratch space in the
+power-expansion example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.bytecode.base import BaseArray
+from repro.bytecode.view import View
+from repro.utils.errors import AllocationError
+
+
+class MemoryManager:
+    """Allocates, tracks and frees the NumPy storage behind base arrays."""
+
+    def __init__(self) -> None:
+        self._storage: Dict[int, np.ndarray] = {}
+        self._bases: Dict[int, BaseArray] = {}
+        self.bytes_allocated = 0
+        self.peak_bytes = 0
+        self.allocation_count = 0
+        self.free_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Base-level operations
+    # ------------------------------------------------------------------ #
+
+    def is_allocated(self, base: BaseArray) -> bool:
+        """True when storage for ``base`` currently exists."""
+        return id(base) in self._storage
+
+    def allocate(self, base: BaseArray) -> np.ndarray:
+        """Return the flat storage for ``base``, allocating it if needed.
+
+        Fresh allocations are zero-initialised, matching Bohrium's behaviour
+        for uninitialised operands.
+        """
+        key = id(base)
+        if key not in self._storage:
+            try:
+                buffer = np.zeros(base.nelem, dtype=base.dtype.np_dtype)
+            except MemoryError as exc:  # pragma: no cover - depends on host
+                raise AllocationError(f"cannot allocate {base.nbytes} bytes for {base}") from exc
+            self._storage[key] = buffer
+            self._bases[key] = base
+            self.bytes_allocated += base.nbytes
+            self.peak_bytes = max(self.peak_bytes, self.bytes_allocated)
+            self.allocation_count += 1
+        return self._storage[key]
+
+    def set_data(self, base: BaseArray, data: np.ndarray) -> None:
+        """Initialise ``base`` storage from an existing NumPy array.
+
+        The data is copied (flattened) into the base's flat buffer so later
+        byte-codes may mutate it freely without aliasing the caller's array.
+        """
+        flat = np.asarray(data, dtype=base.dtype.np_dtype).reshape(-1)
+        if flat.size != base.nelem:
+            raise AllocationError(
+                f"data with {flat.size} elements does not fit base of {base.nelem} elements"
+            )
+        buffer = self.allocate(base)
+        np.copyto(buffer, flat)
+
+    def free(self, base: BaseArray) -> None:
+        """Release the storage behind ``base`` (no-op when not allocated)."""
+        key = id(base)
+        if key in self._storage:
+            del self._storage[key]
+            del self._bases[key]
+            self.bytes_allocated -= base.nbytes
+            self.free_count += 1
+
+    def free_all(self) -> None:
+        """Release every allocation."""
+        for key in list(self._storage):
+            base = self._bases[key]
+            self.free(base)
+
+    def live_bases(self) -> Iterable[BaseArray]:
+        """The base arrays that currently have storage."""
+        return tuple(self._bases.values())
+
+    # ------------------------------------------------------------------ #
+    # View-level operations
+    # ------------------------------------------------------------------ #
+
+    def view_array(self, view: View) -> np.ndarray:
+        """Return a writable NumPy window realizing ``view``.
+
+        The window shares memory with the base storage, so writes through it
+        are visible to later instructions.
+        """
+        buffer = self.allocate(view.base)
+        itemsize = view.base.dtype.itemsize
+        strides_bytes = tuple(stride * itemsize for stride in view.strides)
+        window = np.lib.stride_tricks.as_strided(
+            buffer[view.offset:],
+            shape=view.shape,
+            strides=strides_bytes,
+            writeable=True,
+        )
+        return window
+
+    def read_view(self, view: View) -> np.ndarray:
+        """Return a *copy* of the data behind ``view`` (safe to hold)."""
+        return np.array(self.view_array(view), copy=True)
+
+    def write_view(self, view: View, data) -> None:
+        """Copy ``data`` (broadcastable) into the elements addressed by ``view``."""
+        window = self.view_array(view)
+        np.copyto(window, data)
+
+    def clone(self) -> "MemoryManager":
+        """Deep-copy the manager: same bases, copied buffers.
+
+        Used by the semantic verifier, which executes the original and the
+        optimized program from identical initial states.
+        """
+        other = MemoryManager()
+        for key, buffer in self._storage.items():
+            base = self._bases[key]
+            other._storage[key] = buffer.copy()
+            other._bases[key] = base
+            other.bytes_allocated += base.nbytes
+        other.peak_bytes = other.bytes_allocated
+        return other

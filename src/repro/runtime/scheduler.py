@@ -1,0 +1,44 @@
+"""Batch scheduling of byte-code programs.
+
+Bohrium buffers byte-codes until a *flush point* — a ``BH_SYNC`` (the Python
+program observes a value) or the end of the program — and hands each batch
+to the vector engine.  The optimizer operates on exactly these batches, so
+the scheduler is where "how much program does a transformation get to see"
+is decided.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.program import Program
+
+
+def split_into_batches(program: Program, split_on_sync: bool = True) -> List[Program]:
+    """Split ``program`` into flush batches.
+
+    Each batch ends right after a ``BH_SYNC`` instruction (inclusive) when
+    ``split_on_sync`` is true; otherwise the whole program is one batch.
+    Empty batches are never produced.
+    """
+    if not split_on_sync:
+        return [program.copy()] if len(program) else []
+    batches: List[Program] = []
+    current = Program()
+    for instruction in program:
+        current.append(instruction)
+        if instruction.opcode is OpCode.BH_SYNC:
+            batches.append(current)
+            current = Program()
+    if len(current):
+        batches.append(current)
+    return batches
+
+
+def merge_batches(batches: List[Program]) -> Program:
+    """Concatenate batches back into a single program."""
+    merged = Program()
+    for batch in batches:
+        merged.extend(batch)
+    return merged

@@ -1,0 +1,10 @@
+"""Command-line tools.
+
+* :mod:`repro.tools.cli` — the ``repro-opt`` byte-code optimizer CLI: parse a
+  textual byte-code listing, run the transformation pipeline, and print the
+  optimized listing together with a report and cost-model comparison.
+"""
+
+from repro.tools.cli import main
+
+__all__ = ["main"]

@@ -1,0 +1,188 @@
+"""``repro-opt`` — optimize textual byte-code listings from the command line.
+
+Example
+-------
+Given ``listing2.bh`` containing the paper's Listing 2::
+
+    BH_IDENTITY a0[0:10:1] 0
+    BH_ADD a0[0:10:1] a0[0:10:1] 1
+    BH_ADD a0[0:10:1] a0[0:10:1] 1
+    BH_ADD a0[0:10:1] a0[0:10:1] 1
+    BH_SYNC a0[0:10:1]
+
+running ``repro-opt listing2.bh`` prints the optimized listing (the paper's
+Listing 3 plus fusion), the per-pass report and the cost-model comparison.
+The tool reads stdin when no file is given, so it composes with pipes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bytecode.parser import parse_program
+from repro.bytecode.printer import format_program
+from repro.core.cost import CostModel
+from repro.core.pipeline import default_pipeline
+from repro.core.rules import DEFAULT_PASS_ORDER, EXTENDED_PASS_ORDER, available_passes
+from repro.core.verifier import SemanticVerifier
+from repro.runtime.simulator import DEVICE_PROFILES
+from repro.utils.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-opt",
+        description="Optimize a Bohrium-style byte-code listing with the "
+        "algebraic transformation engine.",
+    )
+    parser.add_argument(
+        "input",
+        nargs="?",
+        default="-",
+        help="path to the byte-code listing (default: '-' reads stdin)",
+    )
+    parser.add_argument(
+        "--passes",
+        default=None,
+        help="comma-separated subset of passes to run "
+        f"(available: {', '.join(sorted(set(EXTENDED_PASS_ORDER)))})",
+    )
+    parser.add_argument(
+        "--extended",
+        action="store_true",
+        help="include the extension passes (constant folding, strength reduction, CSE)",
+    )
+    parser.add_argument(
+        "--power-strategy",
+        default="power_of_two",
+        choices=("naive", "power_of_two", "binary", "optimal"),
+        help="addition-chain strategy used by power expansion (default: the paper's)",
+    )
+    parser.add_argument(
+        "--no-fixed-point",
+        action="store_true",
+        help="run the pass list once instead of iterating to a fixed point",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="execute original and optimized programs on random inputs and compare",
+    )
+    parser.add_argument(
+        "--profile",
+        default="gpu",
+        choices=tuple(DEVICE_PROFILES),
+        help="device profile used for the cost comparison (default: gpu)",
+    )
+    parser.add_argument(
+        "--default-length",
+        type=int,
+        default=1024,
+        help="vector length assumed for registers that appear without an explicit view",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the optimized listing (no report, no cost table)",
+    )
+    parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="list the registered passes and exit",
+    )
+    return parser
+
+
+def _read_input(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _selected_passes(args) -> Optional[List[str]]:
+    if args.passes is None:
+        return None
+    requested = [name.strip() for name in args.passes.split(",") if name.strip()]
+    known = set(available_passes())
+    unknown = [name for name in requested if name not in known]
+    if unknown:
+        raise ReproError(f"unknown pass(es): {', '.join(unknown)}")
+    return requested
+
+
+def run(args, out=None) -> int:
+    """Run the tool with parsed arguments; returns the process exit code."""
+    if out is None:
+        out = sys.stdout
+    if args.list_passes:
+        order = EXTENDED_PASS_ORDER if args.extended else DEFAULT_PASS_ORDER
+        print("pipeline order:", ", ".join(order), file=out)
+        print("registered passes:", ", ".join(available_passes()), file=out)
+        return 0
+
+    text = _read_input(args.input)
+    program = parse_program(text, default_nelem=args.default_length)
+    pipeline = default_pipeline(
+        enabled_passes=_selected_passes(args),
+        fixed_point=not args.no_fixed_point,
+        verify=False,
+        extended=args.extended,
+        power_expansion={"strategy": args.power_strategy},
+    )
+    report = pipeline.run(program)
+
+    print(format_program(report.optimized), file=out)
+    if args.quiet:
+        return 0
+
+    print(file=out)
+    print(report.summary(), file=out)
+
+    model = CostModel(args.profile)
+    before = model.breakdown(program)
+    after = model.breakdown(report.optimized)
+    print(file=out)
+    print(f"cost model ({args.profile} profile):", file=out)
+    print(
+        f"  kernels {before.kernel_launches} -> {after.kernel_launches}, "
+        f"flops {before.flops:.3g} -> {after.flops:.3g}, "
+        f"bytes {before.bytes_moved:.3g} -> {after.bytes_moved:.3g}",
+        file=out,
+    )
+    if after.seconds > 0:
+        print(
+            f"  predicted time {before.seconds * 1e6:.2f} us -> {after.seconds * 1e6:.2f} us "
+            f"({before.seconds / after.seconds:.2f}x)",
+            file=out,
+        )
+
+    if args.verify:
+        verifier = SemanticVerifier()
+        equivalent = verifier.equivalent(program, report.optimized)
+        print(file=out)
+        print(f"semantic verification: {'passed' if equivalent else 'FAILED'}", file=out)
+        if not equivalent:
+            return 2
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return run(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Shared utilities: configuration, errors, logging and timing helpers."""
+
+from repro.utils.errors import (
+    ReproError,
+    ValidationError,
+    ExecutionError,
+    RewriteError,
+    FrontendError,
+    AllocationError,
+)
+from repro.utils.config import Config, get_config, set_config, config_override
+from repro.utils.timing import Timer, StopWatch
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ExecutionError",
+    "RewriteError",
+    "FrontendError",
+    "AllocationError",
+    "Config",
+    "get_config",
+    "set_config",
+    "config_override",
+    "Timer",
+    "StopWatch",
+]

@@ -1,0 +1,107 @@
+"""Global library configuration.
+
+The configuration object controls cross-cutting behaviour such as which
+optimization passes are enabled by default, whether rewrites are verified
+semantically after they are applied, and the default execution backend used
+by the lazy front-end.
+
+The configuration is intentionally a plain dataclass with module-level
+accessors (:func:`get_config`, :func:`set_config`, :func:`config_override`)
+rather than environment-variable magic, following the "explicit is better
+than implicit" rule.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import copy
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+@dataclass
+class Config:
+    """Library-wide configuration knobs.
+
+    Attributes
+    ----------
+    default_backend:
+        Name of the backend the front-end uses when none is given.  One of
+        ``"interpreter"``, ``"jit"`` or ``"simulator"``.
+    optimize:
+        Whether the front-end runs the optimization pipeline before
+        executing a flushed program.
+    verify_rewrites:
+        When true, every pipeline run re-executes the original and the
+        optimized program on the same inputs and compares the results.
+        Expensive; meant for tests and debugging.
+    max_constant_merge_window:
+        Upper bound on how many consecutive constant operations the
+        constant-merge pass will contract at once.
+    power_expansion_limit:
+        Largest integer exponent that the power-expansion pass will rewrite
+        into multiplications.  Above this the ``BH_POWER`` op-code is kept.
+    fusion_max_kernel_size:
+        Maximum number of element-wise byte-codes fused into one kernel.
+    fixed_point_max_iterations:
+        Safety bound on the pipeline's iterate-to-fixed-point loop.
+    enabled_passes:
+        Names of passes that the default pipeline should include.  ``None``
+        means "all registered default passes".
+    random_seed:
+        Seed used by verification and workload generators for
+        reproducibility.
+    """
+
+    default_backend: str = "interpreter"
+    optimize: bool = True
+    verify_rewrites: bool = False
+    max_constant_merge_window: int = 1024
+    power_expansion_limit: int = 64
+    fusion_max_kernel_size: int = 32
+    fixed_point_max_iterations: int = 16
+    enabled_passes: Optional[List[str]] = None
+    random_seed: int = 0x5EED
+
+    def copy(self) -> "Config":
+        """Return a deep copy of this configuration."""
+        return copy.deepcopy(self)
+
+    def replace(self, **changes) -> "Config":
+        """Return a new configuration with ``changes`` applied."""
+        return dataclasses.replace(self.copy(), **changes)
+
+
+_CONFIG = Config()
+
+
+def get_config() -> Config:
+    """Return the currently active global configuration object."""
+    return _CONFIG
+
+
+def set_config(config: Config) -> None:
+    """Replace the global configuration with ``config``."""
+    global _CONFIG
+    if not isinstance(config, Config):
+        raise TypeError(f"expected Config, got {type(config)!r}")
+    _CONFIG = config
+
+
+@contextlib.contextmanager
+def config_override(**changes) -> Iterator[Config]:
+    """Temporarily override configuration fields within a ``with`` block.
+
+    Example
+    -------
+    >>> with config_override(optimize=False):
+    ...     ...  # front-end flushes run unoptimized here
+    """
+    global _CONFIG
+    previous = _CONFIG
+    _CONFIG = previous.replace(**changes)
+    try:
+        yield _CONFIG
+    finally:
+        _CONFIG = previous

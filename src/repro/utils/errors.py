@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish validation problems from execution problems.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError):
+    """A byte-code program or instruction failed static validation.
+
+    Raised by :mod:`repro.bytecode.validate` when an instruction has the
+    wrong arity, incompatible operand shapes, a constant in an output
+    position, or similar structural problems.
+    """
+
+
+class ExecutionError(ReproError):
+    """A backend failed while executing a byte-code program."""
+
+
+class RewriteError(ReproError):
+    """A transformation pass produced an invalid or non-equivalent program.
+
+    Raised either directly by a pass that detects it cannot apply safely, or
+    by the semantic verifier when the optimized program disagrees with the
+    original program on a test input.
+    """
+
+
+class FrontendError(ReproError):
+    """Misuse of the lazy array front-end (e.g. shape mismatch)."""
+
+
+class AllocationError(ReproError):
+    """The memory manager could not satisfy an allocation request."""
+
+
+class ParseError(ReproError):
+    """The textual byte-code parser encountered malformed input."""
+
+
+class CostModelError(ReproError):
+    """The cost model was asked to price an unknown operation."""
+
+
+class ClusterError(ReproError):
+    """The simulated cluster executor hit an invalid configuration."""

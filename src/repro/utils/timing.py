@@ -1,0 +1,84 @@
+"""Small timing helpers used by benchmarks and instrumentation."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Timer:
+    """Context-manager wall-clock timer.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     do_work()
+    >>> t.elapsed  # seconds
+    """
+
+    def __init__(self) -> None:
+        self.start: Optional[float] = None
+        self.end: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.end = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed wall-clock seconds (0.0 if the timer never ran)."""
+        if self.start is None:
+            return 0.0
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+
+@dataclass
+class StopWatch:
+    """Accumulates named timing segments.
+
+    Used by the instrumented backends to attribute time to phases
+    (scheduling, kernel execution, memory management).
+    """
+
+    segments: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+    _open: Dict[str, float] = field(default_factory=dict)
+
+    def start(self, name: str) -> None:
+        """Begin timing the segment ``name``."""
+        self._open[name] = time.perf_counter()
+
+    def stop(self, name: str) -> float:
+        """Stop timing ``name`` and return the duration of this interval."""
+        begin = self._open.pop(name, None)
+        if begin is None:
+            return 0.0
+        duration = time.perf_counter() - begin
+        self.segments[name] = self.segments.get(name, 0.0) + duration
+        self.counts[name] = self.counts.get(name, 0) + 1
+        return duration
+
+    def add(self, name: str, seconds: float) -> None:
+        """Directly add ``seconds`` to the segment ``name``."""
+        self.segments[name] = self.segments.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self) -> float:
+        """Total seconds across all segments."""
+        return sum(self.segments.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a copy of the per-segment totals."""
+        return dict(self.segments)
+
+    def merge(self, other: "StopWatch") -> None:
+        """Fold another stop-watch's segments into this one."""
+        for name, seconds in other.segments.items():
+            self.segments[name] = self.segments.get(name, 0.0) + seconds
+        for name, count in other.counts.items():
+            self.counts[name] = self.counts.get(name, 0) + count

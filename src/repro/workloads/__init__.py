@@ -1,0 +1,44 @@
+"""Workload generators used by the examples, tests and benchmark harness.
+
+Two granularities:
+
+* :mod:`repro.workloads.microbench` — byte-code-level programs matching the
+  paper's listings and claims one-to-one (repeated constant adds, powers,
+  element-wise chains, the inverse-then-multiply linear-solve idiom).
+* :mod:`repro.workloads.applications` — front-end-level scientific kernels
+  of the kind the paper's introduction motivates (heat-equation stencil,
+  Black-Scholes pricing, Monte-Carlo pi, Gaussian blur) used by the
+  end-to-end benchmark (E7) and the examples.
+* :mod:`repro.workloads.generators` — randomized program generation used by
+  property-based tests to fuzz the optimizer against the semantic verifier.
+"""
+
+from repro.workloads.microbench import (
+    elementwise_chain,
+    linear_solve_program,
+    power_program,
+    repeated_constant_add,
+    repeated_scaling,
+)
+from repro.workloads.applications import (
+    black_scholes,
+    gaussian_blur,
+    heat_equation,
+    monte_carlo_pi,
+    polynomial_evaluation,
+)
+from repro.workloads.generators import random_elementwise_program
+
+__all__ = [
+    "repeated_constant_add",
+    "repeated_scaling",
+    "power_program",
+    "elementwise_chain",
+    "linear_solve_program",
+    "heat_equation",
+    "black_scholes",
+    "monte_carlo_pi",
+    "gaussian_blur",
+    "polynomial_evaluation",
+    "random_elementwise_program",
+]

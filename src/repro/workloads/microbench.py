@@ -1,0 +1,144 @@
+"""Byte-code-level micro-workloads matching the paper's listings.
+
+Every function returns a ``(program, outputs)`` pair (plus, where relevant, a
+pre-populated memory manager) so benchmarks can run the *same* program both
+unoptimized and optimized and compare instruction counts, simulated cost and
+wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bytecode.dtypes import DType, float64
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.program import Program
+from repro.bytecode.view import View
+from repro.linalg.util import random_well_conditioned
+from repro.runtime.memory import MemoryManager
+
+
+def repeated_constant_add(
+    size: int, repeats: int = 3, constant: float = 1, dtype: DType = float64
+) -> Tuple[Program, View]:
+    """The paper's Listing 1/2 generalised: ``repeats`` additions of ``constant``.
+
+    Returns the program and the accumulated view (``a0``).
+    """
+    builder = ProgramBuilder(dtype)
+    accumulator = builder.new_vector(size)
+    builder.identity(accumulator, 0)
+    for _ in range(repeats):
+        builder.add(accumulator, accumulator, constant)
+    builder.sync(accumulator)
+    return builder.build(), accumulator
+
+
+def repeated_scaling(
+    size: int, repeats: int = 4, factor: float = 2.0, dtype: DType = float64
+) -> Tuple[Program, View]:
+    """Multiplicative variant of the constant-merge workload."""
+    builder = ProgramBuilder(dtype)
+    accumulator = builder.new_vector(size)
+    builder.identity(accumulator, 1)
+    for _ in range(repeats):
+        builder.multiply(accumulator, accumulator, factor)
+    builder.sync(accumulator)
+    return builder.build(), accumulator
+
+
+def power_program(
+    size: int, exponent: int, dtype: DType = float64
+) -> Tuple[Program, View, MemoryManager]:
+    """``y = x ** exponent`` over a vector of ``size`` elements (Listings 4-5).
+
+    Returns the program, the output view and a memory manager whose input
+    vector is filled with reproducible values in ``[0.5, 1.5)`` (kept near
+    one so large exponents do not overflow).
+    """
+    builder = ProgramBuilder(dtype)
+    x = builder.new_vector(size)
+    y = builder.new_vector(size)
+    builder.power(y, x, exponent)
+    builder.sync(y)
+    program = builder.build()
+    memory = MemoryManager()
+    rng = np.random.default_rng(exponent * 7919 + size)
+    memory.set_data(x.base, rng.uniform(0.5, 1.5, size))
+    return program, y, memory
+
+
+def elementwise_chain(
+    size: int,
+    length: int = 8,
+    opcodes: Sequence[OpCode] = (OpCode.BH_ADD, OpCode.BH_MULTIPLY),
+    dtype: DType = float64,
+) -> Tuple[Program, View]:
+    """A chain of ``length`` element-wise byte-codes over one vector (E6).
+
+    The chain alternates through ``opcodes`` with small constants, each
+    byte-code writing the accumulator in place — the shape that fusion
+    contracts into a single kernel.
+    """
+    builder = ProgramBuilder(dtype)
+    accumulator = builder.new_vector(size)
+    builder.identity(accumulator, 1)
+    constants = (1.5, 0.75, 2.0, 0.5)
+    for step in range(length):
+        opcode = opcodes[step % len(opcodes)]
+        constant = constants[step % len(constants)]
+        builder.emit_binary(opcode, accumulator, accumulator, constant)
+    builder.sync(accumulator)
+    return builder.build(), accumulator
+
+
+def linear_solve_program(
+    n: int,
+    reuse_inverse: bool = False,
+    seed: int = 0,
+    dtype: DType = float64,
+) -> Tuple[Program, View, MemoryManager]:
+    """The Equation 2 idiom: ``x = inv(A) @ b`` as byte-code.
+
+    Parameters
+    ----------
+    n:
+        System size (``A`` is ``n x n``).
+    reuse_inverse:
+        When true, an extra byte-code reads the inverse afterwards
+        (``trace_like = sum(inv)``), which makes the rewrite *unsafe*; the
+        optimizer must then leave the program alone.  Benchmark E5 exercises
+        both settings.
+    seed:
+        Seed for the well-conditioned random system.
+
+    Returns the program, the solution view and a memory manager holding
+    ``A`` and ``b``.
+    """
+    builder = ProgramBuilder(dtype)
+    matrix = builder.new_matrix(n, n)
+    rhs = builder.new_vector(n)
+    inverse = builder.new_matrix(n, n)
+    solution = builder.new_vector(n)
+    builder.matrix_inverse(inverse, matrix)
+    builder.matmul(solution, inverse, rhs)
+    if reuse_inverse:
+        row_sums = builder.new_vector(n)
+        builder.add_reduce(row_sums, inverse, axis=0)
+        builder.sync(row_sums)
+    builder.sync(solution)
+    # The inverse is an unnamed temporary in the source program, so the
+    # front-end frees it once every use has been recorded (Bohrium emits
+    # BH_FREE when the Python object is garbage collected).  In the reuse
+    # case the extra read above still blocks the rewrite.
+    builder.free(inverse)
+    program = builder.build()
+
+    memory = MemoryManager()
+    memory.set_data(matrix.base, random_well_conditioned(n, seed=seed))
+    rng = np.random.default_rng(seed + 1)
+    memory.set_data(rhs.base, rng.standard_normal(n))
+    return program, solution, memory

@@ -1,0 +1,86 @@
+"""Tests for BaseArray and operand (Constant) behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.bytecode.base import BaseArray
+from repro.bytecode.dtypes import bool_, float64, int64
+from repro.bytecode.operand import Constant, as_operand, is_constant, is_view, operand_dtype
+from repro.bytecode.view import View
+
+
+class TestBaseArray:
+    def test_basic_properties(self):
+        base = BaseArray(100, float64, name="x")
+        assert base.nelem == 100
+        assert base.name == "x"
+        assert base.nbytes == 800
+
+    def test_auto_naming_is_unique(self):
+        first, second = BaseArray(4), BaseArray(4)
+        assert first.name != second.name
+
+    def test_zero_or_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            BaseArray(0)
+        with pytest.raises(ValueError):
+            BaseArray(-3)
+
+    def test_equality_is_identity(self):
+        first, second = BaseArray(8, name="same"), BaseArray(8, name="same")
+        assert first == first
+        assert first != second
+        assert len({first, second}) == 2
+
+
+class TestConstant:
+    def test_dtype_inference(self):
+        assert Constant(3).dtype is int64
+        assert Constant(3.5).dtype is float64
+        assert Constant(True).dtype is bool_
+
+    def test_explicit_dtype_coerces_value(self):
+        constant = Constant(3, float64)
+        assert isinstance(constant.value, float)
+        assert constant.value == 3.0
+
+    def test_as_numpy_scalar(self):
+        value = Constant(2, int64).as_numpy()
+        assert value.dtype == np.int64
+        assert value == 2
+
+    def test_equality_with_constants_and_scalars(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) != Constant(4)
+        assert Constant(3) == 3
+        assert Constant(3.0) != Constant(3)  # different dtype
+
+    def test_hashable(self):
+        assert len({Constant(1), Constant(1), Constant(2)}) == 2
+
+    def test_wrapping_a_constant_keeps_value(self):
+        inner = Constant(5)
+        assert Constant(inner).value == 5
+
+
+class TestOperandHelpers:
+    def test_is_constant_and_is_view(self):
+        base = BaseArray(4)
+        assert is_view(View.full(base))
+        assert not is_constant(View.full(base))
+        assert is_constant(Constant(1))
+        assert not is_view(Constant(1))
+
+    def test_as_operand_coerces_scalars(self):
+        assert is_constant(as_operand(7))
+        assert is_constant(as_operand(1.25))
+        assert is_constant(as_operand(np.float64(2.0)))
+
+    def test_as_operand_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            as_operand("nope")
+
+    def test_operand_dtype(self):
+        base = BaseArray(4, int64)
+        assert operand_dtype(View.full(base)) is int64
+        assert operand_dtype(Constant(1.0)) is float64

@@ -1,0 +1,82 @@
+"""Tests for repro.bytecode.dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.bytecode import dtypes
+from repro.bytecode.dtypes import bool_, float32, float64, int32, int64, promote
+
+
+class TestDTypeProperties:
+    def test_float64_is_float(self):
+        assert float64.is_float and not float64.is_integer and not float64.is_bool
+
+    def test_int64_is_integer(self):
+        assert int64.is_integer and not int64.is_float
+
+    def test_bool_flags(self):
+        assert bool_.is_bool and not bool_.is_float and not bool_.is_integer
+
+    def test_itemsize_matches_numpy(self):
+        assert float64.itemsize == 8
+        assert float32.itemsize == 4
+        assert int32.itemsize == 4
+        assert bool_.itemsize == 1
+
+    def test_repr_is_bohrium_name(self):
+        assert repr(float64) == "BH_FLOAT64"
+
+
+class TestLookup:
+    def test_from_name(self):
+        assert dtypes.from_name("BH_FLOAT64") is float64
+        assert dtypes.from_name("BH_INT32") is int32
+
+    def test_from_name_unknown_raises(self):
+        with pytest.raises(KeyError):
+            dtypes.from_name("BH_COMPLEX128")
+
+    def test_from_numpy_exact(self):
+        assert dtypes.from_numpy(np.float64) is float64
+        assert dtypes.from_numpy(np.dtype(np.int64)) is int64
+        assert dtypes.from_numpy(np.bool_) is bool_
+
+    def test_from_numpy_fallback_integer_widths(self):
+        assert dtypes.from_numpy(np.int16) is int64
+        assert dtypes.from_numpy(np.uint32) is int64
+
+    def test_from_numpy_fallback_float16(self):
+        assert dtypes.from_numpy(np.float16) is float64
+
+    def test_from_numpy_unsupported_raises(self):
+        with pytest.raises(KeyError):
+            dtypes.from_numpy(np.complex128)
+
+    def test_from_python(self):
+        assert dtypes.from_python(True) is bool_
+        assert dtypes.from_python(7) is int64
+        assert dtypes.from_python(1.5) is float64
+
+    def test_from_python_unsupported(self):
+        with pytest.raises(TypeError):
+            dtypes.from_python("not a number")
+
+
+class TestPromotion:
+    @pytest.mark.parametrize(
+        "left, right, expected",
+        [
+            (bool_, int64, int64),
+            (int32, int64, int64),
+            (int64, float32, float32),
+            (float32, float64, float64),
+            (float64, bool_, float64),
+            (float64, float64, float64),
+        ],
+    )
+    def test_promote_pairs(self, left, right, expected):
+        assert promote(left, right) is expected
+        assert promote(right, left) is expected
+
+    def test_all_dtypes_listed(self):
+        assert set(dtypes.all_dtypes()) == {bool_, int32, int64, float32, float64}

@@ -1,0 +1,116 @@
+"""Tests for Instruction construction, classification and rewriting helpers."""
+
+import pytest
+
+from repro.bytecode.base import BaseArray
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.operand import Constant
+from repro.bytecode.view import View
+
+
+@pytest.fixture
+def vector_view():
+    return View.full(BaseArray(8, name="v"))
+
+
+class TestConstruction:
+    def test_scalars_coerced_to_constants(self, vector_view):
+        instruction = Instruction(OpCode.BH_ADD, (vector_view, vector_view, 1))
+        assert instruction.constant == Constant(1)
+
+    def test_opcode_type_checked(self, vector_view):
+        with pytest.raises(TypeError):
+            Instruction("BH_ADD", (vector_view, vector_view, 1))
+
+    def test_kernel_only_for_fused(self, vector_view):
+        inner = Instruction(OpCode.BH_ADD, (vector_view, vector_view, 1))
+        with pytest.raises(ValueError):
+            Instruction(OpCode.BH_ADD, (vector_view, vector_view, 1), kernel=[inner])
+        fused = Instruction(OpCode.BH_FUSED, (), kernel=[inner])
+        assert fused.kernel == (inner,)
+
+
+class TestAccessors:
+    def test_out_and_inputs(self, vector_view):
+        other = View.full(BaseArray(8))
+        instruction = Instruction(OpCode.BH_ADD, (vector_view, other, 2))
+        assert instruction.out is vector_view
+        assert instruction.inputs == (other, Constant(2))
+        assert instruction.input_views == (other,)
+        assert instruction.constants == (Constant(2),)
+
+    def test_constant_none_when_multiple(self, vector_view):
+        instruction = Instruction(OpCode.BH_ADD, (vector_view, 1, 2))
+        assert instruction.constant is None
+
+    def test_system_instruction_has_no_inputs(self, vector_view):
+        sync = Instruction(OpCode.BH_SYNC, (vector_view,))
+        assert sync.out is vector_view
+        assert sync.inputs == ()
+
+    def test_reads_and_writes_elementwise(self, vector_view):
+        source = View.full(BaseArray(8))
+        instruction = Instruction(OpCode.BH_MULTIPLY, (vector_view, source, vector_view))
+        assert set(instruction.reads()) == {source, vector_view}
+        assert instruction.writes() == (vector_view,)
+
+    def test_free_writes_nothing(self, vector_view):
+        free = Instruction(OpCode.BH_FREE, (vector_view,))
+        assert free.writes() == ()
+
+    def test_sync_reads_its_operand(self, vector_view):
+        sync = Instruction(OpCode.BH_SYNC, (vector_view,))
+        assert sync.reads() == (vector_view,)
+
+    def test_fused_reads_writes_come_from_payload(self, vector_view):
+        source = View.full(BaseArray(8))
+        inner = Instruction(OpCode.BH_ADD, (vector_view, source, 1))
+        fused = Instruction(OpCode.BH_FUSED, (), kernel=[inner])
+        assert fused.reads() == (source,)
+        assert fused.writes() == (vector_view,)
+
+
+class TestClassification:
+    def test_elementwise(self, vector_view):
+        assert Instruction(OpCode.BH_ADD, (vector_view, vector_view, 1)).is_elementwise()
+        assert not Instruction(OpCode.BH_SYNC, (vector_view,)).is_elementwise()
+
+    def test_reduction(self, vector_view):
+        out = View.full(BaseArray(1))
+        reduce_instr = Instruction(OpCode.BH_ADD_REDUCE, (out, vector_view, 0))
+        assert reduce_instr.is_reduction()
+
+    def test_system(self, vector_view):
+        assert Instruction(OpCode.BH_FREE, (vector_view,)).is_system()
+        assert Instruction(OpCode.BH_NONE, ()).is_system()
+
+    def test_extension(self):
+        matrix = View.full(BaseArray(4), (2, 2))
+        out = View.full(BaseArray(4), (2, 2))
+        assert Instruction(OpCode.BH_MATRIX_INVERSE, (out, matrix)).is_extension()
+
+
+class TestRewriteHelpers:
+    def test_replace_keeps_unspecified_fields(self, vector_view):
+        original = Instruction(OpCode.BH_ADD, (vector_view, vector_view, 1), tag="orig")
+        replaced = original.replace(opcode=OpCode.BH_MULTIPLY)
+        assert replaced.opcode is OpCode.BH_MULTIPLY
+        assert replaced.operands == original.operands
+        assert replaced.tag == "orig"
+
+    def test_with_constant(self, vector_view):
+        original = Instruction(OpCode.BH_ADD, (vector_view, vector_view, 1))
+        updated = original.with_constant(5)
+        assert updated.constant == Constant(5)
+        assert updated.out is vector_view
+
+    def test_with_constant_requires_single_constant(self, vector_view):
+        with pytest.raises(ValueError):
+            Instruction(OpCode.BH_ADD, (vector_view, vector_view, vector_view)).with_constant(5)
+
+    def test_equality_and_hash(self, vector_view):
+        first = Instruction(OpCode.BH_ADD, (vector_view, vector_view, 1))
+        second = Instruction(OpCode.BH_ADD, (vector_view, vector_view, 1))
+        assert first == second
+        assert len({first, second}) == 1

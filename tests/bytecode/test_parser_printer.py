@@ -1,0 +1,137 @@
+"""Tests for the textual byte-code format (printer and parser)."""
+
+import pytest
+
+from repro.bytecode.base import BaseArray
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.operand import Constant
+from repro.bytecode.parser import parse_instruction, parse_program
+from repro.bytecode.printer import format_instruction, format_program, format_view
+from repro.bytecode.view import View
+from repro.utils.errors import ParseError
+
+LISTING_2 = """
+BH_IDENTITY a0[0:10:1] 0
+BH_ADD a0[0:10:1] a0[0:10:1] 1
+BH_ADD a0[0:10:1] a0[0:10:1] 1
+BH_ADD a0[0:10:1] a0[0:10:1] 1
+BH_SYNC a0[0:10:1]
+"""
+
+LISTING_5 = """
+BH_MULTIPLY a1 a0 a0
+BH_MULTIPLY a1 a1 a1
+BH_MULTIPLY a1 a1 a1
+BH_MULTIPLY a1 a1 a0
+BH_MULTIPLY a1 a1 a0
+BH_SYNC a1
+"""
+
+
+class TestPrinter:
+    def test_slice_view_format_matches_paper(self):
+        base = BaseArray(10, name="a0")
+        assert format_view(View.from_slice(base, 0, 10, 1)) == "a0[0:10:1]"
+
+    def test_strided_view_format(self):
+        base = BaseArray(10, name="a0")
+        view = View(base, 1, (4,), (2,))
+        assert format_view(view) == "a0[1:9:2]"
+
+    def test_matrix_view_format(self):
+        base = BaseArray(12, name="m")
+        assert format_view(View.full(base, (3, 4))) == "m[0;3,4;4,1]"
+
+    def test_instruction_format(self):
+        base = BaseArray(10, name="a0")
+        view = View.full(base)
+        instr_text = format_instruction(
+            __import__("repro.bytecode.instruction", fromlist=["Instruction"]).Instruction(
+                OpCode.BH_ADD, (view, view, 1)
+            )
+        )
+        assert instr_text == "BH_ADD a0[0:10:1] a0[0:10:1] 1"
+
+    def test_abbreviated_register_only_format(self):
+        base = BaseArray(10, name="a0")
+        view = View.full(base)
+        from repro.bytecode.instruction import Instruction
+
+        text = format_instruction(Instruction(OpCode.BH_ADD, (view, view, 1)), include_views=False)
+        assert text == "BH_ADD a0 a0 1"
+
+    def test_constant_formats(self):
+        from repro.bytecode.instruction import Instruction
+
+        base = BaseArray(2, name="b")
+        view = View.full(base)
+        assert format_instruction(Instruction(OpCode.BH_ADD, (view, view, 1.5))).endswith("1.5")
+        assert format_instruction(Instruction(OpCode.BH_IDENTITY, (view, True))).endswith("true")
+
+
+class TestParser:
+    def test_parse_listing_2(self):
+        program = parse_program(LISTING_2)
+        assert len(program) == 5
+        assert program[0].opcode is OpCode.BH_IDENTITY
+        assert [i.opcode for i in program[1:4]] == [OpCode.BH_ADD] * 3
+        assert program[1].constant == Constant(1)
+        # every view refers to the same register
+        bases = {view.base for instr in program for view in instr.views()}
+        assert len(bases) == 1
+
+    def test_parse_listing_5_bare_registers(self):
+        program = parse_program(LISTING_5, default_nelem=8)
+        assert len(program) == 6
+        assert program.count(OpCode.BH_MULTIPLY) == 5
+        registers = {base.name for base in program.bases()}
+        assert registers == {"a0", "a1"}
+
+    def test_register_size_inferred_from_views(self):
+        program = parse_program("BH_ADD a0[0:32:1] a0[0:32:1] 2")
+        assert program.bases()[0].nelem == 32
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header comment\n\nBH_ADD a0[0:4:1] a0[0:4:1] 1  # trailing\n"
+        assert len(parse_program(text)) == 1
+
+    def test_round_trip(self):
+        builder = ProgramBuilder()
+        a0 = builder.new_vector(10)
+        builder.identity(a0, 0)
+        builder.add(a0, a0, 1)
+        builder.sync(a0)
+        original = builder.build()
+        text = format_program(original)
+        reparsed = parse_program(text)
+        assert format_program(reparsed) == text
+
+    def test_general_view_round_trip(self):
+        base = BaseArray(12, name="m")
+        view = View.full(base, (3, 4))
+        from repro.bytecode.instruction import Instruction
+
+        text = format_instruction(Instruction(OpCode.BH_IDENTITY, (view, 0)))
+        parsed = parse_instruction(text)
+        assert parsed.out.shape == (3, 4)
+        assert parsed.out.strides == (4, 1)
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("BH_FROBNICATE a0[0:4:1] 1")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_program("BH_SYNC a0[0:4:1]\nBH_NOT_AN_OP a0[0:4:1]")
+
+    def test_parse_instruction_shares_registers(self):
+        registers = {}
+        first = parse_instruction("BH_IDENTITY a0[0:4:1] 0", registers=registers)
+        second = parse_instruction("BH_ADD a0[0:4:1] a0[0:4:1] 1", registers=registers)
+        assert first.out.base is second.out.base
+
+    def test_float_and_negative_constants(self):
+        program = parse_program("BH_ADD a0[0:4:1] a0[0:4:1] -2\nBH_MULTIPLY a0[0:4:1] a0[0:4:1] 0.5")
+        assert program[0].constant == Constant(-2)
+        assert program[1].constant == Constant(0.5)

@@ -1,0 +1,166 @@
+"""Tests for Program container behaviour and ProgramBuilder."""
+
+import pytest
+
+from repro.bytecode.base import BaseArray
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.dtypes import int64
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.program import Program
+from repro.bytecode.view import View
+from repro.utils.errors import ValidationError
+
+
+def listing2_program():
+    """The paper's Listing 2: init, three adds, sync."""
+    builder = ProgramBuilder()
+    a0 = builder.new_vector(10)
+    builder.identity(a0, 0)
+    builder.add(a0, a0, 1)
+    builder.add(a0, a0, 1)
+    builder.add(a0, a0, 1)
+    builder.sync(a0)
+    return builder.build(), a0
+
+
+class TestProgramContainer:
+    def test_len_and_iteration(self):
+        program, _ = listing2_program()
+        assert len(program) == 5
+        assert all(isinstance(instr, Instruction) for instr in program)
+
+    def test_indexing_and_slicing(self):
+        program, _ = listing2_program()
+        assert program[0].opcode is OpCode.BH_IDENTITY
+        window = program[1:4]
+        assert isinstance(window, Program)
+        assert len(window) == 3
+
+    def test_equality(self):
+        first, _ = listing2_program()
+        assert first == first.copy()
+
+    def test_append_type_checked(self):
+        program = Program()
+        with pytest.raises(TypeError):
+            program.append("not an instruction")
+
+    def test_opcode_histogram(self):
+        program, _ = listing2_program()
+        histogram = program.opcode_histogram()
+        assert histogram[OpCode.BH_ADD] == 3
+        assert histogram[OpCode.BH_IDENTITY] == 1
+        assert histogram[OpCode.BH_SYNC] == 1
+
+    def test_count_includes_fused_payload(self):
+        program, a0 = listing2_program()
+        inner = list(program[1:4])
+        fused = Instruction(OpCode.BH_FUSED, (), kernel=inner)
+        wrapped = Program([program[0], fused, program[4]])
+        assert wrapped.count(OpCode.BH_ADD) == 3
+        assert wrapped.count(OpCode.BH_ADD, include_fused=False) == 0
+
+    def test_num_operations_excludes_system(self):
+        program, _ = listing2_program()
+        assert program.num_operations() == 4  # identity + three adds
+
+    def test_element_traversals(self):
+        program, _ = listing2_program()
+        # identity touches 10 (out) elements; each add touches two views of 10.
+        assert program.element_traversals() == 10 + 3 * 20
+
+    def test_bases_in_first_use_order(self):
+        builder = ProgramBuilder()
+        first = builder.new_vector(4)
+        second = builder.new_vector(4)
+        builder.identity(second, 1)
+        builder.identity(first, 2)
+        program = builder.build()
+        assert program.bases() == (second.base, first.base)
+
+    def test_synced_views(self):
+        program, a0 = listing2_program()
+        assert program.synced_views() == (a0,)
+
+    def test_without_system(self):
+        program, _ = listing2_program()
+        assert len(program.without_system()) == 4
+
+    def test_flattened_expands_fused(self):
+        program, _ = listing2_program()
+        inner = list(program[1:4])
+        fused = Instruction(OpCode.BH_FUSED, (), kernel=inner)
+        wrapped = Program([program[0], fused, program[4]])
+        assert len(wrapped.flattened()) == 5
+
+    def test_to_text_round_trip_header(self):
+        program, _ = listing2_program()
+        text = program.to_text()
+        assert text.splitlines()[0].startswith("BH_IDENTITY")
+
+
+class TestProgramBuilder:
+    def test_register_names_are_sequential(self):
+        builder = ProgramBuilder()
+        first = builder.new_vector(4)
+        second = builder.new_vector(4)
+        assert first.base.name == "a0"
+        assert second.base.name == "a1"
+
+    def test_new_matrix_shape(self):
+        builder = ProgramBuilder()
+        matrix = builder.new_matrix(3, 4)
+        assert matrix.shape == (3, 4)
+        assert matrix.base.nelem == 12
+
+    def test_new_like_copies_shape_and_dtype(self):
+        builder = ProgramBuilder(int64)
+        matrix = builder.new_matrix(2, 2)
+        like = builder.new_like(matrix)
+        assert like.shape == (2, 2)
+        assert like.dtype is int64
+        assert like.base is not matrix.base
+
+    def test_build_validates_by_default(self):
+        builder = ProgramBuilder()
+        out = builder.new_vector(4)
+        other = builder.new_vector(5)
+        builder.add(out, out, other)  # incompatible shapes (4 vs 5)
+        with pytest.raises(ValidationError):
+            builder.build()
+        # but an unvalidated build hands back the raw program
+        assert len(builder.build(validate=False)) == 1
+
+    def test_emit_binary_returns_output_view(self):
+        builder = ProgramBuilder()
+        out = builder.new_vector(4)
+        returned = builder.add(out, out, 1)
+        assert returned is out
+
+    def test_reduction_helpers(self):
+        builder = ProgramBuilder()
+        matrix = builder.new_matrix(3, 4)
+        rows = builder.new_vector(4)
+        builder.add_reduce(rows, matrix, axis=0)
+        program = builder.build()
+        assert program[0].opcode is OpCode.BH_ADD_REDUCE
+        assert int(program[0].constants[0].value) == 0
+
+    def test_extension_helpers(self):
+        builder = ProgramBuilder()
+        a = builder.new_matrix(3, 3)
+        b = builder.new_vector(3)
+        x = builder.new_vector(3)
+        builder.lu_solve(x, a, b)
+        program = builder.build()
+        assert program[0].opcode is OpCode.BH_LU_SOLVE
+
+    def test_random_and_range(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(8)
+        builder.random(v, seed=42)
+        builder.arange(v)
+        program = builder.build()
+        assert program[0].opcode is OpCode.BH_RANDOM
+        assert program[1].opcode is OpCode.BH_RANGE

@@ -1,0 +1,37 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend.session import Session, set_session
+from repro.runtime.interpreter import NumPyInterpreter
+from repro.utils.config import Config, set_config
+
+
+@pytest.fixture(autouse=True)
+def clean_global_state():
+    """Reset global configuration and the default front-end session per test."""
+    set_config(Config())
+    set_session(Session())
+    yield
+    set_config(Config())
+    set_session(Session())
+
+
+@pytest.fixture
+def interpreter() -> NumPyInterpreter:
+    """A reference interpreter instance."""
+    return NumPyInterpreter()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy random generator."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def run_program(program, memory=None):
+    """Execute a program on the reference interpreter (test helper)."""
+    return NumPyInterpreter().execute(program, memory)

@@ -1,0 +1,152 @@
+"""Tests for the dataflow analysis used by the context-aware rewrites."""
+
+import pytest
+
+from repro.bytecode.base import BaseArray
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.program import Program
+from repro.bytecode.view import View
+from repro.core.analysis import (
+    DefUse,
+    base_read_between,
+    base_written_between,
+    is_dead_after,
+    observable_views,
+    reads_of_base,
+    writes_to_base,
+)
+
+
+def sample_program():
+    builder = ProgramBuilder()
+    a = builder.new_vector(8)
+    b = builder.new_vector(8)
+    c = builder.new_vector(8)
+    builder.identity(a, 1)          # 0: write a
+    builder.identity(b, 2)          # 1: write b
+    builder.add(c, a, b)            # 2: read a, b; write c
+    builder.multiply(c, c, 2)       # 3: read c; write c
+    builder.sync(c)                 # 4: sync c
+    builder.free(a)                 # 5: free a
+    return builder.build(), a, b, c
+
+
+class TestDefUse:
+    def test_reads_and_writes_indexed(self):
+        program, a, b, c = sample_program()
+        defuse = DefUse.analyze(program)
+        assert [acc.index for acc in defuse.writes_of(a.base)] == [0]
+        assert [acc.index for acc in defuse.reads_of(a.base)] == [2]
+        assert [acc.index for acc in defuse.writes_of(c.base)] == [2, 3]
+        assert [acc.index for acc in defuse.reads_of(c.base)] == [3, 4]
+
+    def test_sync_and_free_tracking(self):
+        program, a, b, c = sample_program()
+        defuse = DefUse.analyze(program)
+        assert defuse.is_synced(c.base)
+        assert not defuse.is_synced(a.base)
+        assert defuse.is_freed(a.base)
+        assert not defuse.is_freed(c.base)
+        assert defuse.sync_indices(c.base) == (4,)
+
+    def test_indices_after(self):
+        program, a, b, c = sample_program()
+        defuse = DefUse.analyze(program)
+        assert defuse.read_indices_after(c.base, 2) == (3, 4)
+        assert defuse.read_indices_after(c.base, 4) == ()
+        assert defuse.write_indices_after(c.base, 2) == (3,)
+
+
+class TestStandaloneQueries:
+    def test_reads_and_writes_to_base(self):
+        program, a, b, c = sample_program()
+        assert reads_of_base(program, a.base) == [2]
+        assert writes_to_base(program, c.base) == [2, 3]
+
+    def test_base_read_between(self):
+        program, a, b, c = sample_program()
+        assert base_read_between(program, a.base, 0, 3)
+        assert not base_read_between(program, a.base, 2, 5)
+
+    def test_base_written_between(self):
+        program, a, b, c = sample_program()
+        assert base_written_between(program, c.base, 2, 4)
+        assert not base_written_between(program, a.base, 0, 5)
+
+    def test_within_view_restriction(self):
+        base = BaseArray(10)
+        left = View(base, 0, (5,))
+        right = View(base, 5, (5,))
+        program = Program(
+            [
+                Instruction(OpCode.BH_IDENTITY, (left, 1.0)),
+                Instruction(OpCode.BH_IDENTITY, (right, 2.0)),
+                Instruction(OpCode.BH_ADD, (left, left, 1.0)),
+            ]
+        )
+        # Between 0 and 2 the base is written (index 1) but only in the
+        # right half, so a query restricted to the left half sees nothing.
+        assert base_written_between(program, base, 0, 2)
+        assert not base_written_between(program, base, 0, 2, within=left)
+
+
+class TestLiveness:
+    def test_value_read_later_is_live(self):
+        program, a, b, c = sample_program()
+        assert not is_dead_after(program, 0, a)  # a is read at 2
+
+    def test_value_freed_without_read_is_dead(self):
+        program, a, b, c = sample_program()
+        assert is_dead_after(program, 2, a)  # after the add, a is only freed
+
+    def test_synced_value_is_live(self):
+        program, a, b, c = sample_program()
+        assert not is_dead_after(program, 3, c)
+
+    def test_unfreed_value_at_end_is_conservatively_live(self):
+        program, a, b, c = sample_program()
+        # After the add (index 2) nothing reads b again, but b is never
+        # freed either: the front-end may still observe it in a later flush.
+        assert not is_dead_after(program, 2, b)
+        assert is_dead_after(program, 2, b, observable_at_end=False)
+
+    def test_complete_overwrite_kills_value(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        builder.identity(v, 1)
+        builder.identity(v, 2)
+        builder.sync(v)
+        program = builder.build()
+        assert is_dead_after(program, 0, v)
+
+    def test_partial_overwrite_does_not_kill_value(self):
+        base = BaseArray(8)
+        full = View.full(base)
+        half = View(base, 0, (4,))
+        program = Program(
+            [
+                Instruction(OpCode.BH_IDENTITY, (full, 1.0)),
+                Instruction(OpCode.BH_IDENTITY, (half, 2.0)),
+                Instruction(OpCode.BH_SYNC, (full,)),
+            ]
+        )
+        assert not is_dead_after(program, 0, full)
+
+
+class TestObservableViews:
+    def test_synced_and_surviving_bases_are_observable(self):
+        program, a, b, c = sample_program()
+        observable_bases = {view.base for view in observable_views(program)}
+        assert c.base in observable_bases     # synced
+        assert b.base in observable_bases     # written, never freed
+        assert a.base not in observable_bases  # freed and not synced
+
+    def test_untouched_bases_are_not_observable(self):
+        builder = ProgramBuilder()
+        used = builder.new_vector(4)
+        builder.new_vector(4)  # never referenced by any instruction
+        builder.identity(used, 1)
+        program = builder.build()
+        assert {view.base for view in observable_views(program)} == {used.base}

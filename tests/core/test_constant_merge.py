@@ -1,0 +1,259 @@
+"""Tests for the constant-merge transformation (paper Listings 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.dtypes import int64
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.operand import Constant
+from repro.core.constant_merge import ConstantMergePass
+from repro.core.verifier import SemanticVerifier
+from repro.runtime.interpreter import NumPyInterpreter
+
+
+def run_pass(program, **kwargs):
+    return ConstantMergePass(**kwargs).run(program)
+
+
+def listing2(repeats=3, size=10, constant=1):
+    builder = ProgramBuilder()
+    a0 = builder.new_vector(size)
+    builder.identity(a0, 0)
+    for _ in range(repeats):
+        builder.add(a0, a0, constant)
+    builder.sync(a0)
+    return builder.build(), a0
+
+
+class TestPaperListing:
+    def test_three_adds_become_one(self):
+        program, a0 = listing2()
+        result = run_pass(program)
+        assert result.changed
+        assert result.program.count(OpCode.BH_ADD) == 1
+        merged = [i for i in result.program if i.opcode is OpCode.BH_ADD][0]
+        assert merged.constant == Constant(3)
+        # program shrinks from 5 to 3 byte-codes exactly as Listing 3 shows
+        assert len(result.program) == 3
+
+    def test_values_unchanged(self):
+        program, a0 = listing2(repeats=5, constant=2)
+        result = run_pass(program)
+        original = NumPyInterpreter().execute(program).value(a0)
+        optimized = NumPyInterpreter().execute(result.program).value(a0)
+        assert np.array_equal(original, optimized)
+        assert np.all(optimized == 10)
+
+    @pytest.mark.parametrize("repeats", [2, 4, 8, 32])
+    def test_any_run_length_collapses_to_one(self, repeats):
+        program, _ = listing2(repeats=repeats)
+        result = run_pass(program)
+        assert result.program.count(OpCode.BH_ADD) == 1
+        assert result.stats.rewrites_applied == 1
+
+    def test_single_add_left_alone(self):
+        program, _ = listing2(repeats=1)
+        result = run_pass(program)
+        assert not result.changed
+        assert result.program == program
+
+
+class TestFamilies:
+    def test_add_and_subtract_merge_signed(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        builder.identity(v, 10)
+        builder.add(v, v, 5)
+        builder.subtract(v, v, 2)
+        builder.add(v, v, 1)
+        builder.sync(v)
+        result = run_pass(builder.build())
+        merged = [i for i in result.program if i.opcode in (OpCode.BH_ADD, OpCode.BH_SUBTRACT)]
+        assert len(merged) == 1
+        assert merged[0].opcode is OpCode.BH_ADD
+        assert merged[0].constant == Constant(4)
+
+    def test_net_negative_on_integers_becomes_subtract(self):
+        builder = ProgramBuilder(int64)
+        v = builder.new_vector(4, dtype=int64)
+        builder.add(v, v, 1)
+        builder.subtract(v, v, 5)
+        builder.sync(v)
+        result = run_pass(builder.build())
+        merged = [i for i in result.program if i.opcode in (OpCode.BH_ADD, OpCode.BH_SUBTRACT)][0]
+        assert merged.opcode is OpCode.BH_SUBTRACT
+        assert merged.constant == Constant(4, int64)
+
+    def test_net_zero_drops_the_whole_run(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        builder.identity(v, 7)
+        builder.add(v, v, 3)
+        builder.subtract(v, v, 3)
+        builder.sync(v)
+        result = run_pass(builder.build())
+        assert result.program.count(OpCode.BH_ADD) == 0
+        assert result.program.count(OpCode.BH_SUBTRACT) == 0
+        value = NumPyInterpreter().execute(result.program).value(v)
+        assert np.all(value == 7)
+
+    def test_multiplies_merge_to_product(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        builder.identity(v, 1)
+        builder.multiply(v, v, 2)
+        builder.multiply(v, v, 3)
+        builder.multiply(v, v, 4)
+        builder.sync(v)
+        result = run_pass(builder.build())
+        merged = [i for i in result.program if i.opcode is OpCode.BH_MULTIPLY]
+        assert len(merged) == 1
+        assert merged[0].constant == Constant(24)
+
+    def test_multiply_divide_mix_on_floats(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        builder.identity(v, 8)
+        builder.multiply(v, v, 6.0)
+        builder.divide(v, v, 3.0)
+        builder.sync(v)
+        result = run_pass(builder.build())
+        merged = [
+            i for i in result.program if i.opcode in (OpCode.BH_MULTIPLY, OpCode.BH_DIVIDE)
+        ]
+        assert len(merged) == 1
+        assert merged[0].opcode is OpCode.BH_MULTIPLY
+        assert merged[0].constant.value == pytest.approx(2.0)
+
+    def test_pure_divides_stay_divides(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        builder.identity(v, 100)
+        builder.divide(v, v, 2.0)
+        builder.divide(v, v, 5.0)
+        builder.sync(v)
+        result = run_pass(builder.build())
+        merged = [
+            i for i in result.program if i.opcode in (OpCode.BH_MULTIPLY, OpCode.BH_DIVIDE)
+        ]
+        assert len(merged) == 1
+        assert merged[0].opcode is OpCode.BH_DIVIDE
+        assert merged[0].constant.value == pytest.approx(10.0)
+
+    def test_integer_division_not_merged(self):
+        builder = ProgramBuilder(int64)
+        v = builder.new_vector(4, dtype=int64)
+        builder.identity(v, 100)
+        builder.divide(v, v, 3)
+        builder.divide(v, v, 7)
+        builder.sync(v)
+        result = run_pass(builder.build())
+        # integer divisions round at each step; merging would change results
+        assert result.program.count(OpCode.BH_DIVIDE) == 2
+
+    def test_additive_and_multiplicative_runs_do_not_mix(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        builder.identity(v, 2)
+        builder.add(v, v, 1)
+        builder.multiply(v, v, 3)
+        builder.add(v, v, 1)
+        builder.sync(v)
+        program = builder.build()
+        result = run_pass(program)
+        # (x + 1) * 3 + 1 has no mergeable run of length >= 2
+        assert not result.changed
+
+    def test_commutative_constant_on_the_left_is_recognised(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        builder.identity(v, 0)
+        builder.add(v, 1, v)
+        builder.add(v, 1, v)
+        builder.sync(v)
+        result = run_pass(builder.build())
+        assert result.program.count(OpCode.BH_ADD) == 1
+
+
+class TestSafety:
+    def test_unrelated_instruction_in_between_is_tolerated(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        other = builder.new_vector(4)
+        builder.identity(v, 0)
+        builder.add(v, v, 1)
+        builder.identity(other, 9)   # touches a different base
+        builder.add(v, v, 1)
+        builder.sync(v)
+        result = run_pass(builder.build())
+        assert result.program.count(OpCode.BH_ADD) == 1
+
+    def test_intervening_read_blocks_the_merge(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        snapshot = builder.new_vector(4)
+        builder.identity(v, 0)
+        builder.add(v, v, 1)
+        builder.identity(snapshot, v)  # observes the intermediate value
+        builder.add(v, v, 1)
+        builder.sync(v)
+        builder.sync(snapshot)
+        program = builder.build()
+        result = run_pass(program)
+        assert result.program.count(OpCode.BH_ADD) == 2
+        verifier = SemanticVerifier()
+        assert verifier.equivalent(program, result.program)
+
+    def test_intervening_write_blocks_the_merge(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        builder.add(v, v, 1)
+        builder.identity(v, 0)       # clobbers the accumulator
+        builder.add(v, v, 1)
+        builder.sync(v)
+        result = run_pass(builder.build())
+        assert result.program.count(OpCode.BH_ADD) == 2
+
+    def test_intervening_sync_blocks_the_merge(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        builder.add(v, v, 1)
+        builder.sync(v)              # the value becomes observable here
+        builder.add(v, v, 1)
+        result = run_pass(builder.build())
+        assert result.program.count(OpCode.BH_ADD) == 2
+
+    def test_different_views_of_same_base_do_not_merge(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(8)
+        left = v.base
+        from repro.bytecode.view import View
+
+        first_half = View(left, 0, (4,))
+        second_half = View(left, 4, (4,))
+        builder.add(first_half, first_half, 1)
+        builder.add(second_half, second_half, 1)
+        builder.sync(v)
+        result = run_pass(builder.build())
+        assert result.program.count(OpCode.BH_ADD) == 2
+
+    def test_max_window_limits_run_length(self):
+        program, _ = listing2(repeats=10)
+        result = run_pass(program, max_window=4)
+        # 10 adds merge in windows of at most 4: 4 + 4 + 2 -> 3 adds remain
+        assert result.program.count(OpCode.BH_ADD) == 3
+
+    def test_semantics_preserved_on_random_constants(self):
+        rng = np.random.default_rng(3)
+        builder = ProgramBuilder()
+        v = builder.new_vector(16)
+        builder.identity(v, 1.5)
+        constants = rng.uniform(-2, 2, size=10)
+        for constant in constants:
+            builder.add(v, v, float(constant))
+        builder.sync(v)
+        program = builder.build()
+        result = run_pass(program)
+        assert result.program.count(OpCode.BH_ADD) == 1
+        assert SemanticVerifier().equivalent(program, result.program)

@@ -1,0 +1,312 @@
+"""Tests for the extension passes: constant folding, strength reduction, CSE.
+
+These passes go beyond the paper's concrete listings (they are the "further
+study of real examples" direction its conclusion sketches) and are therefore
+kept out of the default pipeline; ``default_pipeline(extended=True)`` or the
+pass names enable them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.operand import Constant
+from repro.core.constant_fold import ScalarConstantFoldingPass
+from repro.core.cse import CommonSubexpressionEliminationPass
+from repro.core.pipeline import default_pipeline, optimize
+from repro.core.rules import DEFAULT_PASS_ORDER, EXTENDED_PASS_ORDER, available_passes
+from repro.core.strength_reduction import StrengthReductionPass
+from repro.core.verifier import SemanticVerifier
+from repro.runtime.interpreter import NumPyInterpreter
+
+
+class TestScalarConstantFolding:
+    def test_identity_then_updates_fold_to_one_identity(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(8)
+        builder.identity(v, 2)
+        builder.add(v, v, 3)
+        builder.multiply(v, v, 2)
+        builder.sync(v)
+        program = builder.build()
+        result = ScalarConstantFoldingPass().run(program)
+        assert result.changed
+        identities = [i for i in result.program if i.opcode is OpCode.BH_IDENTITY]
+        assert len(identities) == 1
+        assert identities[0].constant.value == 10
+        assert result.program.num_operations() == 1
+        assert SemanticVerifier().equivalent(program, result.program)
+
+    def test_unary_updates_fold_too(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        builder.identity(v, 9)
+        builder.sqrt(v, v)
+        builder.negative(v, v)
+        builder.sync(v)
+        result = ScalarConstantFoldingPass().run(builder.build())
+        folded = [i for i in result.program if i.opcode is OpCode.BH_IDENTITY][0]
+        assert folded.constant.value == -3.0
+
+    def test_constant_on_the_left_of_subtract(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        builder.identity(v, 4)
+        builder.subtract(v, 10, v)   # v = 10 - v
+        builder.sync(v)
+        result = ScalarConstantFoldingPass().run(builder.build())
+        folded = [i for i in result.program if i.opcode is OpCode.BH_IDENTITY][0]
+        assert folded.constant.value == 6
+
+    def test_view_operand_stops_the_fold(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        other = builder.new_vector(4)
+        builder.identity(v, 2)
+        builder.add(v, v, other)     # not a constant update
+        builder.add(v, v, 1)
+        builder.sync(v)
+        result = ScalarConstantFoldingPass().run(builder.build())
+        assert not result.changed
+
+    def test_interfering_read_stops_the_fold(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        snapshot = builder.new_vector(4)
+        builder.identity(v, 1)
+        builder.identity(snapshot, v)   # observes the intermediate value
+        builder.add(v, v, 1)
+        builder.sync(v)
+        builder.sync(snapshot)
+        program = builder.build()
+        result = ScalarConstantFoldingPass().run(program)
+        assert not result.changed
+        assert SemanticVerifier().equivalent(program, result.program)
+
+    def test_division_by_zero_is_not_folded(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        builder.identity(v, 1.0)
+        builder.divide(v, v, 0.0)
+        builder.sync(v)
+        result = ScalarConstantFoldingPass().run(builder.build())
+        assert not result.changed
+
+    def test_default_pipeline_keeps_listing_3_shape(self):
+        # The default (paper-faithful) pipeline must keep IDENTITY 0 + ADD 3,
+        # not fold everything to IDENTITY 3; the extended pipeline may fold.
+        builder = ProgramBuilder()
+        v = builder.new_vector(8)
+        builder.identity(v, 0)
+        for _ in range(3):
+            builder.add(v, v, 1)
+        builder.sync(v)
+        program = builder.build()
+        default_report = optimize(program)
+        assert default_report.optimized.count(OpCode.BH_ADD, include_fused=True) == 1
+        extended_report = optimize(program, extended=True)
+        assert extended_report.optimized.count(OpCode.BH_ADD, include_fused=True) == 0
+        assert SemanticVerifier().equivalent(program, extended_report.optimized)
+
+
+class TestStrengthReduction:
+    def test_division_by_constant_becomes_multiplication(self):
+        builder = ProgramBuilder()
+        x = builder.new_vector(8)
+        y = builder.new_vector(8)
+        builder.divide(y, x, 4.0)
+        builder.sync(y)
+        program = builder.build()
+        result = StrengthReductionPass().run(program)
+        assert result.changed
+        multiply = [i for i in result.program if i.opcode is OpCode.BH_MULTIPLY][0]
+        assert multiply.constant.value == pytest.approx(0.25)
+        assert SemanticVerifier().equivalent(program, result.program)
+
+    def test_integer_division_untouched(self):
+        from repro.bytecode.dtypes import int64
+
+        builder = ProgramBuilder(int64)
+        x = builder.new_vector(8, dtype=int64)
+        y = builder.new_vector(8, dtype=int64)
+        builder.divide(y, x, 4)
+        builder.sync(y)
+        result = StrengthReductionPass().run(builder.build())
+        assert not result.changed
+
+    def test_square_root_exponent(self):
+        builder = ProgramBuilder()
+        x = builder.new_vector(8)
+        y = builder.new_vector(8)
+        builder.power(y, x, 0.5)
+        builder.sync(y)
+        program = builder.build()
+        result = StrengthReductionPass().run(program)
+        assert result.program.count(OpCode.BH_SQRT) == 1
+        assert result.program.count(OpCode.BH_POWER) == 0
+
+    def test_reciprocal_exponent(self):
+        builder = ProgramBuilder()
+        x = builder.new_vector(8)
+        y = builder.new_vector(8)
+        builder.power(y, x, -1)
+        builder.sync(y)
+        result = StrengthReductionPass().run(builder.build())
+        assert result.program.count(OpCode.BH_RECIPROCAL) == 1
+
+    def test_square_becomes_self_multiplication(self):
+        builder = ProgramBuilder()
+        x = builder.new_vector(8)
+        y = builder.new_vector(8)
+        builder.power(y, x, 2)
+        builder.sync(y)
+        result = StrengthReductionPass().run(builder.build())
+        multiply = [i for i in result.program if i.opcode is OpCode.BH_MULTIPLY][0]
+        assert multiply.input_views[0].same_view(multiply.input_views[1])
+
+    def test_division_by_zero_untouched(self):
+        builder = ProgramBuilder()
+        x = builder.new_vector(4)
+        y = builder.new_vector(4)
+        builder.divide(y, x, 0.0)
+        builder.sync(y)
+        assert not StrengthReductionPass().run(builder.build()).changed
+
+    def test_semantics_preserved_on_mixed_program(self):
+        builder = ProgramBuilder()
+        x = builder.new_vector(16)
+        y = builder.new_vector(16)
+        z = builder.new_vector(16)
+        builder.identity(x, 3.0)
+        builder.divide(y, x, 8.0)
+        builder.power(z, y, 0.5)
+        builder.sync(z)
+        program = builder.build()
+        result = StrengthReductionPass().run(program)
+        assert SemanticVerifier().equivalent(program, result.program)
+
+
+class TestCommonSubexpressionElimination:
+    def test_repeated_computation_becomes_copy(self):
+        builder = ProgramBuilder()
+        x = builder.new_vector(8)
+        first = builder.new_vector(8)
+        second = builder.new_vector(8)
+        builder.identity(x, 2)
+        builder.multiply(first, x, 3)
+        builder.multiply(second, x, 3)   # identical computation
+        builder.sync(first)
+        builder.sync(second)
+        program = builder.build()
+        result = CommonSubexpressionEliminationPass().run(program)
+        assert result.changed
+        assert result.program.count(OpCode.BH_MULTIPLY) == 1
+        assert result.program.count(OpCode.BH_IDENTITY) == 2  # x init + the copy
+        assert SemanticVerifier().equivalent(program, result.program)
+
+    def test_modified_input_blocks_reuse(self):
+        builder = ProgramBuilder()
+        x = builder.new_vector(8)
+        first = builder.new_vector(8)
+        second = builder.new_vector(8)
+        builder.identity(x, 2)
+        builder.multiply(first, x, 3)
+        builder.add(x, x, 1)             # x changes in between
+        builder.multiply(second, x, 3)
+        builder.sync(first)
+        builder.sync(second)
+        program = builder.build()
+        result = CommonSubexpressionEliminationPass().run(program)
+        assert not result.changed
+
+    def test_clobbered_result_blocks_reuse(self):
+        builder = ProgramBuilder()
+        x = builder.new_vector(8)
+        first = builder.new_vector(8)
+        second = builder.new_vector(8)
+        builder.identity(x, 2)
+        builder.multiply(first, x, 3)
+        builder.identity(first, 0)       # cached value destroyed
+        builder.multiply(second, x, 3)
+        builder.sync(second)
+        result = CommonSubexpressionEliminationPass().run(builder.build())
+        assert not result.changed
+
+    def test_in_place_updates_are_not_treated_as_cse(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(8)
+        builder.identity(v, 1)
+        builder.add(v, v, 1)
+        builder.add(v, v, 1)             # same text, but accumulates
+        builder.sync(v)
+        program = builder.build()
+        result = CommonSubexpressionEliminationPass().run(program)
+        assert not result.changed
+
+    def test_different_constants_not_merged(self):
+        builder = ProgramBuilder()
+        x = builder.new_vector(8)
+        first = builder.new_vector(8)
+        second = builder.new_vector(8)
+        builder.multiply(first, x, 3)
+        builder.multiply(second, x, 4)
+        builder.sync(first)
+        builder.sync(second)
+        assert not CommonSubexpressionEliminationPass().run(builder.build()).changed
+
+    def test_cse_then_cleanup_removes_redundant_work_entirely(self):
+        builder = ProgramBuilder()
+        x = builder.new_vector(8)
+        first = builder.new_vector(8)
+        second = builder.new_vector(8)
+        total = builder.new_vector(8)
+        builder.identity(x, 2)
+        builder.sqrt(first, x)
+        builder.sqrt(second, x)
+        builder.add(total, first, second)
+        builder.sync(total)
+        builder.free(first)
+        builder.free(second)
+        program = builder.build()
+        report = optimize(program, extended=True)
+        assert report.optimized.count(OpCode.BH_SQRT, include_fused=True) == 1
+        assert SemanticVerifier().equivalent(program, report.optimized)
+
+    def test_frontend_duplicate_expression(self):
+        from repro import frontend as bh
+        from repro.frontend.session import reset_session
+
+        pipeline = default_pipeline(extended=True)
+        session = reset_session(backend="interpreter", optimize=True, pipeline=pipeline)
+        data = bh.array([1.0, 4.0, 9.0, 16.0])
+        first = bh.sqrt(data) + 1.0
+        second = bh.sqrt(data) + 2.0
+        total = first + second
+        values = total.to_numpy()
+        report = session.last_report
+        assert report.optimized.count(OpCode.BH_SQRT, include_fused=True) == 1
+        assert np.allclose(values, 2 * np.sqrt([1.0, 4.0, 9.0, 16.0]) + 3.0)
+
+
+class TestRegistryAndPipelineIntegration:
+    def test_new_passes_registered(self):
+        assert {"constant_fold", "strength_reduction", "cse"} <= set(available_passes())
+
+    def test_default_order_unchanged(self):
+        assert "cse" not in DEFAULT_PASS_ORDER
+        assert "cse" in EXTENDED_PASS_ORDER
+        assert set(DEFAULT_PASS_ORDER) < set(EXTENDED_PASS_ORDER)
+
+    def test_extended_pipeline_contains_all_passes(self):
+        pipeline = default_pipeline(extended=True)
+        assert pipeline.pass_names() == list(EXTENDED_PASS_ORDER)
+
+    def test_extended_pipeline_still_preserves_semantics_on_random_programs(self):
+        from repro.workloads import random_elementwise_program
+
+        verifier = SemanticVerifier(rtol=1e-5, atol=1e-6)
+        for seed in range(6):
+            program, _ = random_elementwise_program(seed, num_instructions=10)
+            report = optimize(program, extended=True)
+            verifier.check(program, report.optimized)

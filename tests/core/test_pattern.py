@@ -1,0 +1,175 @@
+"""Tests for the declarative instruction-pattern matcher."""
+
+import pytest
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.opcodes import OpCode
+from repro.core.pattern import (
+    Any,
+    Capture,
+    InstructionPattern,
+    IsConstant,
+    IsView,
+    MatchResult,
+    SequencePattern,
+)
+
+
+def accumulate_program():
+    builder = ProgramBuilder()
+    a = builder.new_vector(8)
+    b = builder.new_vector(8)
+    builder.identity(a, 0)
+    builder.add(a, a, 1)
+    builder.add(b, a, 2)
+    builder.add(a, a, 3)
+    builder.sync(a)
+    return builder.build(), a, b
+
+
+class TestInstructionPattern:
+    def test_opcode_filter(self):
+        program, a, b = accumulate_program()
+        pattern = InstructionPattern(opcodes=(OpCode.BH_ADD,))
+        assert pattern.matches(program[1]) is not None
+        assert pattern.matches(program[0]) is None
+
+    def test_output_capture(self):
+        program, a, b = accumulate_program()
+        pattern = InstructionPattern(opcodes=(OpCode.BH_ADD,), output="out")
+        result = pattern.matches(program[2])
+        assert result.view("out").same_view(b)
+
+    def test_input_constraints(self):
+        program, a, b = accumulate_program()
+        accumulating = InstructionPattern(
+            opcodes=(OpCode.BH_ADD,),
+            output="acc",
+            inputs=(Capture("acc"), IsConstant("delta")),
+        )
+        # add a, a, 1 accumulates in place: matches.
+        match = accumulating.matches(program[1])
+        assert match is not None
+        assert match.constant("delta").value == 1
+        # add b, a, 2 writes elsewhere: the same-view constraint fails.
+        assert accumulating.matches(program[2]) is None
+
+    def test_constant_predicate(self):
+        program, a, b = accumulate_program()
+        big_constant = InstructionPattern(
+            opcodes=(OpCode.BH_ADD,),
+            inputs=(IsView(), IsConstant(predicate=lambda c: c.value >= 3)),
+        )
+        assert big_constant.matches(program[1]) is None
+        assert big_constant.matches(program[3]) is not None
+
+    def test_arity_mismatch_fails(self):
+        program, a, b = accumulate_program()
+        pattern = InstructionPattern(opcodes=(OpCode.BH_ADD,), inputs=(IsView(),))
+        assert pattern.matches(program[1]) is None
+
+    def test_instruction_predicate(self):
+        program, a, b = accumulate_program()
+        tagged = InstructionPattern(
+            opcodes=(OpCode.BH_IDENTITY,), predicate=lambda instr: instr.constant is not None
+        )
+        assert tagged.matches(program[0]) is not None
+
+    def test_failed_match_does_not_pollute_captures(self):
+        program, a, b = accumulate_program()
+        pattern = InstructionPattern(
+            opcodes=(OpCode.BH_ADD,),
+            output="x",
+            inputs=(Capture("x"), Capture("x")),  # impossible: constant != view
+        )
+        result = MatchResult()
+        assert pattern.matches(program[1], result) is None
+        assert result.captures == {}
+
+
+class TestSequencePattern:
+    def test_consecutive_match(self):
+        program, a, b = accumulate_program()
+        sequence = SequencePattern(
+            steps=(
+                InstructionPattern(opcodes=(OpCode.BH_IDENTITY,), output="acc"),
+                InstructionPattern(
+                    opcodes=(OpCode.BH_ADD,), output=Capture("acc"), inputs=None
+                ),
+            )
+        )
+        result = sequence.match_at(program, 0)
+        assert result is not None
+        assert result.indices == [0, 1]
+
+    def test_gap_tolerant_match(self):
+        program, a, b = accumulate_program()
+        sequence = SequencePattern(
+            steps=(
+                InstructionPattern(
+                    opcodes=(OpCode.BH_ADD,),
+                    output="acc",
+                    inputs=(Capture("acc"), IsConstant("first")),
+                ),
+                InstructionPattern(
+                    opcodes=(OpCode.BH_ADD,),
+                    output=Capture("acc"),
+                    inputs=(Capture("acc"), IsConstant("second")),
+                ),
+            ),
+            allow_gaps=True,
+        )
+        # add a,a,1 (index 1) ... gap: add b,a,2 ... add a,a,3 (index 3)
+        result = sequence.match_at(program, 1)
+        assert result is not None
+        assert result.indices == [1, 3]
+        assert result.constant("first").value == 1
+        assert result.constant("second").value == 3
+
+    def test_no_gaps_blocks_interleaved_match(self):
+        program, a, b = accumulate_program()
+        sequence = SequencePattern(
+            steps=(
+                InstructionPattern(
+                    opcodes=(OpCode.BH_ADD,),
+                    output="acc",
+                    inputs=(Capture("acc"), IsConstant()),
+                ),
+                InstructionPattern(
+                    opcodes=(OpCode.BH_ADD,),
+                    output=Capture("acc"),
+                    inputs=(Capture("acc"), IsConstant()),
+                ),
+            ),
+            allow_gaps=False,
+        )
+        assert sequence.match_at(program, 1) is None
+
+    def test_gap_filter_can_reject(self):
+        program, a, b = accumulate_program()
+        sequence = SequencePattern(
+            steps=(
+                InstructionPattern(opcodes=(OpCode.BH_ADD,), output="acc"),
+                InstructionPattern(opcodes=(OpCode.BH_ADD,), output=Capture("acc")),
+            ),
+            allow_gaps=True,
+            gap_filter=lambda instr: instr.opcode is not OpCode.BH_ADD or True,
+        )
+        assert sequence.match_at(program, 1) is not None
+
+    def test_find_all_non_overlapping(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        for _ in range(4):
+            builder.add(v, v, 1)
+        program = builder.build()
+        pair = SequencePattern(
+            steps=(
+                InstructionPattern(opcodes=(OpCode.BH_ADD,), output="acc"),
+                InstructionPattern(opcodes=(OpCode.BH_ADD,), output=Capture("acc")),
+            )
+        )
+        matches = pair.find_all(program)
+        assert len(matches) == 2
+        assert matches[0].indices == [0, 1]
+        assert matches[1].indices == [2, 3]

@@ -1,0 +1,156 @@
+"""Tests for basic slicing/assignment and the front-end linear algebra."""
+
+import numpy as np
+import pytest
+
+from repro import frontend as bh
+from repro.bytecode.opcodes import OpCode
+from repro.frontend import linalg
+from repro.frontend.session import reset_session
+from repro.linalg.util import random_well_conditioned
+from repro.utils.errors import FrontendError
+
+
+@pytest.fixture
+def session():
+    return reset_session(backend="interpreter", optimize=True)
+
+
+class TestIndexing:
+    def test_1d_slice_reads(self, session):
+        a = bh.arange(10)
+        assert list(a[2:6].to_numpy()) == [2, 3, 4, 5]
+        assert list(a[::3].to_numpy()) == [0, 3, 6, 9]
+        assert list(a[7:].to_numpy()) == [7, 8, 9]
+
+    def test_integer_index_returns_single_element_view(self, session):
+        a = bh.arange(10)
+        assert float(a[3]) == 3.0
+        assert float(a[-1]) == 9.0
+
+    def test_2d_slicing(self, session):
+        matrix = bh.array(np.arange(20.0).reshape(4, 5))
+        inner = matrix[1:3, 2:4]
+        assert inner.shape == (2, 2)
+        assert np.array_equal(inner.to_numpy(), [[7.0, 8.0], [12.0, 13.0]])
+
+    def test_row_and_column_selection(self, session):
+        matrix = bh.array(np.arange(12.0).reshape(3, 4))
+        assert list(matrix[1].to_numpy()) == [4.0, 5.0, 6.0, 7.0]
+        assert list(matrix[:, 2].to_numpy()) == [2.0, 6.0, 10.0]
+
+    def test_slices_share_storage_with_parent(self, session):
+        a = bh.zeros(10)
+        a[0:5] = 3.0
+        a[5:] = 7.0
+        values = a.to_numpy()
+        assert np.all(values[:5] == 3.0)
+        assert np.all(values[5:] == 7.0)
+
+    def test_setitem_with_array_value(self, session):
+        grid = bh.zeros((4, 4))
+        grid[1:3, 1:3] = bh.ones((2, 2)) * 9.0
+        values = grid.to_numpy()
+        assert values[1, 1] == 9.0
+        assert values[0, 0] == 0.0
+
+    def test_out_of_bounds_index(self, session):
+        a = bh.arange(5)
+        with pytest.raises(FrontendError):
+            a[7]
+
+    def test_too_many_indices(self, session):
+        with pytest.raises(FrontendError):
+            bh.arange(5)[1, 2]
+
+    def test_negative_step_unsupported(self, session):
+        with pytest.raises(FrontendError):
+            bh.arange(5)[::-1]
+
+    def test_fancy_indexing_unsupported(self, session):
+        with pytest.raises(FrontendError):
+            bh.arange(5)[[0, 2]]
+
+    def test_stencil_expression(self, session):
+        # One Jacobi step over a tiny grid, checked against NumPy.
+        data = np.arange(25.0).reshape(5, 5)
+        grid = bh.array(data)
+        average = (
+            grid[0:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, 0:-2] + grid[1:-1, 2:]
+        ) * 0.25
+        expected = (data[0:-2, 1:-1] + data[2:, 1:-1] + data[1:-1, 0:-2] + data[1:-1, 2:]) * 0.25
+        assert np.allclose(average.to_numpy(), expected)
+
+
+class TestFrontendLinalg:
+    def test_matmul_matrix_vector(self, session):
+        matrix = bh.array(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        vector = bh.array(np.array([1.0, 2.0]))
+        assert list(linalg.matmul(matrix, vector).to_numpy()) == [5.0, 11.0]
+
+    def test_matmul_matrix_matrix(self, session):
+        a = bh.array(np.arange(6.0).reshape(2, 3))
+        b = bh.array(np.arange(6.0).reshape(3, 2))
+        assert np.array_equal(
+            linalg.matmul(a, b).to_numpy(), np.arange(6.0).reshape(2, 3) @ np.arange(6.0).reshape(3, 2)
+        )
+
+    def test_matmul_shape_checks(self, session):
+        with pytest.raises(FrontendError):
+            linalg.matmul(bh.ones((2, 3)), bh.ones((2, 3)))
+        with pytest.raises(FrontendError):
+            linalg.matmul(bh.ones(3), bh.ones(3))
+
+    def test_inv_matches_numpy(self, session):
+        matrix_data = random_well_conditioned(6, seed=4)
+        inverse = linalg.inv(bh.array(matrix_data))
+        assert np.allclose(inverse.to_numpy(), np.linalg.inv(matrix_data))
+
+    def test_inv_requires_square(self, session):
+        with pytest.raises(FrontendError):
+            linalg.inv(bh.ones((2, 3)))
+
+    def test_solve_matches_numpy(self, session):
+        matrix_data = random_well_conditioned(8, seed=5)
+        rhs_data = np.arange(8.0)
+        solution = linalg.solve(bh.array(matrix_data), bh.array(rhs_data))
+        assert np.allclose(solution.to_numpy(), np.linalg.solve(matrix_data, rhs_data))
+
+    def test_solve_shape_checks(self, session):
+        with pytest.raises(FrontendError):
+            linalg.solve(bh.ones((3, 3)), bh.ones(4))
+
+    def test_lu_packed_factorisation(self, session):
+        matrix_data = random_well_conditioned(5, seed=6)
+        packed = linalg.lu(bh.array(matrix_data)).to_numpy()
+        assert packed.shape == (5, 5)
+
+    def test_inverse_matmul_idiom_is_rewritten(self, session):
+        matrix_data = random_well_conditioned(10, seed=7)
+        rhs_data = np.random.default_rng(7).standard_normal(10)
+        solution = linalg.inv(bh.array(matrix_data)) @ bh.array(rhs_data)
+        values = solution.to_numpy()
+        report = session.last_report
+        assert report.optimized.count(OpCode.BH_LU_SOLVE) == 1
+        assert report.optimized.count(OpCode.BH_MATRIX_INVERSE) == 0
+        assert np.allclose(values, np.linalg.solve(matrix_data, rhs_data))
+
+    def test_inverse_reuse_prevents_rewrite(self, session):
+        matrix_data = random_well_conditioned(10, seed=8)
+        rhs_data = np.random.default_rng(8).standard_normal(10)
+        inverse = linalg.inv(bh.array(matrix_data))
+        solution = inverse @ bh.array(rhs_data)
+        row_sums = inverse.sum(axis=0)
+        values = solution.to_numpy()
+        report = session.last_report
+        assert report.optimized.count(OpCode.BH_MATRIX_INVERSE, include_fused=True) == 1
+        assert np.allclose(values, np.linalg.solve(matrix_data, rhs_data))
+        assert np.allclose(row_sums.to_numpy(), np.linalg.inv(matrix_data).sum(axis=0))
+
+    def test_dot_alias_and_transpose(self, session):
+        matrix = bh.array(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        vector = bh.array(np.array([1.0, 0.0]))
+        assert list(linalg.dot(matrix, vector).to_numpy()) == [1.0, 3.0]
+        assert np.array_equal(
+            linalg.transpose(matrix).to_numpy(), np.array([[1.0, 3.0], [2.0, 4.0]])
+        )

@@ -1,0 +1,166 @@
+"""Integration tests reproducing the paper's listings and equations verbatim.
+
+Every artifact of the paper's Sections 2-3 is checked end to end:
+
+* Listing 1 / 2: the Python program and the byte-code it records.
+* Listing 3: the constant-merged byte-code.
+* Equation 1 / Listings 4-5: power expansion, naive and square-and-multiply.
+* Equation 2: the linear-solve rewrite with its "not used elsewhere" caveat.
+"""
+
+import numpy as np
+import pytest
+
+from repro import format_program, optimize, parse_program
+from repro import frontend as bh
+from repro.bytecode.opcodes import OpCode
+from repro.core.addition_chains import naive_chain, power_of_two_chain
+from repro.core.power_expansion import expand_power
+from repro.frontend.session import reset_session
+from repro.runtime.interpreter import NumPyInterpreter
+from repro.workloads import power_program
+
+
+class TestListing1And2:
+    """The Python program of Listing 1 records the byte-code of Listing 2."""
+
+    def test_recorded_bytecode_matches_listing_2(self):
+        session = reset_session(backend="interpreter", optimize=False)
+        a = bh.zeros(10)
+        a += 1
+        a += 1
+        a += 1
+        recorded = format_program(session.pending)
+        expected_opcodes = [
+            OpCode.BH_IDENTITY,
+            OpCode.BH_ADD,
+            OpCode.BH_ADD,
+            OpCode.BH_ADD,
+        ]
+        assert [instr.opcode for instr in session.pending] == expected_opcodes
+        # every add reads and writes the same full view of the same register,
+        # with the constant 1, exactly as the listing shows
+        for add in list(session.pending)[1:]:
+            assert add.out.same_view(add.input_views[0])
+            assert add.constant.value == 1
+        assert "BH_ADD" in recorded and "[0:10:1]" in recorded
+
+    def test_printed_result_matches_listing_1(self):
+        reset_session(backend="interpreter", optimize=False)
+        a = bh.zeros(10)
+        a += 1
+        a += 1
+        a += 1
+        assert np.array_equal(a.to_numpy(), np.full(10, 3.0))
+
+
+class TestListing3:
+    """The optimizer contracts Listing 2 into Listing 3."""
+
+    LISTING_2 = """
+    BH_IDENTITY a0[0:10:1] 0
+    BH_ADD a0[0:10:1] a0[0:10:1] 1
+    BH_ADD a0[0:10:1] a0[0:10:1] 1
+    BH_ADD a0[0:10:1] a0[0:10:1] 1
+    BH_SYNC a0[0:10:1]
+    """
+
+    def test_three_adds_merge_into_one_add_of_three(self):
+        program = parse_program(self.LISTING_2)
+        report = optimize(program, enabled_passes=["constant_merge"])
+        optimized = report.optimized
+        assert len(optimized) == 3  # identity, one add, sync — Listing 3
+        add = [i for i in optimized if i.opcode is OpCode.BH_ADD][0]
+        assert add.constant.value == 3
+
+    def test_optimized_program_produces_the_same_vector(self):
+        program = parse_program(self.LISTING_2)
+        report = optimize(program)
+        out_view = program.synced_views()[0]
+        original = NumPyInterpreter().execute(program).value(out_view)
+        optimized = NumPyInterpreter().execute(report.optimized).value(out_view)
+        assert np.array_equal(original, optimized)
+
+
+class TestEquation1AndListings4And5:
+    """Power expansion: x^10 as 9 multiplies (naive) or 5 (result reuse)."""
+
+    def test_equation_1_power_equals_repeated_multiplication(self):
+        # x^n == prod of n copies of x for natural n — checked numerically.
+        program, out, memory = power_program(32, 7)
+        x = memory.read_view(program[0].input_views[0])
+        result = NumPyInterpreter().execute(program, memory.clone()).value(out)
+        assert np.allclose(result, np.prod(np.stack([x] * 7), axis=0))
+
+    def test_listing_4_nine_multiplies(self):
+        assert naive_chain(10).num_multiplies == 9
+        program, _, _ = power_program(16, 10)
+        expanded = expand_power(program[0], strategy="naive")
+        assert len(expanded) == 9
+        assert all(i.opcode is OpCode.BH_MULTIPLY for i in expanded)
+
+    def test_listing_5_five_multiplies_via_result_reuse(self):
+        chain = power_of_two_chain(10)
+        assert chain.values == (1, 2, 4, 8, 9, 10)
+        program, _, _ = power_program(16, 10)
+        expanded = expand_power(program[0], strategy="power_of_two")
+        assert len(expanded) == 5
+        # the listing's exact dataflow: a1 = a0*a0; a1 = a1*a1; a1 = a1*a1;
+        # a1 = a1*a0; a1 = a1*a0
+        out = program[0].out
+        origin = program[0].input_views[0]
+        expected_inputs = [
+            (origin, origin),
+            (out, out),
+            (out, out),
+            (out, origin),
+            (out, origin),
+        ]
+        for instruction, (left, right) in zip(expanded, expected_inputs):
+            assert instruction.out.same_view(out)
+            assert instruction.input_views[0].same_view(left)
+            assert instruction.input_views[1].same_view(right)
+
+    def test_frontend_power_is_expanded_by_default(self):
+        session = reset_session(backend="interpreter", optimize=True)
+        x = bh.full(64, 1.01)
+        y = x ** 10
+        values = y.to_numpy()
+        report = session.last_report
+        assert report.optimized.count(OpCode.BH_POWER, include_fused=True) == 0
+        assert report.optimized.count(OpCode.BH_MULTIPLY, include_fused=True) == 5
+        assert np.allclose(values, 1.01 ** 10)
+
+
+class TestEquation2:
+    """x = inv(A) @ b is rewritten to an LU solve unless the inverse is reused."""
+
+    def test_idiom_rewritten_and_correct(self):
+        from repro.linalg.util import random_well_conditioned
+
+        session = reset_session(backend="interpreter", optimize=True)
+        matrix_data = random_well_conditioned(32, seed=1)
+        rhs_data = np.random.default_rng(1).standard_normal(32)
+        x = bh.linalg.inv(bh.array(matrix_data)) @ bh.array(rhs_data)
+        values = x.to_numpy()
+        report = session.last_report
+        assert report.optimized.count(OpCode.BH_LU_SOLVE) == 1
+        assert report.optimized.count(OpCode.BH_MATRIX_INVERSE) == 0
+        assert np.allclose(values, np.linalg.solve(matrix_data, rhs_data))
+
+    def test_paper_caveat_inverse_used_elsewhere(self):
+        """"only faster, if we do not use the inverse for anything else"""
+        from repro.linalg.util import random_well_conditioned
+
+        session = reset_session(backend="interpreter", optimize=True)
+        matrix_data = random_well_conditioned(16, seed=2)
+        rhs_data = np.random.default_rng(2).standard_normal(16)
+        inverse = bh.linalg.inv(bh.array(matrix_data))
+        x = inverse @ bh.array(rhs_data)
+        values = x.to_numpy()
+        report = session.last_report
+        assert report.optimized.count(OpCode.BH_MATRIX_INVERSE) == 1
+        assert report.optimized.count(OpCode.BH_LU_SOLVE) == 0
+        assert np.allclose(values, np.linalg.solve(matrix_data, rhs_data))
+        # the held inverse must still be observable and correct afterwards
+        assert np.allclose(inverse.to_numpy(), np.linalg.inv(matrix_data))

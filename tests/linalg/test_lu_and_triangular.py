@@ -1,0 +1,103 @@
+"""Tests for the from-scratch LU factorisation and triangular solves."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.lu import (
+    apply_pivots,
+    lu_factor,
+    lu_reconstruct,
+    lu_unpack,
+    permutation_from_pivots,
+)
+from repro.linalg.triangular import back_substitution, forward_substitution
+from repro.linalg.util import random_well_conditioned
+from repro.utils.errors import ExecutionError
+
+
+class TestLUFactor:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 17, 40])
+    def test_reconstruction(self, n):
+        matrix = random_well_conditioned(n, seed=n)
+        packed, pivots = lu_factor(matrix)
+        assert np.allclose(lu_reconstruct(packed, pivots), matrix)
+
+    def test_unpack_shapes_and_structure(self):
+        matrix = random_well_conditioned(5, seed=1)
+        packed, _ = lu_factor(matrix)
+        lower, upper = lu_unpack(packed)
+        assert np.allclose(np.diag(lower), 1.0)
+        assert np.allclose(np.triu(lower, k=1), 0.0)
+        assert np.allclose(np.tril(upper, k=-1), 0.0)
+
+    def test_known_small_example(self):
+        matrix = np.array([[4.0, 3.0], [6.0, 3.0]])
+        packed, pivots = lu_factor(matrix)
+        lower, upper = lu_unpack(packed)
+        permutation = permutation_from_pivots(pivots)
+        assert np.allclose(permutation @ matrix, lower @ upper)
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        packed, pivots = lu_factor(matrix)
+        assert np.allclose(lu_reconstruct(packed, pivots), matrix)
+
+    def test_singular_matrix_rejected(self):
+        singular = np.array([[1.0, 2.0], [2.0, 4.0]])
+        with pytest.raises(ExecutionError, match="singular"):
+            lu_factor(singular)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ExecutionError):
+            lu_factor(np.zeros((2, 3)))
+
+    def test_input_not_modified(self):
+        matrix = random_well_conditioned(4, seed=9)
+        copy = matrix.copy()
+        lu_factor(matrix)
+        assert np.array_equal(matrix, copy)
+
+    def test_apply_pivots_matches_permutation_matrix(self):
+        matrix = random_well_conditioned(6, seed=2)
+        vector = np.arange(6.0)
+        _, pivots = lu_factor(matrix)
+        permutation = permutation_from_pivots(pivots)
+        assert np.allclose(apply_pivots(vector, pivots), permutation @ vector)
+
+
+class TestTriangularSolves:
+    def test_forward_substitution(self):
+        lower = np.array([[2.0, 0.0, 0.0], [1.0, 3.0, 0.0], [4.0, 5.0, 6.0]])
+        rhs = np.array([2.0, 5.0, 32.0])
+        solution = forward_substitution(lower, rhs)
+        assert np.allclose(lower @ solution, rhs)
+
+    def test_forward_substitution_unit_diagonal_ignores_diagonal(self):
+        lower = np.array([[99.0, 0.0], [2.0, 99.0]])
+        rhs = np.array([1.0, 4.0])
+        solution = forward_substitution(lower, rhs, unit_diagonal=True)
+        assert np.allclose(solution, [1.0, 2.0])
+
+    def test_back_substitution(self):
+        upper = np.array([[2.0, 1.0, 1.0], [0.0, 3.0, 2.0], [0.0, 0.0, 4.0]])
+        rhs = np.array([7.0, 8.0, 4.0])
+        solution = back_substitution(upper, rhs)
+        assert np.allclose(upper @ solution, rhs)
+
+    def test_matrix_right_hand_sides(self):
+        lower = np.tril(random_well_conditioned(5, seed=3))
+        rhs = np.arange(10.0).reshape(5, 2)
+        solution = forward_substitution(lower, rhs)
+        assert np.allclose(lower @ solution, rhs)
+
+    def test_zero_diagonal_rejected(self):
+        with pytest.raises(ExecutionError):
+            forward_substitution(np.array([[0.0, 0.0], [1.0, 1.0]]), np.ones(2))
+        with pytest.raises(ExecutionError):
+            back_substitution(np.array([[1.0, 1.0], [0.0, 0.0]]), np.ones(2))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ExecutionError):
+            forward_substitution(np.eye(3), np.ones(4))
+        with pytest.raises(ExecutionError):
+            back_substitution(np.zeros((2, 3)), np.ones(2))

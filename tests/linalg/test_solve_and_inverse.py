@@ -1,0 +1,100 @@
+"""Tests for the LU-based solver, the Gauss-Jordan inverse and utilities."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    determinant,
+    inverse,
+    is_singular,
+    lu_factor,
+    lu_solve,
+    matmul,
+    random_well_conditioned,
+    solve,
+    solve_via_inverse,
+)
+from repro.utils.errors import ExecutionError
+
+
+class TestSolve:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 33, 64])
+    def test_solution_satisfies_system(self, n):
+        matrix = random_well_conditioned(n, seed=n + 100)
+        rhs = np.random.default_rng(n).standard_normal(n)
+        solution = solve(matrix, rhs)
+        assert np.allclose(matrix @ solution, rhs, atol=1e-8)
+
+    def test_matches_numpy_reference(self):
+        matrix = random_well_conditioned(20, seed=5)
+        rhs = np.arange(20.0)
+        assert np.allclose(solve(matrix, rhs), np.linalg.solve(matrix, rhs))
+
+    def test_multiple_right_hand_sides(self):
+        matrix = random_well_conditioned(8, seed=6)
+        rhs = np.random.default_rng(6).standard_normal((8, 3))
+        solution = solve(matrix, rhs)
+        assert solution.shape == (8, 3)
+        assert np.allclose(matrix @ solution, rhs)
+
+    def test_lu_solve_reuses_factorisation(self):
+        matrix = random_well_conditioned(12, seed=7)
+        factorisation = lu_factor(matrix)
+        for seed in range(3):
+            rhs = np.random.default_rng(seed).standard_normal(12)
+            assert np.allclose(matrix @ lu_solve(factorisation, rhs), rhs)
+
+
+class TestInverse:
+    @pytest.mark.parametrize("n", [1, 2, 5, 16, 40])
+    def test_inverse_times_matrix_is_identity(self, n):
+        matrix = random_well_conditioned(n, seed=n + 3)
+        assert np.allclose(inverse(matrix) @ matrix, np.eye(n), atol=1e-8)
+
+    def test_matches_numpy_reference(self):
+        matrix = random_well_conditioned(10, seed=11)
+        assert np.allclose(inverse(matrix), np.linalg.inv(matrix))
+
+    def test_singular_rejected(self):
+        with pytest.raises(ExecutionError):
+            inverse(np.array([[1.0, 2.0], [2.0, 4.0]]))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ExecutionError):
+            inverse(np.zeros((3, 2)))
+
+    def test_solve_via_inverse_agrees_with_lu_solve(self):
+        matrix = random_well_conditioned(25, seed=13)
+        rhs = np.random.default_rng(13).standard_normal(25)
+        assert np.allclose(solve_via_inverse(matrix, rhs), solve(matrix, rhs))
+
+
+class TestUtilities:
+    def test_determinant_matches_numpy(self):
+        matrix = random_well_conditioned(7, seed=17)
+        assert determinant(matrix) == pytest.approx(np.linalg.det(matrix), rel=1e-9)
+
+    def test_determinant_sign_with_pivoting(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert determinant(matrix) == pytest.approx(-1.0)
+
+    def test_is_singular(self):
+        assert is_singular(np.array([[1.0, 2.0], [2.0, 4.0]]))
+        assert not is_singular(random_well_conditioned(4, seed=19))
+
+    def test_matmul_wrapper(self):
+        a = np.arange(6.0).reshape(2, 3)
+        b = np.arange(3.0)
+        assert np.allclose(matmul(a, b), a @ b)
+
+    def test_random_well_conditioned_is_reproducible(self):
+        assert np.array_equal(
+            random_well_conditioned(6, seed=1), random_well_conditioned(6, seed=1)
+        )
+        assert not np.array_equal(
+            random_well_conditioned(6, seed=1), random_well_conditioned(6, seed=2)
+        )
+
+    def test_random_well_conditioned_not_singular(self):
+        for seed in range(5):
+            assert not is_singular(random_well_conditioned(12, seed=seed))

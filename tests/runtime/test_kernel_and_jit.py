@@ -1,0 +1,130 @@
+"""Tests for kernel clustering, kernel compilation and the fusing JIT backend."""
+
+import numpy as np
+import pytest
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.program import Program
+from repro.runtime.interpreter import NumPyInterpreter
+from repro.runtime.jit import FusingJIT
+from repro.runtime.kernel import Kernel, partition_into_kernels
+from repro.runtime.memory import MemoryManager
+
+
+def chain_program(length=6, size=16):
+    builder = ProgramBuilder()
+    vector = builder.new_vector(size)
+    builder.identity(vector, 1)
+    for _ in range(length):
+        builder.add(vector, vector, 1)
+    builder.sync(vector)
+    return builder.build(), vector
+
+
+class TestPartitioning:
+    def test_consecutive_elementwise_cluster_together(self):
+        program, _ = chain_program(length=5)
+        partition = partition_into_kernels(program)
+        kernels = [item for item in partition if isinstance(item, Kernel)]
+        assert len(kernels) == 1
+        assert kernels[0].size == 6  # identity + 5 adds
+        # the trailing SYNC stays a bare instruction
+        assert partition[-1].opcode is OpCode.BH_SYNC
+
+    def test_non_elementwise_cuts_the_kernel(self):
+        builder = ProgramBuilder()
+        vector = builder.new_vector(8)
+        total = builder.new_vector(1)
+        builder.identity(vector, 1)
+        builder.add(vector, vector, 1)
+        builder.add_reduce(total, vector, axis=0)
+        builder.add(vector, vector, 1)
+        program = builder.build()
+        partition = partition_into_kernels(program)
+        kernels = [item for item in partition if isinstance(item, Kernel)]
+        assert [k.size for k in kernels] == [2, 1]
+
+    def test_shape_change_cuts_the_kernel(self):
+        builder = ProgramBuilder()
+        small = builder.new_vector(4)
+        large = builder.new_vector(8)
+        builder.identity(small, 1)
+        builder.identity(large, 1)
+        partition = partition_into_kernels(builder.build())
+        kernels = [item for item in partition if isinstance(item, Kernel)]
+        assert [k.size for k in kernels] == [1, 1]
+
+    def test_max_kernel_size_respected(self):
+        program, _ = chain_program(length=9)  # 10 element-wise byte-codes
+        partition = partition_into_kernels(program, max_kernel_size=4)
+        kernels = [item for item in partition if isinstance(item, Kernel)]
+        assert [k.size for k in kernels] == [4, 4, 2]
+
+    def test_kernel_metadata(self):
+        program, vector = chain_program(length=2)
+        kernel = [item for item in partition_into_kernels(program) if isinstance(item, Kernel)][0]
+        assert kernel.shape == (16,)
+        assert vector in kernel.output_views()
+        assert vector in kernel.input_views()
+
+
+class TestKernelCompilation:
+    def test_compiled_kernel_computes_the_chain(self):
+        program, vector = chain_program(length=4)
+        kernel = [item for item in partition_into_kernels(program) if isinstance(item, Kernel)][0]
+        memory = MemoryManager()
+        kernel.compile()(memory)
+        assert np.all(memory.read_view(vector) == 5.0)
+
+    def test_as_instruction_wraps_payload(self):
+        program, _ = chain_program(length=3)
+        kernel = [item for item in partition_into_kernels(program) if isinstance(item, Kernel)][0]
+        fused = kernel.as_instruction(tag="test")
+        assert fused.opcode is OpCode.BH_FUSED
+        assert len(fused.kernel) == kernel.size
+
+
+class TestFusingJIT:
+    def test_results_match_interpreter(self):
+        program, vector = chain_program(length=7)
+        reference = NumPyInterpreter().execute(program).value(vector)
+        jit_result = FusingJIT().execute(program).value(vector)
+        assert np.array_equal(reference, jit_result)
+
+    def test_fewer_kernel_launches_than_interpreter(self):
+        program, _ = chain_program(length=7)
+        interpreter_launches = NumPyInterpreter().execute(program).stats.kernel_launches
+        jit_launches = FusingJIT().execute(program).stats.kernel_launches
+        assert interpreter_launches == 8
+        assert jit_launches == 1
+
+    def test_kernel_cache_hits_on_repeated_execution(self):
+        program, _ = chain_program(length=5)
+        jit = FusingJIT()
+        jit.execute(program)
+        assert jit.cache_misses >= 1
+        before_hits = jit.cache_hits
+        jit.execute(program)
+        assert jit.cache_hits > before_hits
+
+    def test_mixed_program_with_reduction(self):
+        builder = ProgramBuilder()
+        vector = builder.new_vector(6)
+        total = builder.new_vector(1)
+        builder.arange(vector)
+        builder.add(vector, vector, 1)
+        builder.multiply(vector, vector, 2)
+        builder.add_reduce(total, vector, axis=0)
+        program = builder.build()
+        result = FusingJIT().execute(program)
+        assert result.scalar(total) == float(sum((i + 1) * 2 for i in range(6)))
+
+    def test_respects_preexisting_fused_instructions(self):
+        program, vector = chain_program(length=3)
+        kernel = [item for item in partition_into_kernels(program) if isinstance(item, Kernel)][0]
+        wrapped = Program([kernel.as_instruction(), program[-1]])
+        result = FusingJIT().execute(wrapped)
+        assert np.all(result.value(vector) == 4.0)
+        assert result.stats.kernel_launches == 1

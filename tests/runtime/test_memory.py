@@ -1,0 +1,117 @@
+"""Tests for the memory manager."""
+
+import numpy as np
+import pytest
+
+from repro.bytecode.base import BaseArray
+from repro.bytecode.dtypes import int64
+from repro.bytecode.view import View
+from repro.runtime.memory import MemoryManager
+from repro.utils.errors import AllocationError
+
+
+class TestAllocation:
+    def test_allocation_is_zero_initialised(self):
+        memory = MemoryManager()
+        base = BaseArray(5)
+        assert np.all(memory.allocate(base) == 0.0)
+
+    def test_allocation_is_idempotent(self):
+        memory = MemoryManager()
+        base = BaseArray(5)
+        first = memory.allocate(base)
+        first[:] = 7.0
+        second = memory.allocate(base)
+        assert second is first
+
+    def test_accounting(self):
+        memory = MemoryManager()
+        base = BaseArray(1000)  # 8000 bytes
+        memory.allocate(base)
+        assert memory.bytes_allocated == 8000
+        assert memory.peak_bytes == 8000
+        memory.free(base)
+        assert memory.bytes_allocated == 0
+        assert memory.peak_bytes == 8000
+        assert memory.allocation_count == 1
+        assert memory.free_count == 1
+
+    def test_free_unallocated_is_noop(self):
+        memory = MemoryManager()
+        memory.free(BaseArray(4))
+        assert memory.free_count == 0
+
+    def test_free_all(self):
+        memory = MemoryManager()
+        bases = [BaseArray(4) for _ in range(3)]
+        for base in bases:
+            memory.allocate(base)
+        memory.free_all()
+        assert memory.bytes_allocated == 0
+        assert list(memory.live_bases()) == []
+
+    def test_set_data_copies(self):
+        memory = MemoryManager()
+        base = BaseArray(4)
+        source = np.array([1.0, 2.0, 3.0, 4.0])
+        memory.set_data(base, source)
+        source[0] = 99.0
+        assert memory.allocate(base)[0] == 1.0
+
+    def test_set_data_wrong_size(self):
+        memory = MemoryManager()
+        with pytest.raises(AllocationError):
+            memory.set_data(BaseArray(4), np.zeros(5))
+
+    def test_set_data_casts_dtype(self):
+        memory = MemoryManager()
+        base = BaseArray(3, int64)
+        memory.set_data(base, np.array([1.9, 2.1, 3.0]))
+        assert memory.allocate(base).dtype == np.int64
+
+
+class TestViews:
+    def test_view_array_shares_storage(self):
+        memory = MemoryManager()
+        base = BaseArray(10)
+        window = memory.view_array(View(base, 2, (3,), (1,)))
+        window[:] = 5.0
+        flat = memory.allocate(base)
+        assert list(flat[2:5]) == [5.0, 5.0, 5.0]
+        assert flat[0] == 0.0
+
+    def test_strided_view(self):
+        memory = MemoryManager()
+        base = BaseArray(10)
+        memory.set_data(base, np.arange(10.0))
+        evens = memory.view_array(View(base, 0, (5,), (2,)))
+        assert list(evens) == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+    def test_matrix_view(self):
+        memory = MemoryManager()
+        base = BaseArray(6)
+        memory.set_data(base, np.arange(6.0))
+        matrix = memory.view_array(View.full(base, (2, 3)))
+        assert matrix.shape == (2, 3)
+        assert matrix[1, 2] == 5.0
+
+    def test_read_view_is_a_copy(self):
+        memory = MemoryManager()
+        base = BaseArray(4)
+        copy = memory.read_view(View.full(base))
+        copy[:] = 9.0
+        assert np.all(memory.allocate(base) == 0.0)
+
+    def test_write_view_broadcasts(self):
+        memory = MemoryManager()
+        base = BaseArray(4)
+        memory.write_view(View.full(base), 3.5)
+        assert np.all(memory.allocate(base) == 3.5)
+
+    def test_clone_is_independent(self):
+        memory = MemoryManager()
+        base = BaseArray(4)
+        memory.set_data(base, np.ones(4))
+        clone = memory.clone()
+        memory.write_view(View.full(base), 2.0)
+        assert np.all(clone.read_view(View.full(base)) == 1.0)

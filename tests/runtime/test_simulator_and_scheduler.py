@@ -1,0 +1,181 @@
+"""Tests for the simulated accelerator cost model, backend registry and scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.program import Program
+from repro.runtime.backend import available_backends, get_backend
+from repro.runtime.interpreter import NumPyInterpreter
+from repro.runtime.scheduler import merge_batches, split_into_batches
+from repro.runtime.simulator import (
+    DEVICE_PROFILES,
+    DeviceProfile,
+    SimulatedAccelerator,
+    instruction_bytes,
+    instruction_flops,
+    simulate_program_time,
+)
+from repro.utils.errors import CostModelError, ExecutionError
+
+
+def simple_program(size=1000, adds=3):
+    builder = ProgramBuilder()
+    vector = builder.new_vector(size)
+    builder.identity(vector, 0)
+    for _ in range(adds):
+        builder.add(vector, vector, 1)
+    builder.sync(vector)
+    return builder.build(), vector
+
+
+class TestDeviceProfiles:
+    def test_builtin_profiles_exist(self):
+        assert {"gpu", "multicore", "single_core"} <= set(DEVICE_PROFILES)
+
+    def test_roofline_takes_the_maximum(self):
+        profile = DeviceProfile("test", 0.0, flops_per_second=10.0, bytes_per_second=1.0)
+        assert profile.roofline_time(flops=100, bytes_moved=1) == pytest.approx(10.0)
+        assert profile.roofline_time(flops=1, bytes_moved=100) == pytest.approx(100.0)
+
+
+class TestInstructionCosts:
+    def test_flops_scale_with_elements(self):
+        program, _ = simple_program(size=1000, adds=1)
+        add = program[1]
+        assert instruction_flops(add) == 1000.0
+
+    def test_power_is_much_more_expensive_than_multiply(self):
+        builder = ProgramBuilder()
+        x = builder.new_vector(100)
+        y = builder.new_vector(100)
+        builder.power(y, x, 10)
+        builder.multiply(y, y, x)
+        program = builder.build()
+        assert instruction_flops(program[0]) > 10 * instruction_flops(program[1])
+
+    def test_extension_flop_models(self):
+        builder = ProgramBuilder()
+        a = builder.new_matrix(10, 10)
+        b = builder.new_vector(10)
+        inv = builder.new_matrix(10, 10)
+        x = builder.new_vector(10)
+        builder.matrix_inverse(inv, a)
+        builder.lu_solve(x, a, b)
+        program = builder.build()
+        inverse_flops = instruction_flops(program[0])
+        solve_flops = instruction_flops(program[1])
+        assert inverse_flops == pytest.approx(2.0 * 10 ** 3)
+        # LU solve is roughly a third of the inversion cost for one RHS.
+        assert solve_flops < inverse_flops / 2
+
+    def test_system_instructions_are_free(self):
+        program, vector = simple_program()
+        sync = program[-1]
+        assert instruction_flops(sync) == 0.0
+        assert instruction_bytes(sync) == 0.0
+
+    def test_fused_bytes_count_each_operand_once(self):
+        program, vector = simple_program(size=1000, adds=3)
+        from repro.runtime.kernel import Kernel, partition_into_kernels
+
+        kernel = [k for k in partition_into_kernels(program) if isinstance(k, Kernel)][0]
+        fused = kernel.as_instruction()
+        # One distinct view of 1000 float64 elements = 8000 bytes.
+        assert instruction_bytes(fused) == 8000.0
+        # Unfused, the same byte-codes move 7 views' worth of data.
+        unfused_total = sum(instruction_bytes(instr) for instr in kernel.instructions)
+        assert unfused_total == 7 * 8000.0
+
+    def test_unknown_opcode_raises_cost_model_error(self):
+        builder = ProgramBuilder()
+        v = builder.new_matrix(2, 2)
+        src = builder.new_matrix(2, 2)
+        lu = Instruction(OpCode.BH_LU, (v, src))
+        assert instruction_flops(lu) > 0  # BH_LU is modelled
+        fused_without_payload = Instruction(OpCode.BH_NONE, ())
+        assert instruction_flops(fused_without_payload) == 0.0
+
+
+class TestSimulatedTime:
+    def test_fewer_instructions_cost_less(self):
+        long_program, _ = simple_program(size=100_000, adds=8)
+        short_program, _ = simple_program(size=100_000, adds=1)
+        profile = DEVICE_PROFILES["gpu"]
+        assert simulate_program_time(short_program, profile) < simulate_program_time(
+            long_program, profile
+        )
+
+    def test_launch_overhead_dominates_small_arrays(self):
+        tiny, _ = simple_program(size=8, adds=4)
+        profile = DEVICE_PROFILES["gpu"]
+        total = simulate_program_time(tiny, profile)
+        launches = 5  # identity + 4 adds
+        assert total == pytest.approx(launches * profile.kernel_launch_overhead_s, rel=0.05)
+
+    def test_backend_reports_simulated_time_and_correct_values(self):
+        program, vector = simple_program(size=64, adds=2)
+        backend = SimulatedAccelerator("gpu")
+        result = backend.execute(program)
+        assert np.all(result.value(vector) == 2.0)
+        assert result.stats.simulated_time_seconds > 0
+        assert result.stats.simulated_time_seconds == pytest.approx(backend.estimate(program))
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(CostModelError):
+            SimulatedAccelerator("quantum")
+
+
+class TestBackendRegistry:
+    def test_available_backends(self):
+        assert {"interpreter", "jit", "simulator"} <= set(available_backends())
+
+    def test_get_backend_by_name(self):
+        assert isinstance(get_backend("interpreter"), NumPyInterpreter)
+
+    def test_get_backend_passthrough(self):
+        backend = NumPyInterpreter()
+        assert get_backend(backend) is backend
+
+    def test_unknown_backend(self):
+        with pytest.raises(ExecutionError):
+            get_backend("tpu")
+
+
+class TestScheduler:
+    def test_split_on_sync(self):
+        builder = ProgramBuilder()
+        a = builder.new_vector(4)
+        b = builder.new_vector(4)
+        builder.identity(a, 1)
+        builder.sync(a)
+        builder.identity(b, 2)
+        builder.sync(b)
+        batches = split_into_batches(builder.build())
+        assert len(batches) == 2
+        assert all(batch[-1].opcode is OpCode.BH_SYNC for batch in batches)
+
+    def test_trailing_instructions_form_final_batch(self):
+        builder = ProgramBuilder()
+        a = builder.new_vector(4)
+        builder.identity(a, 1)
+        builder.sync(a)
+        builder.add(a, a, 1)
+        batches = split_into_batches(builder.build())
+        assert len(batches) == 2
+        assert len(batches[1]) == 1
+
+    def test_no_split(self):
+        program, _ = simple_program()
+        batches = split_into_batches(program, split_on_sync=False)
+        assert len(batches) == 1
+        assert len(batches[0]) == len(program)
+
+    def test_merge_round_trip(self):
+        program, _ = simple_program()
+        assert merge_batches(split_into_batches(program)) == program
+
+    def test_empty_program(self):
+        assert split_into_batches(Program()) == []

@@ -1,0 +1,115 @@
+"""Tests for the ``repro-opt`` command-line tool."""
+
+import io
+
+import pytest
+
+from repro.tools.cli import build_parser, main, run
+
+LISTING_2 = """\
+BH_IDENTITY a0[0:10:1] 0
+BH_ADD a0[0:10:1] a0[0:10:1] 1
+BH_ADD a0[0:10:1] a0[0:10:1] 1
+BH_ADD a0[0:10:1] a0[0:10:1] 1
+BH_SYNC a0[0:10:1]
+"""
+
+POWER_LISTING = """\
+BH_RANGE a0[0:64:1]
+BH_POWER a1[0:64:1] a0[0:64:1] 10
+BH_SYNC a1[0:64:1]
+"""
+
+
+@pytest.fixture
+def listing_file(tmp_path):
+    path = tmp_path / "listing2.bh"
+    path.write_text(LISTING_2)
+    return str(path)
+
+
+def run_cli(args_list):
+    """Run the tool with a string-capturing stdout; returns (exit code, output)."""
+    parser = build_parser()
+    args = parser.parse_args(args_list)
+    out = io.StringIO()
+    code = run(args, out=out)
+    return code, out.getvalue()
+
+
+class TestBasicOperation:
+    def test_optimizes_listing_2(self, listing_file):
+        code, output = run_cli([listing_file])
+        assert code == 0
+        assert "BH_ADD" in output
+        assert " 3" in output                      # the merged constant
+        assert "constant_merge" in output          # the report mentions the pass
+        assert "cost model" in output
+
+    def test_quiet_mode_prints_only_the_listing(self, listing_file):
+        code, output = run_cli([listing_file, "--quiet"])
+        assert code == 0
+        assert "optimization summary" not in output
+        assert "cost model" not in output
+        assert output.strip().startswith("BH_")
+
+    def test_verify_flag(self, listing_file):
+        code, output = run_cli([listing_file, "--verify"])
+        assert code == 0
+        assert "semantic verification: passed" in output
+
+    def test_stdin_input(self, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO(LISTING_2))
+        code, output = run_cli(["-"])
+        assert code == 0
+        assert "BH_ADD" in output
+
+    def test_pass_subset(self, listing_file):
+        code, output = run_cli([listing_file, "--passes", "constant_merge", "--quiet"])
+        assert code == 0
+        # fusion did not run, so no BH_FUSED wrapper appears
+        assert "BH_FUSED" not in output
+        assert output.count("BH_ADD") == 1
+
+    def test_power_strategy_option(self, tmp_path):
+        path = tmp_path / "power.bh"
+        path.write_text(POWER_LISTING)
+        code_naive, out_naive = run_cli([str(path), "--power-strategy", "naive", "--quiet"])
+        code_paper, out_paper = run_cli([str(path), "--power-strategy", "power_of_two", "--quiet"])
+        assert code_naive == 0 and code_paper == 0
+        assert out_naive.count("BH_MULTIPLY") == 9
+        assert out_paper.count("BH_MULTIPLY") == 5
+
+    def test_extended_pipeline_flag(self, listing_file):
+        code, output = run_cli([listing_file, "--extended", "--quiet"])
+        assert code == 0
+        # constant folding collapses everything into one initialisation
+        assert "BH_ADD" not in output
+
+    def test_list_passes(self):
+        code, output = run_cli(["--list-passes"])
+        assert code == 0
+        assert "constant_merge" in output
+        assert "pipeline order" in output
+
+    def test_profile_option(self, listing_file):
+        code, output = run_cli([listing_file, "--profile", "multicore"])
+        assert code == 0
+        assert "multicore profile" in output
+
+
+class TestErrorHandling:
+    def test_missing_file(self):
+        assert main(["/nonexistent/path.bh"]) == 1
+
+    def test_unknown_pass(self, listing_file):
+        assert main([listing_file, "--passes", "turbo"]) == 1
+
+    def test_parse_error(self, tmp_path):
+        path = tmp_path / "bad.bh"
+        path.write_text("BH_NOT_A_THING a0[0:4:1] 1\n")
+        assert main([str(path)]) == 1
+
+    def test_main_happy_path(self, listing_file, capsys):
+        assert main([listing_file, "--quiet"]) == 0
+        assert "BH_" in capsys.readouterr().out

@@ -1,0 +1,107 @@
+"""Tests for configuration, timing helpers and the error hierarchy."""
+
+import time
+
+import pytest
+
+from repro.utils import (
+    Config,
+    ExecutionError,
+    ReproError,
+    RewriteError,
+    StopWatch,
+    Timer,
+    ValidationError,
+    config_override,
+    get_config,
+    set_config,
+)
+from repro.utils.errors import ParseError
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = Config()
+        assert config.default_backend == "interpreter"
+        assert config.optimize is True
+        assert config.verify_rewrites is False
+        assert config.power_expansion_limit == 64
+
+    def test_global_get_set(self):
+        custom = Config(default_backend="jit")
+        set_config(custom)
+        assert get_config().default_backend == "jit"
+
+    def test_set_config_type_checked(self):
+        with pytest.raises(TypeError):
+            set_config({"default_backend": "jit"})
+
+    def test_replace_returns_new_object(self):
+        config = Config()
+        changed = config.replace(optimize=False)
+        assert changed is not config
+        assert changed.optimize is False
+        assert config.optimize is True
+
+    def test_copy_is_deep(self):
+        config = Config(enabled_passes=["dce"])
+        copied = config.copy()
+        copied.enabled_passes.append("fusion")
+        assert config.enabled_passes == ["dce"]
+
+    def test_config_override_restores_previous(self):
+        baseline = get_config()
+        with config_override(optimize=False, power_expansion_limit=4) as overridden:
+            assert get_config() is overridden
+            assert get_config().optimize is False
+            assert get_config().power_expansion_limit == 4
+        assert get_config().optimize is baseline.optimize
+
+    def test_config_override_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with config_override(optimize=False):
+                raise RuntimeError("boom")
+        assert get_config().optimize is True
+
+
+class TestTimers:
+    def test_timer_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+
+    def test_timer_without_run_is_zero(self):
+        assert Timer().elapsed == 0.0
+
+    def test_stopwatch_accumulates_segments(self):
+        watch = StopWatch()
+        watch.start("phase")
+        time.sleep(0.005)
+        first = watch.stop("phase")
+        watch.add("phase", 0.1)
+        assert watch.segments["phase"] == pytest.approx(first + 0.1)
+        assert watch.counts["phase"] == 2
+        assert watch.total() == pytest.approx(watch.segments["phase"])
+
+    def test_stopwatch_stop_without_start(self):
+        assert StopWatch().stop("missing") == 0.0
+
+    def test_stopwatch_merge(self):
+        first, second = StopWatch(), StopWatch()
+        first.add("a", 1.0)
+        second.add("a", 2.0)
+        second.add("b", 3.0)
+        first.merge(second)
+        assert first.segments == {"a": 3.0, "b": 3.0}
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type", [ValidationError, ExecutionError, RewriteError, ParseError]
+    )
+    def test_all_errors_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_errors_are_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ValidationError("bad program")

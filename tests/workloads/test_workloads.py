@@ -1,0 +1,174 @@
+"""Tests for the workload generators used by examples and benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro import frontend as bh
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.validate import validate_program
+from repro.core.pipeline import optimize
+from repro.frontend.session import reset_session
+from repro.runtime.interpreter import NumPyInterpreter
+from repro.workloads import (
+    black_scholes,
+    elementwise_chain,
+    gaussian_blur,
+    heat_equation,
+    linear_solve_program,
+    monte_carlo_pi,
+    polynomial_evaluation,
+    power_program,
+    random_elementwise_program,
+    repeated_constant_add,
+    repeated_scaling,
+)
+
+
+class TestMicrobenchWorkloads:
+    def test_repeated_constant_add_structure(self):
+        program, out = repeated_constant_add(100, repeats=5, constant=2)
+        validate_program(program)
+        assert program.count(OpCode.BH_ADD) == 5
+        result = NumPyInterpreter().execute(program)
+        assert np.all(result.value(out) == 10)
+
+    def test_repeated_scaling_structure(self):
+        program, out = repeated_scaling(50, repeats=3, factor=2.0)
+        validate_program(program)
+        result = NumPyInterpreter().execute(program)
+        assert np.all(result.value(out) == 8.0)
+
+    def test_power_program_values(self):
+        program, out, memory = power_program(64, 6)
+        validate_program(program)
+        x = memory.read_view(program[0].input_views[0])
+        result = NumPyInterpreter().execute(program, memory)
+        assert np.allclose(result.value(out), x ** 6)
+
+    def test_elementwise_chain_length(self):
+        program, out = elementwise_chain(32, length=12)
+        validate_program(program)
+        assert program.num_operations() == 13  # identity + 12 chain ops
+
+    def test_linear_solve_program_solves_the_system(self):
+        program, solution, memory = linear_solve_program(24, seed=3)
+        validate_program(program)
+        matrix = memory.read_view(program[0].input_views[0])
+        rhs = memory.read_view(program[1].input_views[1])
+        result = NumPyInterpreter().execute(program, memory)
+        assert np.allclose(result.value(solution), np.linalg.solve(matrix, rhs))
+
+    def test_linear_solve_reuse_variant_reads_inverse_twice(self):
+        program, _, _ = linear_solve_program(8, reuse_inverse=True)
+        assert program.count(OpCode.BH_ADD_REDUCE) == 1
+
+
+class TestApplicationWorkloads:
+    def test_heat_equation_matches_numpy_reference(self):
+        reset_session(backend="interpreter", optimize=True)
+        grid_size, iterations = 16, 4
+        result = heat_equation(grid_size=grid_size, iterations=iterations).to_numpy()
+
+        reference = np.zeros((grid_size, grid_size))
+        reference[0, :] = 100.0
+        reference[-1, :] = 100.0
+        for _ in range(iterations):
+            updated = reference.copy()
+            updated[1:-1, 1:-1] = 0.25 * (
+                reference[0:-2, 1:-1]
+                + reference[2:, 1:-1]
+                + reference[1:-1, 0:-2]
+                + reference[1:-1, 2:]
+            )
+            reference = updated
+        assert np.allclose(result, reference)
+
+    def test_heat_equation_same_result_with_and_without_optimizer(self):
+        reset_session(backend="interpreter", optimize=False)
+        baseline = heat_equation(grid_size=12, iterations=3).to_numpy()
+        reset_session(backend="interpreter", optimize=True)
+        optimized = heat_equation(grid_size=12, iterations=3).to_numpy()
+        assert np.allclose(baseline, optimized)
+
+    def test_black_scholes_prices_match_closed_form(self):
+        reset_session(backend="interpreter", optimize=True)
+        bh.random.seed(99)
+        prices = black_scholes(num_options=2000).to_numpy()
+        assert prices.shape == (2000,)
+        # call prices are positive and bounded by the spot price range
+        assert np.all(prices > 0)
+        assert np.all(prices < 120.0)
+        # at-the-money-ish options with these parameters average around 10-13
+        assert 5.0 < prices.mean() < 20.0
+
+    def test_black_scholes_optimizer_does_not_change_prices(self):
+        reset_session(backend="interpreter", optimize=False)
+        bh.random.seed(7)
+        baseline = black_scholes(num_options=500).to_numpy()
+        reset_session(backend="interpreter", optimize=True)
+        bh.random.seed(7)
+        optimized = black_scholes(num_options=500).to_numpy()
+        assert np.allclose(baseline, optimized)
+
+    def test_monte_carlo_pi_converges(self):
+        reset_session(backend="interpreter", optimize=True)
+        bh.random.seed(123)
+        estimate = float(monte_carlo_pi(num_samples=200_000))
+        assert abs(estimate - np.pi) < 0.05
+
+    def test_gaussian_blur_preserves_shape_and_range(self):
+        reset_session(backend="interpreter", optimize=True)
+        bh.random.seed(5)
+        blurred = gaussian_blur(height=24, width=32, iterations=2).to_numpy()
+        assert blurred.shape == (24, 32)
+        assert blurred.min() >= 0.0
+        assert blurred.max() <= 1.0
+
+    def test_polynomial_evaluation_uses_both_headline_rewrites(self):
+        session = reset_session(backend="interpreter", optimize=True)
+        bh.random.seed(3)
+        values = polynomial_evaluation(size=256, exponent=10).to_numpy()
+        report = session.last_report
+        assert report.optimized.count(OpCode.BH_POWER, include_fused=True) == 0
+        # the three trailing "+= 1" byte-codes merge into a single "+ 3"
+        merged_constants = [
+            instr.constant.value
+            for instr in report.optimized.flattened()
+            if instr.opcode is OpCode.BH_ADD and instr.constant is not None
+        ]
+        assert 3 in merged_constants
+        assert np.all(values >= 3.0)
+
+
+class TestRandomProgramGenerator:
+    def test_generated_programs_are_valid(self):
+        for seed in range(10):
+            program, synced = random_elementwise_program(seed)
+            validate_program(program)
+            assert synced
+
+    def test_generation_is_reproducible(self):
+        first, _ = random_elementwise_program(42)
+        second, _ = random_elementwise_program(42)
+        assert first.to_text() == second.to_text()
+
+    def test_different_seeds_differ(self):
+        first, _ = random_elementwise_program(1)
+        second, _ = random_elementwise_program(2)
+        assert first.to_text() != second.to_text()
+
+    def test_generated_programs_execute(self):
+        program, synced = random_elementwise_program(7)
+        result = NumPyInterpreter().execute(program)
+        for view in synced:
+            assert np.all(np.isfinite(result.value(view)))
+
+    def test_power_free_generation(self):
+        program, _ = random_elementwise_program(11, include_power=False)
+        assert program.count(OpCode.BH_POWER) == 0
+
+    def test_optimizer_handles_generated_programs(self):
+        for seed in (0, 5, 9):
+            program, _ = random_elementwise_program(seed)
+            report = optimize(program)
+            validate_program(report.optimized)
