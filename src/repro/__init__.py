@@ -46,13 +46,18 @@ from repro.bytecode import (
 )
 from repro.core import CostModel, OptimizationReport, Pipeline, default_pipeline, optimize
 from repro.runtime import (
+    ExecutionEngine,
+    ExecutionPlan,
     ExecutionResult,
     ExecutionStats,
     FusingJIT,
     MemoryManager,
     NumPyInterpreter,
+    PlanCache,
     SimulatedAccelerator,
     get_backend,
+    program_fingerprint,
+    register_backend,
 )
 from repro.utils import Config, config_override, get_config, set_config
 
@@ -79,13 +84,18 @@ __all__ = [
     "Pipeline",
     "default_pipeline",
     "optimize",
+    "ExecutionEngine",
+    "ExecutionPlan",
     "ExecutionResult",
     "ExecutionStats",
     "FusingJIT",
     "MemoryManager",
     "NumPyInterpreter",
+    "PlanCache",
     "SimulatedAccelerator",
     "get_backend",
+    "register_backend",
+    "program_fingerprint",
     "Config",
     "config_override",
     "get_config",

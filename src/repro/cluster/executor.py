@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.bytecode.instruction import Instruction
 from repro.bytecode.opcodes import OpCode
@@ -15,12 +16,14 @@ from repro.runtime.backend import Backend
 from repro.runtime.instrumentation import ExecutionResult, ExecutionStats
 from repro.runtime.interpreter import NumPyInterpreter
 from repro.runtime.memory import MemoryManager
+from repro.runtime.plan import program_fingerprint
 from repro.runtime.simulator import (
     DEVICE_PROFILES,
     DeviceProfile,
     instruction_bytes,
     instruction_flops,
 )
+from repro.utils.config import get_config
 from repro.utils.errors import ClusterError
 
 
@@ -92,6 +95,16 @@ class ClusterExecutor(Backend):
         self.comm = comm if comm is not None else CommunicationModel()
         self._interpreter = NumPyInterpreter()
         self.last_cluster_stats: Optional[ClusterStats] = None
+        # Per-partition pricing plans, keyed by (program fingerprint, worker
+        # count): iterative workloads re-price the same partitioned program
+        # every round, and scaling curves re-price it per worker count —
+        # both reuse the cached breakdown instead of re-walking the program.
+        # Bounded LRU, like the engine's plan cache: executors live as long
+        # as their engine, which keeps the backend instance across flushes.
+        self._pricing_plans: "OrderedDict[Tuple[str, int], ClusterStats]" = OrderedDict()
+        self._pricing_plan_capacity = max(1, get_config().plan_cache_size)
+        self.pricing_plan_hits = 0
+        self.pricing_plan_misses = 0
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -109,25 +122,60 @@ class ClusterExecutor(Backend):
         result.stats.simulated_time_seconds = cluster_stats.total_seconds
         return result
 
-    def estimate(self, program: Program) -> ClusterStats:
-        """Price ``program`` under the partitioned execution model."""
-        stats = ClusterStats(num_workers=self.num_workers)
+    def estimate(self, program: Program, num_workers: Optional[int] = None) -> ClusterStats:
+        """Price ``program`` under the partitioned execution model.
+
+        Breakdowns are cached per (program fingerprint, worker count) — a
+        *per-partition pricing plan* — so iterative workloads that re-submit
+        a structurally identical program every round, and scaling curves
+        that re-price it for several worker counts, pay the instruction walk
+        once.  Callers must treat the returned stats as read-only.
+        """
+        workers = num_workers if num_workers is not None else self.num_workers
+        if workers < 1:
+            raise ClusterError(f"need at least one worker, got {workers}")
+        key = (program_fingerprint(program), workers)
+        cached = self._pricing_plans.get(key)
+        if cached is not None:
+            self._pricing_plans.move_to_end(key)
+            self.pricing_plan_hits += 1
+            return cached
+        self.pricing_plan_misses += 1
+        stats = ClusterStats(num_workers=workers)
         for instruction in program:
-            self._price_instruction(instruction, stats)
+            self._price_instruction(instruction, stats, workers)
+        self._pricing_plans[key] = stats
+        while len(self._pricing_plans) > self._pricing_plan_capacity:
+            self._pricing_plans.popitem(last=False)
         return stats
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Pricing-plan cache counters for this executor.
+
+        Deliberately *not* named ``plan_cache_*``: the execution engine
+        merges backend counters into its own plan-cache statistics, and the
+        pricing cache is a different cache.
+        """
+        return {
+            "pricing_plan_hits": self.pricing_plan_hits,
+            "pricing_plan_misses": self.pricing_plan_misses,
+            "pricing_plan_size": len(self._pricing_plans),
+        }
 
     # ------------------------------------------------------------------ #
     # Per-instruction pricing
     # ------------------------------------------------------------------ #
 
-    def _price_instruction(self, instruction: Instruction, stats: ClusterStats) -> None:
+    def _price_instruction(
+        self, instruction: Instruction, stats: ClusterStats, workers: int
+    ) -> None:
         opcode = instruction.opcode
         if opcode is OpCode.BH_NONE or opcode is OpCode.BH_FREE:
             return
         if opcode is OpCode.BH_SYNC:
             synced_bytes = sum(view.nbytes for view in instruction.views())
-            per_worker = synced_bytes / self.num_workers
-            stats.communication_seconds += self.comm.gather(self.num_workers, per_worker)
+            per_worker = synced_bytes / workers
+            stats.communication_seconds += self.comm.gather(workers, per_worker)
             stats.sync_rounds += 1
             return
 
@@ -138,7 +186,7 @@ class ClusterExecutor(Backend):
             stats.parallel_instructions += 1
             stats.launch_seconds += self.profile.kernel_launch_overhead_s
             stats.compute_seconds += self.profile.roofline_time(
-                flops / self.num_workers, bytes_moved / self.num_workers
+                flops / workers, bytes_moved / workers
             )
             return
 
@@ -146,13 +194,13 @@ class ClusterExecutor(Backend):
             stats.parallel_instructions += 1
             stats.launch_seconds += self.profile.kernel_launch_overhead_s
             stats.compute_seconds += self.profile.roofline_time(
-                flops / self.num_workers, bytes_moved / self.num_workers
+                flops / workers, bytes_moved / workers
             )
             # Partial results (one block of the output per worker) are
             # gathered and combined on the master.
             out = instruction.out
             partial_bytes = out.nbytes if out is not None else 0
-            stats.communication_seconds += self.comm.gather(self.num_workers, partial_bytes)
+            stats.communication_seconds += self.comm.gather(workers, partial_bytes)
             stats.sync_rounds += 1
             return
 
@@ -162,8 +210,8 @@ class ClusterExecutor(Backend):
         stats.compute_seconds += self.profile.roofline_time(flops, bytes_moved)
         if instruction.is_extension():
             input_bytes = sum(view.nbytes for view in instruction.input_views)
-            per_worker = input_bytes / self.num_workers
-            stats.communication_seconds += self.comm.gather(self.num_workers, per_worker)
+            per_worker = input_bytes / workers
+            stats.communication_seconds += self.comm.gather(workers, per_worker)
             stats.sync_rounds += 1
 
     # ------------------------------------------------------------------ #
@@ -171,17 +219,21 @@ class ClusterExecutor(Backend):
     # ------------------------------------------------------------------ #
 
     def scaling_curve(self, program: Program, worker_counts) -> Dict[int, float]:
-        """Simulated total seconds for each worker count in ``worker_counts``."""
-        curve: Dict[int, float] = {}
-        for workers in worker_counts:
-            executor = ClusterExecutor(workers, self.profile, self.comm)
-            curve[workers] = executor.estimate(program).total_seconds
-        return curve
+        """Simulated total seconds for each worker count in ``worker_counts``.
+
+        The program is fingerprinted once; each worker count reuses the
+        pricing-plan cache across rounds (benchmark sweeps call this with
+        overlapping counts).
+        """
+        return {
+            workers: self.estimate(program, num_workers=workers).total_seconds
+            for workers in worker_counts
+        }
 
     def parallel_efficiency(self, program: Program, workers: int) -> float:
         """Speedup over one worker divided by the worker count."""
-        single = ClusterExecutor(1, self.profile, self.comm).estimate(program).total_seconds
-        multi = ClusterExecutor(workers, self.profile, self.comm).estimate(program).total_seconds
+        single = self.estimate(program, num_workers=1).total_seconds
+        multi = self.estimate(program, num_workers=workers).total_seconds
         if multi == 0:
             return float("inf")
         return (single / multi) / workers

@@ -28,13 +28,40 @@ from repro.utils.config import get_config
 
 @dataclass
 class OptimizationReport:
-    """Everything the pipeline did to one program."""
+    """Everything the pipeline did to one program.
+
+    Reports are *cacheable*: the execution engine stores the report inside a
+    cached :class:`~repro.runtime.plan.ExecutionPlan` and hands out
+    :meth:`replayed` copies on plan-cache hits, so ``session.last_report``
+    keeps working on flushes whose optimization never actually re-ran.
+    """
 
     original: Program
     optimized: Program
     pass_stats: List[PassStats] = field(default_factory=list)
     iterations: int = 0
     verified: Optional[bool] = None
+    #: Structural fingerprint of the original program (set by the engine).
+    fingerprint: Optional[str] = None
+    #: True when this report was replayed from a cached plan rather than
+    #: produced by an actual pipeline run.
+    cached: bool = False
+
+    def replayed(self) -> "OptimizationReport":
+        """A copy of this report marked as served from the plan cache.
+
+        The program and per-pass statistics are shared (they are treated as
+        immutable); only the ``cached`` flag differs.
+        """
+        return OptimizationReport(
+            original=self.original,
+            optimized=self.optimized,
+            pass_stats=self.pass_stats,
+            iterations=self.iterations,
+            verified=self.verified,
+            fingerprint=self.fingerprint,
+            cached=True,
+        )
 
     @property
     def total_rewrites(self) -> int:
@@ -71,6 +98,7 @@ class OptimizationReport:
             f"optimization summary: {self.instructions_before} -> "
             f"{self.instructions_after} byte-codes in {self.iterations} iteration(s), "
             f"{self.total_rewrites} rewrite(s)"
+            + (" [replayed from plan cache]" if self.cached else "")
         ]
         for stats in self.pass_stats:
             if stats.rewrites_applied == 0:
@@ -128,6 +156,22 @@ class Pipeline:
     def pass_names(self) -> List[str]:
         """Names of the passes in execution order."""
         return [p.name for p in self.passes]
+
+    def signature(self) -> tuple:
+        """A hashable description of what this pipeline does.
+
+        Used as part of the execution engine's plan-cache key: two pipelines
+        with the same signature are assumed to rewrite a given program
+        identically, so their plans may be shared — and a pipeline with a
+        different pass list or iteration policy never collides.
+        """
+        return (
+            tuple(self.pass_names()),
+            self.fixed_point,
+            self.max_iterations,
+            bool(self.verify),
+            self.validate,
+        )
 
     def run(self, program: Program) -> OptimizationReport:
         """Optimize ``program`` and return the full report."""

@@ -54,7 +54,7 @@ from repro.frontend.ufuncs import (
     tan,
 )
 from repro.frontend.reductions import amax, amin, mean, prod, sum  # noqa: A004
-from repro.frontend.flush import flush, last_report
+from repro.frontend.flush import cache_stats, flush, last_report
 from repro.frontend import linalg, random
 
 __all__ = [
@@ -99,6 +99,7 @@ __all__ = [
     "mean",
     "flush",
     "last_report",
+    "cache_stats",
     "linalg",
     "random",
 ]

@@ -20,5 +20,14 @@ def flush() -> Optional[ExecutionResult]:
 
 
 def last_report() -> Optional[OptimizationReport]:
-    """The optimization report of the most recent flush (``None`` if nothing ran)."""
+    """The optimization report of the most recent flush (``None`` if nothing ran).
+
+    When the flush was served from the execution engine's plan cache the
+    report is a replayed copy of the cached one (``report.cached`` is true).
+    """
     return get_session().last_report
+
+
+def cache_stats() -> dict:
+    """Plan-cache and backend cache counters of the default session's engine."""
+    return get_session().cache_stats()

@@ -4,7 +4,8 @@ A :class:`Session` owns:
 
 * the byte-code recorded since the last flush (the *pending program*),
 * the memory manager holding materialized base arrays across flushes,
-* the optimization pipeline and the execution backend,
+* the :class:`~repro.runtime.engine.ExecutionEngine` that fingerprints,
+  plans and executes each flush (and caches plans across flushes),
 * statistics of every flush (useful for the end-to-end benchmarks).
 
 A module-level default session exists so the front-end can be used like
@@ -14,15 +15,15 @@ private sessions to stay isolated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.bytecode.instruction import Instruction
 from repro.bytecode.opcodes import OpCode
 from repro.bytecode.program import Program
 from repro.bytecode.view import View
-from repro.core.pipeline import OptimizationReport, default_pipeline
-from repro.runtime.backend import Backend, get_backend
+from repro.core.pipeline import OptimizationReport
+from repro.runtime.backend import Backend
+from repro.runtime.engine import ExecutionEngine
 from repro.runtime.instrumentation import ExecutionResult, ExecutionStats
 from repro.runtime.memory import MemoryManager
 from repro.utils.config import get_config
@@ -51,13 +52,10 @@ class Session:
             canonical pipeline.
         """
         config = get_config()
-        self._backend_spec = backend if backend is not None else config.default_backend
-        self.optimize_enabled = optimize if optimize is not None else config.optimize
-        self._pipeline = pipeline
+        self.engine = ExecutionEngine(backend=backend, optimize=optimize, pipeline=pipeline)
         self.memory = MemoryManager()
         self.pending = Program()
         self.flush_count = 0
-        self.last_report: Optional[OptimizationReport] = None
         self.stats_history: List[ExecutionStats] = []
         self._seed_counter = config.random_seed
         self._base_refcounts: dict = {}
@@ -70,8 +68,31 @@ class Session:
 
     @property
     def backend(self) -> Backend:
-        """The resolved backend instance."""
-        return get_backend(self._backend_spec)
+        """The resolved backend instance (owned by the engine)."""
+        return self.engine.backend
+
+    @property
+    def optimize_enabled(self) -> bool:
+        """Whether flushes run the optimization/planning stage."""
+        return self.engine.optimize_enabled
+
+    @optimize_enabled.setter
+    def optimize_enabled(self, enabled: bool) -> None:
+        self.engine.optimize_enabled = enabled
+
+    @property
+    def last_report(self) -> Optional[OptimizationReport]:
+        """The optimization report of the most recent flush.
+
+        On plan-cache hits this is a replayed copy of the cached report (its
+        ``cached`` flag is set); ``None`` when nothing ran or optimization
+        was disabled.
+        """
+        return self.engine.last_report
+
+    @last_report.setter
+    def last_report(self, report: Optional[OptimizationReport]) -> None:
+        self.engine.last_report = report
 
     def record(self, instruction: Instruction) -> None:
         """Append one byte-code to the pending program."""
@@ -149,12 +170,7 @@ class Session:
         self._deferred_frees = []
         if len(program) == 0:
             return None
-        if self.optimize_enabled:
-            pipeline = self._pipeline if self._pipeline is not None else default_pipeline()
-            report = pipeline.run(program)
-            self.last_report = report
-            program = report.optimized
-        result = self.backend.execute(program, self.memory)
+        result = self.engine.execute(program, self.memory)
         self.memory = result.memory
         self.stats_history.append(result.stats)
         self.flush_count += 1
@@ -163,10 +179,14 @@ class Session:
 
     def total_stats(self) -> ExecutionStats:
         """Aggregate statistics across every flush so far."""
-        total = ExecutionStats(backend_name=str(self._backend_spec))
+        total = ExecutionStats(backend_name=str(self.engine.backend_spec))
         for stats in self.stats_history:
             total.merge(stats)
         return total
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Plan-cache and backend cache counters for this session's engine."""
+        return self.engine.cache_stats()
 
 
 _SESSION: Optional[Session] = None

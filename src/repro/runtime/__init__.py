@@ -14,19 +14,40 @@ We provide three Python equivalents:
   cost model (kernel-launch latency, per-element cost, memory bandwidth),
   standing in for the GPU the paper targets.
 
+Backends are selected through a registry (:func:`register_backend` /
+:func:`get_backend`); the :class:`ExecutionEngine` sits on top of the
+registry and adds the fingerprint → plan-cache → execute staging that lets
+repeated flushes skip the optimizer and kernel partitioning entirely.
+
 All backends return an :class:`ExecutionResult` carrying the output arrays
 and an :class:`ExecutionStats` record (kernel launches, elements traversed,
-bytes moved, wall-clock and simulated time).
+bytes moved, wall-clock and simulated time, plan/kernel cache outcomes).
 """
 
 from repro.runtime.memory import MemoryManager
 from repro.runtime.instrumentation import ExecutionStats, ExecutionResult
 from repro.runtime.backend import Backend, get_backend, register_backend, available_backends
 from repro.runtime.interpreter import NumPyInterpreter
-from repro.runtime.kernel import Kernel, partition_into_kernels
+from repro.runtime.kernel import (
+    Kernel,
+    KernelTemplate,
+    compile_kernel_template,
+    kernel_slot_views,
+    kernel_structural_key,
+    partition_into_kernels,
+)
 from repro.runtime.jit import FusingJIT
 from repro.runtime.simulator import SimulatedAccelerator, DeviceProfile, DEVICE_PROFILES
-from repro.runtime.scheduler import split_into_batches
+from repro.runtime.plan import (
+    ExecutionPlan,
+    PlanCache,
+    canonical_program_key,
+    config_signature,
+    merge_batches,
+    program_fingerprint,
+    split_into_batches,
+)
+from repro.runtime.engine import ExecutionEngine
 
 __all__ = [
     "MemoryManager",
@@ -38,10 +59,21 @@ __all__ = [
     "available_backends",
     "NumPyInterpreter",
     "Kernel",
+    "KernelTemplate",
+    "compile_kernel_template",
+    "kernel_slot_views",
+    "kernel_structural_key",
     "partition_into_kernels",
     "FusingJIT",
     "SimulatedAccelerator",
     "DeviceProfile",
     "DEVICE_PROFILES",
+    "ExecutionPlan",
+    "PlanCache",
+    "ExecutionEngine",
+    "canonical_program_key",
+    "config_signature",
+    "program_fingerprint",
     "split_into_batches",
+    "merge_batches",
 ]

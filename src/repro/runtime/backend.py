@@ -42,6 +42,15 @@ class Backend(abc.ABC):
         """Alias of :meth:`execute` kept for readability at call sites."""
         return self.execute(program, memory)
 
+    def cache_stats(self) -> Dict[str, int]:
+        """Counters of any backend-local caches (compiled kernels, plans).
+
+        The default backend has no caches; backends that do (the fusing JIT's
+        compiled-kernel cache, the cluster executor's pricing plans) override
+        this so the execution engine and the CLI can report them.
+        """
+        return {}
+
 
 _BACKEND_FACTORIES: Dict[str, Callable[[], Backend]] = {}
 
@@ -77,6 +86,7 @@ def _ensure_default_backends() -> None:
     """Lazily register the built-in backends (avoids import cycles)."""
     if _BACKEND_FACTORIES:
         return
+    from repro.cluster.executor import ClusterExecutor
     from repro.runtime.interpreter import NumPyInterpreter
     from repro.runtime.jit import FusingJIT
     from repro.runtime.simulator import SimulatedAccelerator
@@ -84,3 +94,4 @@ def _ensure_default_backends() -> None:
     register_backend("interpreter", NumPyInterpreter)
     register_backend("jit", FusingJIT)
     register_backend("simulator", SimulatedAccelerator)
+    register_backend("cluster", ClusterExecutor)

@@ -1,0 +1,225 @@
+"""The execution engine: the staged flush → plan → backend pipeline.
+
+Before this layer existed every flush ran the ad-hoc sequence "optimize the
+pending program, then hand it to whatever backend the session resolved" —
+re-paying the full fixed-point optimizer and kernel partitioning cost even
+when the program was structurally identical to the previous flush.  The
+:class:`ExecutionEngine` turns that sequence into three explicit stages:
+
+1. **Fingerprint** — compute the canonical structural key of the program
+   (:func:`~repro.runtime.plan.canonical_program_key`), tolerant of
+   base-array identity so iterative workloads that allocate fresh
+   temporaries every round still match.
+2. **Plan** — look the fingerprint up in an LRU
+   :class:`~repro.runtime.plan.PlanCache` (keyed additionally by backend
+   name, pipeline signature and the optimization-relevant configuration).
+   A hit rebinds the cached optimized program onto the new program's bases
+   in one linear pass; a miss runs the optimization pipeline and caches the
+   resulting :class:`~repro.runtime.plan.ExecutionPlan`.
+3. **Execute** — dispatch the bound program through the backend registry
+   (:func:`~repro.runtime.backend.get_backend`).  The engine resolves the
+   backend once and keeps the instance, so backend-local caches (the fusing
+   JIT's kernel cache) persist across flushes.
+
+Every result's :class:`~repro.runtime.instrumentation.ExecutionStats`
+carries the plan-cache hit/miss outcome and the middleware overhead
+(``plan_time_seconds``) of the flush, so benchmarks can prove the reuse.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.bytecode.program import Program
+from repro.runtime.backend import Backend, get_backend
+from repro.runtime.instrumentation import ExecutionResult
+from repro.runtime.memory import MemoryManager
+from repro.runtime.plan import (
+    ExecutionPlan,
+    PlanCache,
+    canonical_program_key,
+    config_signature,
+    fingerprint_of_key,
+)
+from repro.utils.config import get_config
+
+
+class ExecutionEngine:
+    """Fingerprints, plans and executes byte-code programs.
+
+    Parameters
+    ----------
+    backend:
+        Backend instance or registered backend name; defaults to the
+        configuration's ``default_backend``.
+    optimize:
+        Whether programs run through the transformation pipeline before
+        execution; defaults to the configuration's ``optimize`` flag.
+    pipeline:
+        Custom :class:`~repro.core.pipeline.Pipeline`; defaults to the
+        canonical pipeline (rebuilt lazily so configuration changes are
+        honoured).
+    plan_cache_size:
+        Capacity of the LRU plan cache; defaults to the configuration's
+        ``plan_cache_size``.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[object] = None,
+        optimize: Optional[bool] = None,
+        pipeline=None,
+        plan_cache_size: Optional[int] = None,
+    ) -> None:
+        config = get_config()
+        self._backend_spec = backend if backend is not None else config.default_backend
+        self._backend_instance: Optional[Backend] = None
+        self.optimize_enabled = optimize if optimize is not None else config.optimize
+        self._pipeline = pipeline
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.last_report = None
+        self.last_plan: Optional[ExecutionPlan] = None
+
+    # ------------------------------------------------------------------ #
+    # Backend resolution
+    # ------------------------------------------------------------------ #
+
+    @property
+    def backend(self) -> Backend:
+        """The resolved backend instance (resolved once, then kept).
+
+        Keeping the instance is load-bearing: backend-local caches such as
+        the fusing JIT's compiled-kernel cache only amortize anything if the
+        same backend object serves every flush.
+        """
+        if self._backend_instance is None:
+            self._backend_instance = get_backend(self._backend_spec)
+        return self._backend_instance
+
+    @property
+    def backend_spec(self):
+        """The backend name or instance the engine was configured with."""
+        return self._backend_spec
+
+    def set_backend(self, backend) -> None:
+        """Switch the engine to a different backend (plans are keyed per backend)."""
+        self._backend_spec = backend
+        self._backend_instance = None
+
+    # ------------------------------------------------------------------ #
+    # The staged pipeline
+    # ------------------------------------------------------------------ #
+
+    def _pipeline_signature(self) -> tuple:
+        if self._pipeline is None:
+            return ("default",)
+        return self._pipeline.signature()
+
+    def _build_pipeline(self):
+        if self._pipeline is not None:
+            return self._pipeline
+        from repro.core.pipeline import default_pipeline
+
+        return default_pipeline()
+
+    def execute(
+        self, program: Program, memory: Optional[MemoryManager] = None
+    ) -> ExecutionResult:
+        """Run ``program`` through fingerprint → plan cache → backend.
+
+        Returns the backend's :class:`ExecutionResult` with the plan-stage
+        statistics (cache outcome, middleware overhead) filled in.
+        """
+        backend = self.backend
+        plan_started = time.perf_counter()
+        hit = False
+        miss = False
+        if not self.optimize_enabled:
+            self.last_report = None
+            self.last_plan = None
+            executable = program
+        elif not get_config().plan_cache_enabled:
+            report = self._build_pipeline().run(program)
+            self.last_report = report
+            self.last_plan = None
+            executable = report.optimized
+        else:
+            executable, hit, miss = self._plan(program, backend)
+        plan_seconds = time.perf_counter() - plan_started
+
+        result = backend.execute(executable, memory)
+        stats = result.stats
+        stats.plan_time_seconds = plan_seconds
+        stats.plan_cache_hits += 1 if hit else 0
+        stats.plan_cache_misses += 1 if miss else 0
+        return result
+
+    def _plan(self, program: Program, backend: Backend):
+        """Stage 2: resolve an execution plan for ``program``."""
+        key, bases = canonical_program_key(program)
+        fingerprint = fingerprint_of_key(key)
+        cache_key = (
+            fingerprint,
+            backend.name,
+            self._pipeline_signature(),
+            config_signature(),
+        )
+        plan = self.plan_cache.get(cache_key)
+        if plan is not None:
+            self.last_plan = plan
+            report = plan.report
+            self.last_report = report.replayed() if report is not None else None
+            return plan.bind(bases), True, False
+        report = self._build_pipeline().run(program)
+        report.fingerprint = fingerprint
+        plan = ExecutionPlan(
+            fingerprint=fingerprint,
+            backend_name=backend.name,
+            source_bases=bases,
+            optimized=report.optimized,
+            report=report,
+        )
+        self.plan_cache.put(cache_key, plan)
+        self.last_plan = plan
+        self.last_report = report
+        return report.optimized, False, True
+
+    def prime(self, program: Program, report) -> ExecutionPlan:
+        """Seed the plan cache with an already-computed optimization report.
+
+        Callers that have just run the pipeline themselves (the CLI prints
+        the report before executing) hand the result over instead of letting
+        the first :meth:`execute` re-optimize the same program.  The primed
+        entry counts as neither hit nor miss; subsequent executions of a
+        structurally identical program hit it normally.
+        """
+        backend = self.backend
+        key, bases = canonical_program_key(program)
+        fingerprint = fingerprint_of_key(key)
+        report.fingerprint = fingerprint
+        plan = ExecutionPlan(
+            fingerprint=fingerprint,
+            backend_name=backend.name,
+            source_bases=bases,
+            optimized=report.optimized,
+            report=report,
+        )
+        cache_key = (
+            fingerprint,
+            backend.name,
+            self._pipeline_signature(),
+            config_signature(),
+        )
+        self.plan_cache.put(cache_key, plan)
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Plan-cache counters plus whatever the backend's caches report."""
+        stats = dict(self.plan_cache.stats())
+        stats.update(self.backend.cache_stats())
+        return stats

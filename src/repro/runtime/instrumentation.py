@@ -33,6 +33,16 @@ class ExecutionStats:
         Measured wall-clock execution time.
     simulated_time_seconds:
         Device-model time (only filled in by the simulated backend).
+    plan_time_seconds:
+        Middleware overhead of the flush: fingerprinting plus either the
+        optimization pipeline (plan-cache miss) or the plan rebind (hit).
+    plan_cache_hits / plan_cache_misses:
+        Whether this execution reused a cached execution plan (filled in by
+        the :class:`~repro.runtime.engine.ExecutionEngine`; sums meaningfully
+        under :meth:`merge`).
+    kernel_cache_hits / kernel_cache_misses:
+        Compiled-kernel cache outcomes during this execution (filled in by
+        the fusing JIT).
     backend_name:
         Which backend produced these statistics.
     """
@@ -45,6 +55,11 @@ class ExecutionStats:
     opcode_counts: Dict[OpCode, int] = field(default_factory=dict)
     wall_time_seconds: float = 0.0
     simulated_time_seconds: float = 0.0
+    plan_time_seconds: float = 0.0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    kernel_cache_hits: int = 0
+    kernel_cache_misses: int = 0
     backend_name: str = ""
 
     def record_instruction(self, opcode: OpCode) -> None:
@@ -61,6 +76,11 @@ class ExecutionStats:
         self.bytes_written += other.bytes_written
         self.wall_time_seconds += other.wall_time_seconds
         self.simulated_time_seconds += other.simulated_time_seconds
+        self.plan_time_seconds += other.plan_time_seconds
+        self.plan_cache_hits += other.plan_cache_hits
+        self.plan_cache_misses += other.plan_cache_misses
+        self.kernel_cache_hits += other.kernel_cache_hits
+        self.kernel_cache_misses += other.kernel_cache_misses
         for opcode, count in other.opcode_counts.items():
             self.opcode_counts[opcode] = self.opcode_counts.get(opcode, 0) + count
         return self
@@ -80,6 +100,11 @@ class ExecutionStats:
             "bytes_written": self.bytes_written,
             "wall_time_s": self.wall_time_seconds,
             "simulated_time_s": self.simulated_time_seconds,
+            "plan_time_s": self.plan_time_seconds,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "kernel_cache_hits": self.kernel_cache_hits,
+            "kernel_cache_misses": self.kernel_cache_misses,
         }
 
 

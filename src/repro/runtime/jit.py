@@ -4,25 +4,31 @@ Clusters consecutive element-wise byte-codes into kernels (one launch per
 cluster) before executing.  Non-element-wise byte-codes — reductions,
 extension methods, system directives — are executed individually through
 the reference interpreter.
+
+Compiled kernels are cached by their *canonical structural form* (see
+:meth:`~repro.runtime.kernel.Kernel.structural_key`), not by operand
+identity: two equivalent kernels that differ only in which temporary base
+arrays they write through — the normal situation across loop iterations of
+a repeated-flush workload — share a single compiled template, which is
+launched with each kernel's concrete views.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
-from repro.bytecode.instruction import Instruction
 from repro.bytecode.program import Program
 from repro.runtime.backend import Backend
 from repro.runtime.instrumentation import ExecutionResult, ExecutionStats
 from repro.runtime.interpreter import NumPyInterpreter
-from repro.runtime.kernel import Kernel, partition_into_kernels
+from repro.runtime.kernel import Kernel, KernelTemplate, partition_into_kernels
 from repro.runtime.memory import MemoryManager
 from repro.utils.config import get_config
 
 
 class FusingJIT(Backend):
-    """Kernel-fusing backend with a per-kernel compilation cache."""
+    """Kernel-fusing backend with a structural per-kernel compilation cache."""
 
     name = "jit"
 
@@ -33,26 +39,37 @@ class FusingJIT(Backend):
             else get_config().fusion_max_kernel_size
         )
         self._interpreter = NumPyInterpreter()
-        self._kernel_cache: Dict[Tuple[Instruction, ...], object] = {}
+        self._kernel_cache: Dict[tuple, KernelTemplate] = {}
         self.cache_hits = 0
         self.cache_misses = 0
 
-    def _compiled(self, kernel: Kernel):
-        key = tuple(kernel.instructions)
+    def _template(self, kernel: Kernel) -> KernelTemplate:
+        key = kernel.structural_key()
         cached = self._kernel_cache.get(key)
         if cached is not None:
             self.cache_hits += 1
             return cached
         self.cache_misses += 1
-        compiled = kernel.compile()
-        self._kernel_cache[key] = compiled
-        return compiled
+        from repro.runtime.kernel import compile_kernel_template
+
+        template = compile_kernel_template(kernel.instructions)
+        self._kernel_cache[key] = template
+        return template
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Cumulative compiled-kernel cache counters for this backend."""
+        return {
+            "kernel_cache_hits": self.cache_hits,
+            "kernel_cache_misses": self.cache_misses,
+            "kernel_cache_size": len(self._kernel_cache),
+        }
 
     def execute(
         self, program: Program, memory: Optional[MemoryManager] = None
     ) -> ExecutionResult:
         memory = memory if memory is not None else MemoryManager()
         stats = ExecutionStats(backend_name=self.name)
+        hits_before, misses_before = self.cache_hits, self.cache_misses
         start = time.perf_counter()
         for item in partition_into_kernels(program, self.max_kernel_size):
             if isinstance(item, Kernel):
@@ -60,6 +77,8 @@ class FusingJIT(Backend):
             else:
                 self._interpreter._execute_instruction(item, memory, stats, top_level=True)
         stats.wall_time_seconds = time.perf_counter() - start
+        stats.kernel_cache_hits = self.cache_hits - hits_before
+        stats.kernel_cache_misses = self.cache_misses - misses_before
         return ExecutionResult(memory=memory, stats=stats)
 
     def _execute_kernel(self, kernel: Kernel, memory: MemoryManager, stats: ExecutionStats) -> None:
@@ -72,5 +91,5 @@ class FusingJIT(Backend):
                 stats.bytes_written += out.nbytes
             for view in instruction.reads():
                 stats.bytes_read += view.nbytes
-        compiled = self._compiled(kernel)
-        compiled(memory)
+        template = self._template(kernel)
+        template(memory, kernel.slot_views())

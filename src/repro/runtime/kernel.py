@@ -86,6 +86,20 @@ class Kernel:
     # Execution
     # ------------------------------------------------------------------ #
 
+    def structural_key(self) -> tuple:
+        """Canonical, base-identity-tolerant key for this kernel.
+
+        Two kernels that perform the same operations over the same geometry
+        — even on *different* base arrays (e.g. the fresh temporaries of two
+        loop iterations) — share one key, and therefore one compiled
+        template in the JIT's kernel cache.
+        """
+        return kernel_structural_key(self.instructions)
+
+    def slot_views(self) -> Tuple[View, ...]:
+        """This kernel's concrete views, in template slot order."""
+        return kernel_slot_views(self.instructions)
+
     def compile(self) -> Callable[[MemoryManager], None]:
         """Return a closure that executes the whole kernel on a memory manager.
 
@@ -93,56 +107,157 @@ class Kernel:
         once per kernel, mirroring how Bohrium compiles a fused kernel once
         and launches it many times.
         """
-        steps = []
-        for instruction in self.instructions:
-            steps.append(_compile_elementwise(instruction))
+        key, slots, specs = _slot_walk(self.instructions)
+        template = _compile_template(key, specs)
 
         def run(memory: MemoryManager) -> None:
-            for step in steps:
-                step(memory)
+            template(memory, slots)
 
         return run
 
 
-def _compile_elementwise(instruction: Instruction) -> Callable[[MemoryManager], None]:
-    """Compile one element-wise byte-code into a memory -> None closure."""
+class KernelTemplate:
+    """A compiled kernel parameterized over its operand views.
+
+    A template closes over *slot indices* instead of concrete views, so one
+    compiled artifact serves every structurally identical kernel: the caller
+    supplies the kernel's concrete views (from :func:`kernel_slot_views`) at
+    launch time.  This is what lets the JIT's kernel cache share entries
+    between equivalent kernels that differ only in their temporaries.
+    """
+
+    __slots__ = ("key", "num_slots", "_steps")
+
+    def __init__(self, key: tuple, num_slots: int, steps) -> None:
+        self.key = key
+        self.num_slots = num_slots
+        self._steps = tuple(steps)
+
+    def __call__(self, memory: MemoryManager, views: Sequence[View]) -> None:
+        if len(views) != self.num_slots:
+            raise ExecutionError(
+                f"kernel template expects {self.num_slots} view(s), got {len(views)}"
+            )
+        for step in self._steps:
+            step(memory, views)
+
+
+def _slot_walk(instructions: Sequence[Instruction]):
+    """One canonical walk yielding the key, the slot views and step specs.
+
+    The walk assigns a *slot* to each distinct view token (first-occurrence
+    order); the structural key and the slot assignment come from the same
+    traversal, so a template compiled from one kernel resolves correctly
+    against the slot views of any kernel with an equal key.
+    """
+    from repro.runtime.plan import OperandEncoder
+
+    encoder = OperandEncoder()
+    key_parts = []
+    slot_of = {}
+    slot_views: List[View] = []
+    specs = []
+    for instruction in instructions:
+        key_parts.append(encoder.encode_instruction(instruction))
+        operand_refs = []
+        for operand in instruction.operands:
+            if is_constant(operand):
+                operand_refs.append(("const", operand))
+                continue
+            token = encoder.encode(operand)
+            slot = slot_of.get(token)
+            if slot is None:
+                slot = len(slot_views)
+                slot_of[token] = slot
+                slot_views.append(operand)
+            operand_refs.append(("slot", slot))
+        specs.append((instruction, tuple(operand_refs)))
+    return tuple(key_parts), tuple(slot_views), specs
+
+
+def kernel_structural_key(instructions: Sequence[Instruction]) -> tuple:
+    """Canonical structural key of a kernel's instruction list."""
+    key, _, _ = _slot_walk(instructions)
+    return key
+
+
+def kernel_slot_views(instructions: Sequence[Instruction]) -> Tuple[View, ...]:
+    """The distinct views of a kernel, in template slot order."""
+    _, slots, _ = _slot_walk(instructions)
+    return slots
+
+
+def compile_kernel_template(instructions: Sequence[Instruction]) -> KernelTemplate:
+    """Compile an instruction list into a view-parameterized template."""
+    key, _, specs = _slot_walk(instructions)
+    return _compile_template(key, specs)
+
+
+def _compile_template(key: tuple, specs) -> KernelTemplate:
+    steps = [_compile_step(instruction, refs) for instruction, refs in specs]
+    num_slots = 0
+    for _, refs in specs:
+        for kind, value in refs:
+            if kind == "slot":
+                num_slots = max(num_slots, value + 1)
+    return KernelTemplate(key=key, num_slots=num_slots, steps=steps)
+
+
+def _compile_step(instruction: Instruction, operand_refs):
+    """Compile one element-wise byte-code into a (memory, views) step."""
     info = opcode_info(instruction.opcode)
     if not info.elementwise:
         raise ExecutionError(f"cannot compile non-element-wise {instruction.opcode} into a kernel")
-    out_view = instruction.out
-    inputs = instruction.inputs
+    out_kind, out_ref = operand_refs[0]
+    if out_kind != "slot":
+        raise ExecutionError(f"{instruction.opcode} writes to a constant operand")
+    out_slot = out_ref
+    input_refs = operand_refs[1:]
+
+    def resolve_inputs(memory: MemoryManager, views: Sequence[View]):
+        return [
+            ref.as_numpy() if kind == "const" else memory.view_array(views[ref])
+            for kind, ref in input_refs
+        ]
 
     if instruction.opcode is OpCode.BH_IDENTITY:
 
-        def run_identity(memory: MemoryManager) -> None:
-            out = memory.view_array(out_view)
-            source = inputs[0]
-            value = source.as_numpy() if is_constant(source) else memory.view_array(source)
-            np.copyto(out, value, casting="unsafe")
+        def run_identity(memory: MemoryManager, views: Sequence[View]) -> None:
+            out = memory.view_array(views[out_slot])
+            np.copyto(out, resolve_inputs(memory, views)[0], casting="unsafe")
 
         return run_identity
 
     numpy_name = info.numpy_name
     if numpy_name is None:
-        # Fall back to the interpreter's special cases (e.g. BH_ERF).
-        from repro.runtime.interpreter import NumPyInterpreter
+        if instruction.opcode is OpCode.BH_ERF:
 
-        interpreter = NumPyInterpreter()
+            def run_erf(memory: MemoryManager, views: Sequence[View]) -> None:
+                from repro.runtime.interpreter import _erf
 
-        def run_fallback(memory: MemoryManager) -> None:
-            interpreter._dispatch(instruction, memory)
+                out = memory.view_array(views[out_slot])
+                np.copyto(out, _erf(resolve_inputs(memory, views)[0]), casting="unsafe")
+
+            return run_erf
+
+        # Generic fallback: rebind the instruction's view operands to the
+        # launch-time slot views and dispatch through the interpreter.
+        def run_fallback(memory: MemoryManager, views: Sequence[View]) -> None:
+            from repro.runtime.interpreter import NumPyInterpreter
+
+            operands = [
+                ref if kind == "const" else views[ref] for kind, ref in operand_refs
+            ]
+            bound = Instruction(instruction.opcode, operands, tag=instruction.tag)
+            NumPyInterpreter()._dispatch(bound, memory)
 
         return run_fallback
 
     func = getattr(np, numpy_name)
 
-    def run(memory: MemoryManager) -> None:
-        out = memory.view_array(out_view)
-        values = [
-            operand.as_numpy() if is_constant(operand) else memory.view_array(operand)
-            for operand in inputs
-        ]
-        np.copyto(out, func(*values), casting="unsafe")
+    def run(memory: MemoryManager, views: Sequence[View]) -> None:
+        out = memory.view_array(views[out_slot])
+        np.copyto(out, func(*resolve_inputs(memory, views)), casting="unsafe")
 
     return run
 

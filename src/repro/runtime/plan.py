@@ -1,0 +1,381 @@
+"""Execution plans: fingerprinted, cached artifacts of the middleware pipeline.
+
+Repeated-flush workloads (the heat-equation stencil, parameter sweeps) hand
+the runtime a *structurally identical* byte-code program hundreds of times —
+only the base-array identities differ between iterations, because the
+front-end allocates fresh temporaries each round.  Re-running the full
+optimization pipeline and kernel partitioning for every flush wastes exactly
+the middleware overhead the paper sets out to amortize.
+
+This module provides the three pieces that make flushes cacheable:
+
+* :func:`canonical_program_key` / :func:`program_fingerprint` — a canonical
+  structural encoding of a program (op-codes, operand geometry, constants)
+  that is *tolerant of base-array identity*: two programs that differ only
+  in which concrete :class:`~repro.bytecode.base.BaseArray` objects they
+  reference hash identically.
+* :class:`ExecutionPlan` — the cached artifact: the optimized program, its
+  optimization report and the canonical base enumeration it was derived
+  from.  :meth:`ExecutionPlan.bind` rebinds the plan onto the base arrays of
+  a new, structurally identical program in one linear pass — no optimizer.
+* :class:`PlanCache` — a bounded LRU mapping cache keys to plans, with
+  hit/miss/eviction counters surfaced through the execution statistics.
+
+Batch splitting (formerly ``repro.runtime.scheduler``) also lives here: a
+flush batch is the unit a plan describes, so "how much program does a plan
+get to see" is a planning decision.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode.base import BaseArray
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.operand import Constant, is_constant, is_view
+from repro.bytecode.program import Program
+from repro.bytecode.view import View
+from repro.utils.config import Config, get_config
+from repro.utils.errors import ExecutionError
+
+
+# --------------------------------------------------------------------------- #
+# Canonical encoding and fingerprinting
+# --------------------------------------------------------------------------- #
+
+
+class _BaseEnumerator:
+    """Assigns dense indices to base arrays in first-use order."""
+
+    def __init__(self) -> None:
+        self.order: List[BaseArray] = []
+        self._index: Dict[int, int] = {}
+
+    def index_of(self, base: BaseArray) -> int:
+        key = id(base)
+        idx = self._index.get(key)
+        if idx is None:
+            idx = len(self.order)
+            self._index[key] = idx
+            self.order.append(base)
+        return idx
+
+
+def _encode_operand(operand, bases: _BaseEnumerator) -> tuple:
+    if is_view(operand):
+        return (
+            "v",
+            bases.index_of(operand.base),
+            operand.base.nelem,
+            operand.base.dtype.name,
+            operand.offset,
+            operand.shape,
+            operand.strides,
+        )
+    if is_constant(operand):
+        return ("c", operand.dtype.name, operand.value)
+    raise ExecutionError(f"cannot encode operand {operand!r}")
+
+
+def _encode_instruction(instruction: Instruction, bases: _BaseEnumerator) -> tuple:
+    operands = tuple(_encode_operand(op, bases) for op in instruction.operands)
+    if instruction.kernel is not None:
+        payload = tuple(_encode_instruction(inner, bases) for inner in instruction.kernel)
+        return (instruction.opcode.name, operands, payload)
+    return (instruction.opcode.name, operands)
+
+
+class OperandEncoder:
+    """Stateful canonical encoder shared by program and kernel fingerprinting.
+
+    Base arrays are numbered in first-use order, so the encoding of a view
+    depends only on *which* base it references relative to the walk — not on
+    the base's identity or auto-generated name.  Encoding is idempotent: the
+    same operand always yields the same token for one encoder instance.
+    """
+
+    def __init__(self) -> None:
+        self._bases = _BaseEnumerator()
+
+    def encode(self, operand) -> tuple:
+        """Canonical token for a view or constant operand."""
+        return _encode_operand(operand, self._bases)
+
+    def encode_instruction(self, instruction: Instruction) -> tuple:
+        """Canonical token for a whole instruction (kernel payload included)."""
+        return _encode_instruction(instruction, self._bases)
+
+    @property
+    def bases(self) -> Tuple[BaseArray, ...]:
+        """Bases seen so far, in first-use (index) order."""
+        return tuple(self._bases.order)
+
+
+def canonical_program_key(program: Program) -> Tuple[tuple, Tuple[BaseArray, ...]]:
+    """Return ``(key, bases)`` for ``program``.
+
+    ``key`` is a hashable structural encoding in which base arrays are
+    replaced by their first-use index, so two flushes that allocate fresh
+    temporaries each iteration produce equal keys.  ``bases`` is the base
+    enumeration the key was built against, in index order — exactly what
+    :meth:`ExecutionPlan.bind` needs to map a plan onto a new program.
+    """
+    enumerator = _BaseEnumerator()
+    key = tuple(_encode_instruction(instr, enumerator) for instr in program)
+    return key, tuple(enumerator.order)
+
+
+def program_fingerprint(program: Program) -> str:
+    """A stable hex digest of the program's canonical structural key."""
+    key, _ = canonical_program_key(program)
+    return fingerprint_of_key(key)
+
+
+def fingerprint_of_key(key: tuple) -> str:
+    """Hash a canonical key (from :func:`canonical_program_key`) to hex."""
+    return hashlib.blake2b(repr(key).encode("utf-8"), digest_size=16).hexdigest()
+
+
+#: Configuration fields that change what the optimizer produces; a plan
+#: compiled under one combination must not be replayed under another.
+_CONFIG_SIGNATURE_FIELDS = (
+    "enabled_passes",
+    "max_constant_merge_window",
+    "power_expansion_limit",
+    "fusion_max_kernel_size",
+    "fixed_point_max_iterations",
+    "verify_rewrites",
+    "random_seed",
+)
+
+
+def config_signature(config: Optional[Config] = None) -> tuple:
+    """The optimization-relevant slice of the configuration, as a cache key.
+
+    Any change to these fields invalidates cached plans (the cache key no
+    longer matches); unrelated fields such as ``default_backend`` do not.
+    """
+    config = config if config is not None else get_config()
+    values = []
+    for name in _CONFIG_SIGNATURE_FIELDS:
+        value = getattr(config, name)
+        if isinstance(value, list):
+            value = tuple(value)
+        values.append((name, value))
+    return tuple(values)
+
+
+# --------------------------------------------------------------------------- #
+# Execution plans
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class ExecutionPlan:
+    """A cached, replayable result of optimizing one flush batch.
+
+    Attributes
+    ----------
+    fingerprint:
+        Structural fingerprint of the *source* program the plan was built
+        from.
+    backend_name:
+        Name of the backend the plan was prepared for.
+    source_bases:
+        The source program's base arrays in canonical (first-use) order.
+        Binding maps these positionally onto the new program's bases.
+    optimized:
+        The optimized program, still referencing the source bases.
+    report:
+        The optimization report produced when the plan was compiled; replays
+        of the plan hand out cached copies (see
+        :meth:`~repro.core.pipeline.OptimizationReport.replayed`).
+    hits:
+        How many times this plan has been reused.
+    """
+
+    fingerprint: str
+    backend_name: str
+    source_bases: Tuple[BaseArray, ...]
+    optimized: Program
+    report: Optional[object] = None
+    hits: int = 0
+    _scratch_bases: Tuple[BaseArray, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        source_ids = {id(base) for base in self.source_bases}
+        scratch = []
+        seen = set()
+        for base in self.optimized.bases():
+            if id(base) not in source_ids and id(base) not in seen:
+                seen.add(id(base))
+                scratch.append(base)
+        self._scratch_bases = tuple(scratch)
+
+    def bind(self, bases: Tuple[BaseArray, ...]) -> Program:
+        """Rebind the optimized program onto a new program's base arrays.
+
+        ``bases`` is the canonical base enumeration of the new (structurally
+        identical) source program, as returned by
+        :func:`canonical_program_key`.  Views are rewritten base-for-base;
+        optimizer-introduced scratch arrays (e.g. power-expansion
+        temporaries) get a fresh allocation per bind, mirroring what a full
+        re-optimization would have produced.
+
+        The rebind is a single linear pass over the optimized program —
+        this is the whole point: a cache hit replaces the fixed-point
+        optimizer run with O(plan size) pointer surgery.
+        """
+        if len(bases) != len(self.source_bases):
+            raise ExecutionError(
+                f"cannot bind plan over {len(self.source_bases)} bases to a "
+                f"program with {len(bases)} bases"
+            )
+        if all(old is new for old, new in zip(self.source_bases, bases)):
+            # The iteration reused the same storage (arrays mutated in
+            # place); the cached program is directly executable.
+            return self.optimized.copy()
+        mapping: Dict[int, BaseArray] = {
+            id(old): new for old, new in zip(self.source_bases, bases)
+        }
+        for scratch in self._scratch_bases:
+            mapping[id(scratch)] = BaseArray(scratch.nelem, scratch.dtype)
+        view_cache: Dict[int, View] = {}
+        return Program(
+            self._bind_instruction(instr, mapping, view_cache) for instr in self.optimized
+        )
+
+    def _bind_instruction(
+        self,
+        instruction: Instruction,
+        mapping: Dict[int, BaseArray],
+        view_cache: Dict[int, View],
+    ) -> Instruction:
+        operands = tuple(
+            self._bind_operand(op, mapping, view_cache) for op in instruction.operands
+        )
+        kernel = None
+        if instruction.kernel is not None:
+            kernel = tuple(
+                self._bind_instruction(inner, mapping, view_cache)
+                for inner in instruction.kernel
+            )
+        return Instruction(instruction.opcode, operands, kernel=kernel, tag=instruction.tag)
+
+    def _bind_operand(self, operand, mapping, view_cache):
+        if is_constant(operand):
+            return operand
+        cached = view_cache.get(id(operand))
+        if cached is not None:
+            return cached
+        new_base = mapping.get(id(operand.base))
+        if new_base is None:
+            raise ExecutionError(
+                f"plan references base {operand.base.name!r} with no binding"
+            )
+        bound = View(new_base, operand.offset, operand.shape, operand.strides)
+        view_cache[id(operand)] = bound
+        return bound
+
+
+# --------------------------------------------------------------------------- #
+# The plan cache
+# --------------------------------------------------------------------------- #
+
+
+class PlanCache:
+    """A bounded LRU cache of :class:`ExecutionPlan` objects.
+
+    Keys are whatever the engine derives them from (program fingerprint plus
+    backend name, pipeline signature and configuration signature); the cache
+    itself only requires them to be hashable.
+    """
+
+    def __init__(self, max_plans: Optional[int] = None) -> None:
+        self.max_plans = (
+            max_plans if max_plans is not None else get_config().plan_cache_size
+        )
+        if self.max_plans < 1:
+            raise ValueError(f"plan cache needs room for at least one plan, got {self.max_plans}")
+        self._plans: "OrderedDict[tuple, ExecutionPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, key) -> Optional[ExecutionPlan]:
+        """Look up a plan, counting the hit/miss and refreshing recency."""
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        plan.hits += 1
+        return plan
+
+    def put(self, key, plan: ExecutionPlan) -> None:
+        """Insert a plan, evicting the least recently used entry if full."""
+        if key in self._plans:
+            self._plans.move_to_end(key)
+        self._plans[key] = plan
+        while len(self._plans) > self.max_plans:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached plan (counters are preserved)."""
+        self._plans.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for reporting: hits, misses, evictions, current size."""
+        return {
+            "plan_cache_hits": self.hits,
+            "plan_cache_misses": self.misses,
+            "plan_cache_evictions": self.evictions,
+            "plan_cache_size": len(self._plans),
+            "plan_cache_capacity": self.max_plans,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Batch splitting (absorbed from the former repro.runtime.scheduler)
+# --------------------------------------------------------------------------- #
+
+
+def split_into_batches(program: Program, split_on_sync: bool = True) -> List[Program]:
+    """Split ``program`` into flush batches.
+
+    Bohrium buffers byte-codes until a *flush point* — a ``BH_SYNC`` (the
+    Python program observes a value) or the end of the program — and hands
+    each batch to the vector engine.  Each batch ends right after a
+    ``BH_SYNC`` instruction (inclusive) when ``split_on_sync`` is true;
+    otherwise the whole program is one batch.  Empty batches are never
+    produced.  A batch is the unit an :class:`ExecutionPlan` describes.
+    """
+    if not split_on_sync:
+        return [program.copy()] if len(program) else []
+    batches: List[Program] = []
+    current = Program()
+    for instruction in program:
+        current.append(instruction)
+        if instruction.opcode is OpCode.BH_SYNC:
+            batches.append(current)
+            current = Program()
+    if len(current):
+        batches.append(current)
+    return batches
+
+
+def merge_batches(batches: List[Program]) -> Program:
+    """Concatenate batches back into a single program."""
+    merged = Program()
+    for batch in batches:
+        merged.extend(batch)
+    return merged

@@ -27,6 +27,7 @@ from repro.core.cost import CostModel
 from repro.core.pipeline import default_pipeline
 from repro.core.rules import DEFAULT_PASS_ORDER, EXTENDED_PASS_ORDER, available_passes
 from repro.core.verifier import SemanticVerifier
+from repro.runtime.engine import ExecutionEngine
 from repro.runtime.simulator import DEVICE_PROFILES
 from repro.utils.errors import ReproError
 
@@ -82,6 +83,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1024,
         help="vector length assumed for registers that appear without an explicit view",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="execute the listing through the execution engine on this "
+        "registered backend (e.g. interpreter, jit, simulator) and print "
+        "execution plus plan/kernel cache statistics",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="with --backend: execute the listing this many times; repeats "
+        "after the first are served from the plan cache (default: 1)",
     )
     parser.add_argument(
         "--quiet",
@@ -167,7 +182,49 @@ def run(args, out=None) -> int:
         print(f"semantic verification: {'passed' if equivalent else 'FAILED'}", file=out)
         if not equivalent:
             return 2
+
+    if args.backend is not None:
+        _execute_with_engine(program, pipeline, report, args, out)
     return 0
+
+
+def _execute_with_engine(program, pipeline, report, args, out) -> None:
+    """Run the listing through the staged engine and report cache statistics."""
+    if args.repeat < 1:
+        raise ReproError(f"--repeat must be at least 1, got {args.repeat}")
+    engine = ExecutionEngine(backend=args.backend, optimize=True, pipeline=pipeline)
+    # The pipeline already ran once to print the report above — seed the
+    # plan cache with it so the first execution replays instead of
+    # re-optimizing.
+    engine.prime(program, report)
+    last_stats = None
+    for _ in range(args.repeat):
+        # Fresh memory per run: repeats measure middleware reuse, not state.
+        last_stats = engine.execute(program).stats
+
+    print(file=out)
+    print(f"execution ({engine.backend.name} backend, {args.repeat} run(s)):", file=out)
+    print(
+        f"  last run: {last_stats.instructions_executed} byte-code(s), "
+        f"{last_stats.kernel_launches} kernel launch(es), "
+        f"{last_stats.wall_time_seconds * 1e3:.3f} ms wall, "
+        f"{last_stats.plan_time_seconds * 1e3:.3f} ms planning",
+        file=out,
+    )
+    cache = engine.cache_stats()
+    print(
+        f"  plan cache: {cache['plan_cache_hits']} hit(s), "
+        f"{cache['plan_cache_misses']} miss(es), "
+        f"{cache['plan_cache_size']} plan(s) cached",
+        file=out,
+    )
+    if "kernel_cache_hits" in cache:
+        print(
+            f"  kernel cache: {cache['kernel_cache_hits']} hit(s), "
+            f"{cache['kernel_cache_misses']} miss(es), "
+            f"{cache.get('kernel_cache_size', 0)} kernel(s) cached",
+            file=out,
+        )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

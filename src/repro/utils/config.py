@@ -46,6 +46,12 @@ class Config:
         Maximum number of element-wise byte-codes fused into one kernel.
     fixed_point_max_iterations:
         Safety bound on the pipeline's iterate-to-fixed-point loop.
+    plan_cache_enabled:
+        Whether the execution engine caches optimized execution plans keyed
+        by program fingerprint and replays them on structurally identical
+        flushes.
+    plan_cache_size:
+        Maximum number of execution plans the engine's LRU plan cache holds.
     enabled_passes:
         Names of passes that the default pipeline should include.  ``None``
         means "all registered default passes".
@@ -61,6 +67,8 @@ class Config:
     power_expansion_limit: int = 64
     fusion_max_kernel_size: int = 32
     fixed_point_max_iterations: int = 16
+    plan_cache_enabled: bool = True
+    plan_cache_size: int = 128
     enabled_passes: Optional[List[str]] = None
     random_seed: int = 0x5EED
 

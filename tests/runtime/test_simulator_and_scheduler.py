@@ -9,7 +9,7 @@ from repro.bytecode.opcodes import OpCode
 from repro.bytecode.program import Program
 from repro.runtime.backend import available_backends, get_backend
 from repro.runtime.interpreter import NumPyInterpreter
-from repro.runtime.scheduler import merge_batches, split_into_batches
+from repro.runtime.plan import merge_batches, split_into_batches
 from repro.runtime.simulator import (
     DEVICE_PROFILES,
     DeviceProfile,

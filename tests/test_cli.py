@@ -98,6 +98,37 @@ class TestBasicOperation:
         assert "multicore profile" in output
 
 
+class TestBackendExecution:
+    def test_backend_flag_executes_and_reports_stats(self, listing_file):
+        code, output = run_cli([listing_file, "--backend", "interpreter"])
+        assert code == 0
+        assert "execution (interpreter backend, 1 run(s))" in output
+        # The report phase primes the plan cache, so even the first
+        # execution replays instead of re-optimizing.
+        assert "plan cache: 1 hit(s), 0 miss(es), 1 plan(s) cached" in output
+
+    def test_repeat_hits_the_plan_cache(self, listing_file):
+        code, output = run_cli([listing_file, "--backend", "interpreter", "--repeat", "5"])
+        assert code == 0
+        assert "plan cache: 5 hit(s), 0 miss(es), 1 plan(s) cached" in output
+
+    def test_jit_backend_reports_kernel_cache(self, listing_file):
+        code, output = run_cli([listing_file, "--backend", "jit", "--repeat", "2"])
+        assert code == 0
+        assert "kernel cache:" in output
+
+    def test_no_backend_no_execution_section(self, listing_file):
+        code, output = run_cli([listing_file])
+        assert code == 0
+        assert "execution (" not in output
+
+    def test_unknown_backend_is_an_error(self, listing_file):
+        assert main([listing_file, "--backend", "tpu"]) == 1
+
+    def test_invalid_repeat_is_an_error(self, listing_file):
+        assert main([listing_file, "--backend", "interpreter", "--repeat", "0"]) == 1
+
+
 class TestErrorHandling:
     def test_missing_file(self):
         assert main(["/nonexistent/path.bh"]) == 1
