@@ -1,0 +1,165 @@
+"""E12 — tiled parallel backend versus the reference interpreter.
+
+A large fused element-wise workload (two multi-megabyte vectors through a
+24-operation chain, fused into one kernel by the pipeline) is executed by
+the reference interpreter (one full-array traversal per byte-code) and by
+the tiled parallel backend (the whole fused chain applied tile-by-tile,
+each tile cache-sized, tiles distributed over the worker pool).
+
+Assertions are layered by flakiness:
+
+* **deterministic, hard** — the decomposition is exactly what the tiling
+  math predicts (tile count, tiled instruction count), both backends
+  execute the same byte-codes, and the results are **bit-identical**:
+  tiling slices rows but never reorders arithmetic.
+* **wall-clock, soft** — the acceptance target is >= 1.5x over the
+  interpreter (measured ~2-3x even single-core, from cache locality
+  alone; more with real cores).  Wall-clock on shared CI hosts is noisy,
+  so missing the target emits a prominent warning instead of failing the
+  suite; the hard floor only guards against catastrophic regression
+  (parallel slower than half interpreter speed).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.tiling import resolve_num_threads
+from repro.utils.config import get_config
+
+from conftest import record_table
+
+VECTOR_LENGTH = 1 << 22  # 4M float64 elements = 32 MiB per vector
+CHAIN_OPS = 24
+SPEEDUP_TARGET = 1.5
+
+
+def build_workload():
+    """Two vectors through a 24-op element-wise chain, one sync at the end."""
+    builder = ProgramBuilder()
+    a = builder.new_vector(VECTOR_LENGTH)
+    b = builder.new_vector(VECTOR_LENGTH)
+    builder.identity(a, 0.5)
+    builder.identity(b, 1.5)
+    for i in range(CHAIN_OPS):
+        if i % 3 == 0:
+            builder.multiply(a, a, b)
+        elif i % 3 == 1:
+            builder.add(a, a, 0.125)
+        else:
+            builder.maximum(b, b, a)
+    builder.sync(a)
+    builder.sync(b)
+    return builder.build(), a, b
+
+
+def best_wall_time(engine, program, rounds=3):
+    """Best-of-N backend wall time; the plan is warm after the first run."""
+    return min(engine.execute(program).stats.wall_time_seconds for _ in range(rounds))
+
+
+def test_parallel_backend_beats_interpreter_on_large_fused_workload(benchmark):
+    program, a, b = build_workload()
+    interpreter = ExecutionEngine(backend="interpreter", optimize=True)
+    parallel = ExecutionEngine(backend="parallel", optimize=True)
+
+    # Warm both plans (and the parallel tile templates) outside the clock;
+    # the second parallel run is the one inspected below, so it must have
+    # replayed the cached plan.
+    reference = interpreter.execute(program)
+    parallel.execute(program)
+    tiled = parallel.execute(program)
+
+    # ---------------- deterministic assertions (hard) ----------------- #
+    config = get_config()
+    expected_tiles_per_kernel = max(
+        -(-VECTOR_LENGTH // config.parallel_tile_elements),
+        resolve_num_threads(config),
+    )
+    stats = tiled.stats
+    # The whole chain fused into one kernel -> one tiled step, whose tile
+    # count is exactly the tiling arithmetic.
+    assert stats.tiles_executed == expected_tiles_per_kernel
+    assert stats.tiled_instructions == CHAIN_OPS + 2  # chain + two identities
+    assert stats.serial_fallbacks == 0
+    assert stats.threads_used >= 1
+    # Both backends executed the same optimized byte-code.
+    assert stats.instructions_executed == reference.stats.instructions_executed
+    assert stats.kernel_launches == reference.stats.kernel_launches
+    # Bit-identical results: tiling must not change a single ULP.
+    assert np.array_equal(reference.value(a), tiled.value(a))
+    assert np.array_equal(reference.value(b), tiled.value(b))
+    # The second parallel execution replayed the cached plan + tiling.
+    assert tiled.stats.plan_cache_hits == 1
+    assert parallel.last_plan.tiling is not None
+
+    # ---------------- wall-clock comparison (soft) -------------------- #
+    def measure():
+        return best_wall_time(interpreter, program), best_wall_time(parallel, program)
+
+    interp_seconds, parallel_seconds = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.group = "E12 tiled parallel backend"
+    speedup = interp_seconds / parallel_seconds if parallel_seconds else float("inf")
+
+    record_table(
+        benchmark,
+        f"E12: {VECTOR_LENGTH} elements x {CHAIN_OPS}-op fused chain "
+        f"({stats.tiles_executed} tiles, {stats.threads_used} thread(s))",
+        [
+            {
+                "backend": "interpreter",
+                "wall_ms": interp_seconds * 1e3,
+                "tiles": 0,
+                "speedup": 1.0,
+            },
+            {
+                "backend": "parallel",
+                "wall_ms": parallel_seconds * 1e3,
+                "tiles": stats.tiles_executed,
+                "speedup": speedup,
+            },
+        ],
+        ["backend", "wall_ms", "tiles", "speedup"],
+    )
+
+    # Soft acceptance check: warn loudly instead of flaking CI.
+    if speedup < SPEEDUP_TARGET:
+        warnings.warn(
+            f"E12 soft target missed: parallel backend speedup {speedup:.2f}x "
+            f"< {SPEEDUP_TARGET}x over the interpreter (noisy host?)",
+            stacklevel=1,
+        )
+    # Hard floor: the tiled backend must never be drastically slower.
+    assert speedup > 0.5
+
+
+def test_parallel_backend_matches_interpreter_on_reductions(benchmark):
+    """Reduction-heavy workload: sliced reductions stay bit-identical."""
+    builder = ProgramBuilder()
+    rows, cols = 2048, 512
+    matrix = builder.new_matrix(rows, cols)
+    row_out = builder.new_vector(cols)
+    col_out = builder.new_vector(rows)
+    builder.random(matrix, seed=42)
+    builder.multiply(matrix, matrix, 2.0)
+    builder.add_reduce(row_out, matrix, axis=0)
+    builder.maximum_reduce(col_out, matrix, axis=1)
+    builder.sync(row_out)
+    builder.sync(col_out)
+    program = builder.build()
+
+    interpreter = ExecutionEngine(backend="interpreter", optimize=True)
+    parallel = ExecutionEngine(backend="parallel", optimize=True)
+
+    def run():
+        return interpreter.execute(program), parallel.execute(program)
+
+    reference, tiled = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.group = "E12 tiled parallel backend"
+    assert np.array_equal(reference.value(row_out), tiled.value(row_out))
+    assert np.array_equal(reference.value(col_out), tiled.value(col_out))
+    assert tiled.stats.tiles_executed > 0
+    assert tiled.stats.serial_fallbacks == 1  # the BH_RANDOM generator

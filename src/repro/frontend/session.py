@@ -42,8 +42,11 @@ class Session:
         Parameters
         ----------
         backend:
-            Backend instance or registered backend name; defaults to the
-            configuration's ``default_backend``.
+            Backend instance or registered backend name (``"interpreter"``,
+            ``"jit"``, ``"parallel"``, ``"simulator"``, ``"cluster"``);
+            defaults to the configuration's ``default_backend``.
+            ``Session(backend="parallel")`` executes flushes on the tiled
+            multi-threaded backend.
         optimize:
             Whether flushes run the transformation pipeline first; defaults
             to the configuration's ``optimize`` flag.

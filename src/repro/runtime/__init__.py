@@ -9,6 +9,11 @@ We provide three Python equivalents:
   the cost structure the paper's transformations attack.
 * :class:`FusingJIT` — clusters consecutive element-wise byte-codes into
   kernels before executing them, mimicking Bohrium's JIT fuser.
+* :class:`ParallelBackend` — splits fused kernels and reductions into
+  cache-sized contiguous tiles (decomposed once at plan time, cached with
+  the execution plan) and executes independent tiles across a persistent
+  thread pool, with tree-combined reduction partials and serial fallback
+  for non-splittable byte-codes.
 * :class:`SimulatedAccelerator` — executes via the interpreter for
   correctness but additionally *prices* the program with an explicit device
   cost model (kernel-launch latency, per-element cost, memory bandwidth),
@@ -37,7 +42,18 @@ from repro.runtime.kernel import (
     partition_into_kernels,
 )
 from repro.runtime.jit import FusingJIT
+from repro.runtime.parallel import ParallelBackend
 from repro.runtime.simulator import SimulatedAccelerator, DeviceProfile, DEVICE_PROFILES
+from repro.runtime.tiling import (
+    SerialStep,
+    TileDecomposition,
+    TiledMapStep,
+    TiledReduceStep,
+    TileSpan,
+    decompose,
+    resolve_num_threads,
+    slice_view,
+)
 from repro.runtime.plan import (
     ExecutionPlan,
     PlanCache,
@@ -65,6 +81,15 @@ __all__ = [
     "kernel_structural_key",
     "partition_into_kernels",
     "FusingJIT",
+    "ParallelBackend",
+    "SerialStep",
+    "TileDecomposition",
+    "TiledMapStep",
+    "TiledReduceStep",
+    "TileSpan",
+    "decompose",
+    "resolve_num_threads",
+    "slice_view",
     "SimulatedAccelerator",
     "DeviceProfile",
     "DEVICE_PROFILES",

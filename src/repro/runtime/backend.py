@@ -3,7 +3,7 @@
 A backend turns a byte-code :class:`~repro.bytecode.program.Program` into
 results.  Backends are registered by name so configuration and the lazy
 front-end can select them with a string (``"interpreter"``, ``"jit"``,
-``"simulator"``).
+``"parallel"``, ``"simulator"``, ``"cluster"``).
 """
 
 from __future__ import annotations
@@ -42,6 +42,29 @@ class Backend(abc.ABC):
         """Alias of :meth:`execute` kept for readability at call sites."""
         return self.execute(program, memory)
 
+    def prepare_plan(self, plan) -> None:
+        """Hook: attach backend-specific artifacts to a freshly compiled plan.
+
+        The execution engine calls this once per plan-cache miss (and per
+        :meth:`~repro.runtime.engine.ExecutionEngine.prime`), inside the
+        plan stage.  Backends that precompute per-program artifacts — the
+        parallel backend's tile decomposition — store them on the plan
+        here, so replays of the plan never recompute them.  The default
+        does nothing.
+        """
+
+    def execute_plan(
+        self, plan, program: Program, memory: Optional[MemoryManager] = None
+    ) -> ExecutionResult:
+        """Execute a program that was bound from ``plan``.
+
+        ``program`` is the plan's optimized program rebound onto the
+        current flush's base arrays; ``plan`` carries whatever
+        :meth:`prepare_plan` attached.  The default ignores the plan and
+        delegates to :meth:`execute`.
+        """
+        return self.execute(program, memory)
+
     def cache_stats(self) -> Dict[str, int]:
         """Counters of any backend-local caches (compiled kernels, plans).
 
@@ -53,6 +76,7 @@ class Backend(abc.ABC):
 
 
 _BACKEND_FACTORIES: Dict[str, Callable[[], Backend]] = {}
+_DEFAULTS_REGISTERED = False
 
 
 def register_backend(name: str, factory: Callable[[], Backend]) -> None:
@@ -83,15 +107,29 @@ def get_backend(name_or_backend) -> Backend:
 
 
 def _ensure_default_backends() -> None:
-    """Lazily register the built-in backends (avoids import cycles)."""
-    if _BACKEND_FACTORIES:
+    """Lazily register the built-in backends (avoids import cycles).
+
+    Guarded by a dedicated flag, not registry truthiness: a user backend
+    registered before the first lookup must not suppress the built-ins.
+    """
+    global _DEFAULTS_REGISTERED
+    if _DEFAULTS_REGISTERED:
         return
+    _DEFAULTS_REGISTERED = True
     from repro.cluster.executor import ClusterExecutor
     from repro.runtime.interpreter import NumPyInterpreter
     from repro.runtime.jit import FusingJIT
+    from repro.runtime.parallel import ParallelBackend
     from repro.runtime.simulator import SimulatedAccelerator
 
-    register_backend("interpreter", NumPyInterpreter)
-    register_backend("jit", FusingJIT)
-    register_backend("simulator", SimulatedAccelerator)
-    register_backend("cluster", ClusterExecutor)
+    defaults = (
+        ("interpreter", NumPyInterpreter),
+        ("jit", FusingJIT),
+        ("parallel", ParallelBackend),
+        ("simulator", SimulatedAccelerator),
+        ("cluster", ClusterExecutor),
+    )
+    for name, factory in defaults:
+        # setdefault: a user factory registered under a built-in name
+        # before the first lookup keeps precedence.
+        _BACKEND_FACTORIES.setdefault(name, factory)

@@ -103,9 +103,20 @@ class ExecutionEngine:
         return self._backend_spec
 
     def set_backend(self, backend) -> None:
-        """Switch the engine to a different backend (plans are keyed per backend)."""
+        """Switch the engine to a different backend (plans are keyed per backend).
+
+        The previous instance's resources (the parallel backend's worker
+        pool) are released eagerly instead of waiting for garbage
+        collection; ``close()`` is recoverable, so a still-shared instance
+        simply rebuilds its pool on next use.
+        """
+        previous = self._backend_instance
         self._backend_spec = backend
         self._backend_instance = None
+        if previous is not None and previous is not backend:
+            closer = getattr(previous, "close", None)
+            if callable(closer):
+                closer()
 
     # ------------------------------------------------------------------ #
     # The staged pipeline
@@ -135,6 +146,7 @@ class ExecutionEngine:
         plan_started = time.perf_counter()
         hit = False
         miss = False
+        plan = None
         if not self.optimize_enabled:
             self.last_report = None
             self.last_plan = None
@@ -146,9 +158,13 @@ class ExecutionEngine:
             executable = report.optimized
         else:
             executable, hit, miss = self._plan(program, backend)
+            plan = self.last_plan
         plan_seconds = time.perf_counter() - plan_started
 
-        result = backend.execute(executable, memory)
+        if plan is not None:
+            result = backend.execute_plan(plan, executable, memory)
+        else:
+            result = backend.execute(executable, memory)
         stats = result.stats
         stats.plan_time_seconds = plan_seconds
         stats.plan_cache_hits += 1 if hit else 0
@@ -180,6 +196,9 @@ class ExecutionEngine:
             optimized=report.optimized,
             report=report,
         )
+        # Plan-time backend preparation (e.g. tile decomposition): paid on
+        # the miss, replayed for free on every hit.
+        backend.prepare_plan(plan)
         self.plan_cache.put(cache_key, plan)
         self.last_plan = plan
         self.last_report = report
@@ -205,6 +224,7 @@ class ExecutionEngine:
             optimized=report.optimized,
             report=report,
         )
+        backend.prepare_plan(plan)
         cache_key = (
             fingerprint,
             backend.name,

@@ -43,6 +43,17 @@ class ExecutionStats:
     kernel_cache_hits / kernel_cache_misses:
         Compiled-kernel cache outcomes during this execution (filled in by
         the fusing JIT).
+    tiles_executed:
+        Number of tiles launched by the tiled parallel backend.
+    tiled_instructions:
+        Byte-codes that executed through the tiled path (fused payload
+        instructions counted individually).
+    serial_fallbacks:
+        Non-system instructions the parallel backend had to execute
+        serially (generators, linear algebra, non-splittable kernels).
+    threads_used:
+        Worker-thread count of the parallel backend for this execution
+        (zero for other backends; :meth:`merge` keeps the maximum).
     backend_name:
         Which backend produced these statistics.
     """
@@ -60,6 +71,10 @@ class ExecutionStats:
     plan_cache_misses: int = 0
     kernel_cache_hits: int = 0
     kernel_cache_misses: int = 0
+    tiles_executed: int = 0
+    tiled_instructions: int = 0
+    serial_fallbacks: int = 0
+    threads_used: int = 0
     backend_name: str = ""
 
     def record_instruction(self, opcode: OpCode) -> None:
@@ -81,6 +96,10 @@ class ExecutionStats:
         self.plan_cache_misses += other.plan_cache_misses
         self.kernel_cache_hits += other.kernel_cache_hits
         self.kernel_cache_misses += other.kernel_cache_misses
+        self.tiles_executed += other.tiles_executed
+        self.tiled_instructions += other.tiled_instructions
+        self.serial_fallbacks += other.serial_fallbacks
+        self.threads_used = max(self.threads_used, other.threads_used)
         for opcode, count in other.opcode_counts.items():
             self.opcode_counts[opcode] = self.opcode_counts.get(opcode, 0) + count
         return self
@@ -105,6 +124,10 @@ class ExecutionStats:
             "plan_cache_misses": self.plan_cache_misses,
             "kernel_cache_hits": self.kernel_cache_hits,
             "kernel_cache_misses": self.kernel_cache_misses,
+            "tiles_executed": self.tiles_executed,
+            "tiled_instructions": self.tiled_instructions,
+            "serial_fallbacks": self.serial_fallbacks,
+            "threads_used": self.threads_used,
         }
 
 

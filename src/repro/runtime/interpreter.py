@@ -24,15 +24,32 @@ from repro.runtime.memory import MemoryManager
 from repro.utils.errors import ExecutionError
 
 
-def _erf(values: np.ndarray) -> np.ndarray:
-    """Vectorised error function (scipy when available, math.erf otherwise)."""
+def _scipy_erf():
+    """Resolve scipy's vectorised erf, or ``None`` when scipy is absent.
+
+    Kept as a separate seam so tests can monkeypatch it (returning
+    ``None``) and exercise the pure-``math.erf`` fallback without having to
+    uninstall scipy.
+    """
     try:
         from scipy.special import erf as scipy_erf
+    except ImportError:
+        return None
+    return scipy_erf
 
-        return scipy_erf(values)
-    except ImportError:  # pragma: no cover - scipy is normally present
-        vectorised = np.vectorize(math.erf)
-        return vectorised(values)
+
+def _erf_fallback(values: np.ndarray) -> np.ndarray:
+    """Element-by-element ``math.erf`` for hosts without scipy."""
+    vectorised = np.vectorize(math.erf)
+    return vectorised(values)
+
+
+def _erf(values: np.ndarray) -> np.ndarray:
+    """Vectorised error function (scipy when available, math.erf otherwise)."""
+    implementation = _scipy_erf()
+    if implementation is None:
+        return _erf_fallback(values)
+    return implementation(values)
 
 
 class NumPyInterpreter(Backend):

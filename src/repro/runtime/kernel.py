@@ -193,6 +193,19 @@ def compile_kernel_template(instructions: Sequence[Instruction]) -> KernelTempla
     return _compile_template(key, specs)
 
 
+def prepare_kernel_launch(instructions: Sequence[Instruction]):
+    """One canonical walk returning ``(key, slot views, template factory)``.
+
+    Callers holding a template cache (the tiled parallel backend launches
+    one template per tile every execution) need the structural key *and*
+    the launch views; this pays the :func:`_slot_walk` traversal once for
+    both, and the returned zero-argument factory compiles the template
+    only when the key missed the cache.
+    """
+    key, slots, specs = _slot_walk(instructions)
+    return key, slots, lambda: _compile_template(key, specs)
+
+
 def _compile_template(key: tuple, specs) -> KernelTemplate:
     steps = [_compile_step(instruction, refs) for instruction, refs in specs]
     num_slots = 0

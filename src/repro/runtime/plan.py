@@ -150,6 +150,12 @@ _CONFIG_SIGNATURE_FIELDS = (
     "fixed_point_max_iterations",
     "verify_rewrites",
     "random_seed",
+    # Tiling knobs: plans carry their tile decomposition (and the thread
+    # count shapes how a plan is executed), so any change must miss the
+    # cache and re-plan rather than replay a stale decomposition.
+    "parallel_num_threads",
+    "parallel_tile_elements",
+    "parallel_serial_threshold",
 )
 
 
@@ -194,6 +200,13 @@ class ExecutionPlan:
         The optimization report produced when the plan was compiled; replays
         of the plan hand out cached copies (see
         :meth:`~repro.core.pipeline.OptimizationReport.replayed`).
+    tiling:
+        Backend-attached tile decomposition (see
+        :meth:`~repro.runtime.backend.Backend.prepare_plan` and
+        :mod:`repro.runtime.tiling`).  Decompositions are structural —
+        instruction indices and row spans, never base identities — so the
+        one computed at plan time applies unchanged to every rebound
+        replay of the plan.
     hits:
         How many times this plan has been reused.
     """
@@ -203,6 +216,11 @@ class ExecutionPlan:
     source_bases: Tuple[BaseArray, ...]
     optimized: Program
     report: Optional[object] = None
+    tiling: Optional[object] = None
+    #: Tiling-relevant settings the decomposition was computed under
+    #: (tile size, serial threshold, resolved thread count); backends
+    #: re-tile when their effective settings no longer match.
+    tiling_signature: Optional[tuple] = None
     hits: int = 0
     _scratch_bases: Tuple[BaseArray, ...] = field(default_factory=tuple)
 

@@ -1,0 +1,286 @@
+"""Tile decomposition: splitting kernels into cache-sized contiguous tiles.
+
+The tiled parallel backend executes fused element-wise kernels and axis
+reductions tile-by-tile: each tile is a contiguous block of rows of the
+kernel's iteration space, sized so its working set fits in cache, and
+independent tiles can run on different worker threads.  This module holds
+the *plan-time* half of that backend: deciding which instructions of an
+optimized program are splittable, and pre-computing the tile boundaries.
+
+The decomposition is deliberately **structural**: steps reference
+instructions by program index and tiles by (start row, row count), never by
+base-array identity.  :meth:`~repro.runtime.plan.ExecutionPlan.bind`
+preserves instruction order, shapes and strides exactly — only base
+identities change — so one decomposition, computed once when a plan is
+compiled, replays verbatim against every rebound program the plan serves.
+Warm flushes therefore pay zero re-tiling cost.
+
+Splittability rules (serial fallback otherwise):
+
+* element-wise instructions and fused kernels: every view operand must
+  share the kernel's shape, the iteration space must clear the configured
+  serial threshold, and no written view may overlap a differently-shaped
+  window of the same base (row-aligned dependencies — an instruction
+  reading exactly the view another wrote — stay inside a tile and are
+  safe; shifted/overlapping windows would leak across tiles).
+* reductions: n-D inputs are tiled along a non-reduced axis, so every tile
+  writes a disjoint slice of the output and results are bit-identical to
+  the serial reduction.  Full 1-D reductions produce one partial per tile,
+  tree-combined by the backend.
+* everything else — generators (``BH_RANDOM``, ``BH_RANGE``), extension
+  methods (dense linear algebra), system directives — is serial, mirroring
+  the splittable-versus-serial split of :mod:`repro.cluster.partition`,
+  whose block distribution (:func:`~repro.cluster.partition.partition_length`)
+  also computes the tile spans here.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.operand import is_view
+from repro.bytecode.program import Program
+from repro.bytecode.view import View
+from repro.cluster.partition import partition_length
+from repro.utils.config import Config, get_config
+
+
+@dataclass(frozen=True)
+class TileSpan:
+    """One contiguous block of rows along a tiled axis."""
+
+    start: int
+    count: int
+
+
+@dataclass(frozen=True)
+class SerialStep:
+    """An instruction executed whole, in program order, on one thread."""
+
+    index: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class TiledMapStep:
+    """An element-wise instruction or fused kernel split into row tiles.
+
+    Every view of the instruction is sliced with the same spans along its
+    first axis; tiles touch disjoint rows of every written view, so they
+    are independent.
+    """
+
+    index: int
+    spans: Tuple[TileSpan, ...]
+
+
+@dataclass(frozen=True)
+class TiledReduceStep:
+    """An axis reduction split into row tiles.
+
+    ``combine`` is false when tiling runs along a *non-reduced* axis: each
+    tile reduces its own rows and writes a disjoint slice of the output
+    (bit-identical to the serial reduction).  It is true for full 1-D
+    reductions, where each tile yields one partial result and the backend
+    tree-combines the partials.
+    """
+
+    index: int
+    spans: Tuple[TileSpan, ...]
+    tile_axis: int
+    combine: bool
+
+
+@dataclass(frozen=True)
+class TileDecomposition:
+    """The plan-time tiling of one optimized program."""
+
+    steps: Tuple[object, ...]
+
+    @property
+    def num_tiles(self) -> int:
+        """Total tile count across every tiled step."""
+        return sum(len(step.spans) for step in self.steps if not isinstance(step, SerialStep))
+
+    @property
+    def tiled_steps(self) -> Tuple[object, ...]:
+        """The steps that run tile-parallel."""
+        return tuple(step for step in self.steps if not isinstance(step, SerialStep))
+
+    @property
+    def serial_steps(self) -> Tuple[SerialStep, ...]:
+        """The steps that fall back to serial execution."""
+        return tuple(step for step in self.steps if isinstance(step, SerialStep))
+
+
+def slice_view(view: View, span: TileSpan, axis: int = 0) -> View:
+    """The sub-view addressing ``span`` along ``axis`` of ``view``.
+
+    Same windowing arithmetic as :func:`repro.cluster.partition.partition_view`,
+    generalized to any axis: the offset advances by whole strides, shape
+    shrinks along the axis, strides are unchanged.
+    """
+    offset = view.offset + span.start * view.strides[axis]
+    shape = view.shape[:axis] + (span.count,) + view.shape[axis + 1 :]
+    return View(view.base, offset, shape, view.strides)
+
+
+def resolve_num_threads(config: Optional[Config] = None) -> int:
+    """The effective parallel worker count for ``config``.
+
+    ``parallel_num_threads`` when set, otherwise the host's CPU count.
+    """
+    config = config if config is not None else get_config()
+    threads = config.parallel_num_threads
+    if threads is None:
+        threads = os.cpu_count() or 1
+    return max(1, int(threads))
+
+
+def spans_for(
+    rows: int, row_elements: int, tile_elements: int, min_tiles: int = 1
+) -> Tuple[TileSpan, ...]:
+    """Split ``rows`` rows of ``row_elements`` each into cache-sized spans.
+
+    The tile count is chosen so each tile holds about ``tile_elements``
+    elements — but never fewer than ``min_tiles`` (the worker count, so a
+    mid-size workload still feeds every thread) nor more than ``rows``.
+    The rows are then block-distributed with the cluster layer's
+    :func:`~repro.cluster.partition.partition_length` so spans differ in
+    size by at most one row.
+    """
+    rows_per_tile = max(1, tile_elements // max(1, row_elements))
+    num_tiles = max(1, -(-rows // rows_per_tile), min_tiles)
+    num_tiles = min(num_tiles, max(1, rows))
+    return tuple(
+        TileSpan(start, count)
+        for start, count in partition_length(rows, num_tiles)
+        if count > 0
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Splittability analysis
+# --------------------------------------------------------------------------- #
+
+
+def _map_serial_reason(
+    instructions: Sequence[Instruction], config: Config
+) -> Optional[str]:
+    """Why a (fused) element-wise instruction list cannot be row-tiled.
+
+    Returns ``None`` when tiling is safe.
+    """
+    shape = None
+    for instruction in instructions:
+        out = instruction.out
+        if out is not None:
+            shape = out.shape
+            break
+    if shape is None or len(shape) == 0:
+        return "no output iteration space"
+    views = []
+    for instruction in instructions:
+        for operand in instruction.operands:
+            if is_view(operand):
+                views.append(operand)
+    for view in views:
+        if view.shape != shape:
+            return "operand shape differs from kernel shape"
+    nelem = 1
+    for dim in shape:
+        nelem *= dim
+    if nelem < config.parallel_serial_threshold:
+        return "below serial threshold"
+    if shape[0] < 2:
+        return "single row"
+    writes = [v for instruction in instructions for v in instruction.writes()]
+    for write in writes:
+        for other in views:
+            if other is write or other.same_view(write):
+                continue
+            if write.overlaps(other):
+                return "overlapping windows of one base"
+    return None
+
+
+def _decompose_map(
+    index: int, instruction: Instruction, config: Config
+) -> object:
+    instructions = instruction.kernel if instruction.is_fused() else (instruction,)
+    reason = _map_serial_reason(instructions, config)
+    if reason is not None:
+        return SerialStep(index=index, reason=reason)
+    out_shape = next(i.out.shape for i in instructions if i.out is not None)
+    rows = out_shape[0]
+    row_elements = 1
+    for dim in out_shape[1:]:
+        row_elements *= dim
+    spans = spans_for(
+        rows, row_elements, config.parallel_tile_elements, resolve_num_threads(config)
+    )
+    return TiledMapStep(index=index, spans=spans)
+
+
+def _decompose_reduce(
+    index: int, instruction: Instruction, config: Config
+) -> object:
+    source = instruction.inputs[0]
+    out = instruction.out
+    if not is_view(source) or out is None:
+        return SerialStep(index=index, reason="malformed reduction")
+    axis = int(instruction.constants[0].value)
+    if source.nelem < config.parallel_serial_threshold:
+        return SerialStep(index=index, reason="below serial threshold")
+    if out.base is source.base and out.overlaps(source):
+        return SerialStep(index=index, reason="output aliases reduction input")
+    if source.ndim == 1:
+        # Full reduction to one value: per-tile partials, tree-combined.
+        if out.nelem != 1:
+            return SerialStep(index=index, reason="malformed reduction")
+        spans = spans_for(
+            source.shape[0], 1, config.parallel_tile_elements, resolve_num_threads(config)
+        )
+        if len(spans) < 2:
+            return SerialStep(index=index, reason="single tile")
+        return TiledReduceStep(index=index, spans=spans, tile_axis=0, combine=True)
+    # n-D: tile along a non-reduced axis so each tile owns a disjoint
+    # output slice.  The tiled source axis always maps to output axis 0.
+    tile_axis = 1 if axis == 0 else 0
+    rows = source.shape[tile_axis]
+    if rows < 2:
+        return SerialStep(index=index, reason="single row")
+    if len(out.shape) == 0 or out.shape[0] != rows:
+        return SerialStep(index=index, reason="output not sliceable with input")
+    row_elements = source.nelem // rows
+    spans = spans_for(
+        rows, row_elements, config.parallel_tile_elements, resolve_num_threads(config)
+    )
+    return TiledReduceStep(index=index, spans=spans, tile_axis=tile_axis, combine=False)
+
+
+def decompose(program: Program, config: Optional[Config] = None) -> TileDecomposition:
+    """Compute the tile decomposition of ``program``.
+
+    This is the plan-time analysis: one walk classifying every instruction
+    as tiled or serial and fixing the tile spans.  The result applies to
+    any program with the same canonical structural key (see module
+    docstring), so plans cache it across rebinds.
+    """
+    config = config if config is not None else get_config()
+    steps = []
+    for index, instruction in enumerate(program):
+        if instruction.is_system():
+            steps.append(SerialStep(index=index, reason="system"))
+        elif instruction.is_fused() or instruction.is_elementwise():
+            steps.append(_decompose_map(index, instruction, config))
+        elif instruction.is_reduction():
+            steps.append(_decompose_reduce(index, instruction, config))
+        elif instruction.is_extension():
+            steps.append(SerialStep(index=index, reason="extension"))
+        else:
+            steps.append(SerialStep(index=index, reason="generator"))
+    return TileDecomposition(steps=tuple(steps))

@@ -29,6 +29,7 @@ from repro.core.rules import DEFAULT_PASS_ORDER, EXTENDED_PASS_ORDER, available_
 from repro.core.verifier import SemanticVerifier
 from repro.runtime.engine import ExecutionEngine
 from repro.runtime.simulator import DEVICE_PROFILES
+from repro.utils.config import config_override
 from repro.utils.errors import ReproError
 
 
@@ -88,8 +89,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         default=None,
         help="execute the listing through the execution engine on this "
-        "registered backend (e.g. interpreter, jit, simulator) and print "
-        "execution plus plan/kernel cache statistics",
+        "registered backend (e.g. interpreter, jit, parallel, simulator) "
+        "and print execution plus plan/kernel cache statistics",
     )
     parser.add_argument(
         "--repeat",
@@ -97,6 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="with --backend: execute the listing this many times; repeats "
         "after the first are served from the plan cache (default: 1)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="with --backend parallel: worker-thread count for the tiled "
+        "parallel backend (default: the configuration, then the CPU count)",
     )
     parser.add_argument(
         "--quiet",
@@ -133,6 +141,8 @@ def run(args, out=None) -> int:
     """Run the tool with parsed arguments; returns the process exit code."""
     if out is None:
         out = sys.stdout
+    if args.threads is not None and args.threads < 1:
+        raise ReproError(f"--threads must be at least 1, got {args.threads}")
     if args.list_passes:
         order = EXTENDED_PASS_ORDER if args.extended else DEFAULT_PASS_ORDER
         print("pipeline order:", ", ".join(order), file=out)
@@ -184,7 +194,11 @@ def run(args, out=None) -> int:
             return 2
 
     if args.backend is not None:
-        _execute_with_engine(program, pipeline, report, args, out)
+        if args.threads is not None:
+            with config_override(parallel_num_threads=args.threads):
+                _execute_with_engine(program, pipeline, report, args, out)
+        else:
+            _execute_with_engine(program, pipeline, report, args, out)
     return 0
 
 
@@ -211,6 +225,14 @@ def _execute_with_engine(program, pipeline, report, args, out) -> None:
         f"{last_stats.plan_time_seconds * 1e3:.3f} ms planning",
         file=out,
     )
+    if last_stats.threads_used:
+        print(
+            f"  tiling: {last_stats.tiles_executed} tile(s) over "
+            f"{last_stats.threads_used} thread(s), "
+            f"{last_stats.tiled_instructions} tiled byte-code(s), "
+            f"{last_stats.serial_fallbacks} serial fallback(s)",
+            file=out,
+        )
     cache = engine.cache_stats()
     print(
         f"  plan cache: {cache['plan_cache_hits']} hit(s), "
@@ -223,6 +245,13 @@ def _execute_with_engine(program, pipeline, report, args, out) -> None:
             f"  kernel cache: {cache['kernel_cache_hits']} hit(s), "
             f"{cache['kernel_cache_misses']} miss(es), "
             f"{cache.get('kernel_cache_size', 0)} kernel(s) cached",
+            file=out,
+        )
+    if "tile_template_hits" in cache:
+        print(
+            f"  tile templates: {cache['tile_template_hits']} hit(s), "
+            f"{cache['tile_template_misses']} miss(es), "
+            f"{cache.get('tile_template_size', 0)} template(s) cached",
             file=out,
         )
 

@@ -52,6 +52,15 @@ class Config:
         flushes.
     plan_cache_size:
         Maximum number of execution plans the engine's LRU plan cache holds.
+    parallel_num_threads:
+        Worker-thread count used by the tiled parallel backend.  ``None``
+        (the default) resolves to ``os.cpu_count()`` at execution time.
+    parallel_tile_elements:
+        Target number of elements per tile when the parallel backend splits
+        a fused kernel or reduction into cache-sized contiguous tiles.
+    parallel_serial_threshold:
+        Operations over fewer elements than this run serially in the
+        parallel backend: below it, tiling overhead exceeds the win.
     enabled_passes:
         Names of passes that the default pipeline should include.  ``None``
         means "all registered default passes".
@@ -69,6 +78,9 @@ class Config:
     fixed_point_max_iterations: int = 16
     plan_cache_enabled: bool = True
     plan_cache_size: int = 128
+    parallel_num_threads: Optional[int] = None
+    parallel_tile_elements: int = 65536
+    parallel_serial_threshold: int = 8192
     enabled_passes: Optional[List[str]] = None
     random_seed: int = 0x5EED
 

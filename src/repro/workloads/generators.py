@@ -105,3 +105,62 @@ def random_elementwise_program(
         builder.sync(vectors[0])
         synced.append(vectors[0])
     return builder.build(), synced
+
+
+def random_mixed_program(
+    seed: int,
+    num_instructions: int = 10,
+    rows: int = 8,
+    cols: int = 6,
+    include_random: bool = True,
+) -> Tuple[Program, List[View]]:
+    """Generate a random program mixing element-wise ops and reductions.
+
+    Built for the differential-testing harness: alongside the element-wise
+    byte-codes of :func:`random_elementwise_program` it emits 2-D axis
+    reductions (both axes), a full 1-D reduction down to a scalar, and —
+    optionally — seeded ``BH_RANDOM`` generators, covering every execution
+    path of the tiled parallel backend (sliced reductions, tree-combined
+    partials, serial fallback) while staying numerically tame.
+
+    Returns the program plus the synced (observable) views.
+    """
+    rng = _random.Random(seed)
+    builder = ProgramBuilder(float64)
+    matrices = [builder.new_matrix(rows, cols) for _ in range(2)]
+    row_out = builder.new_vector(cols)   # axis-0 reductions land here
+    col_out = builder.new_vector(rows)   # axis-1 reductions land here
+    scalar_out = builder.new_vector(1)   # full 1-D reduction lands here
+    for matrix in matrices:
+        builder.identity(matrix, rng.choice(_CONSTANT_POOL))
+    for vector in (row_out, col_out, scalar_out):
+        builder.identity(vector, rng.choice(_CONSTANT_POOL))
+
+    for _ in range(num_instructions):
+        kind = rng.random()
+        if kind < 0.25:
+            source = rng.choice(matrices)
+            reduce = rng.choice((builder.add_reduce, builder.maximum_reduce))
+            if rng.random() < 0.5:
+                reduce(row_out, source, axis=0)
+            else:
+                reduce(col_out, source, axis=1)
+        elif include_random and kind < 0.35:
+            builder.random(rng.choice(matrices), rng.randint(0, 2**31))
+        else:
+            opcode = rng.choice(_BINARY_OPCODES)
+            out = rng.choice(matrices)
+            left = out if rng.random() < 0.6 else rng.choice(matrices)
+            if rng.random() < 0.5:
+                right = rng.choice(_CONSTANT_POOL)
+            else:
+                right = rng.choice(matrices)
+            builder.emit_binary(opcode, out, left, right)
+
+    # Always exercise the tree-combined 1-D reduction path.
+    builder.add_reduce(scalar_out, col_out, axis=0)
+
+    synced = [matrices[0], row_out, col_out, scalar_out]
+    for view in synced:
+        builder.sync(view)
+    return builder.build(), synced

@@ -1,0 +1,154 @@
+"""Differential testing: every backend against the NumPy oracle.
+
+A second *real* execution backend multiplies the ways results can diverge:
+tiling can mis-slice a view, a rebound plan can alias the wrong base, an
+optimization pass can interact badly with a backend-specific execution
+strategy.  This harness pits every registered real backend — interpreter,
+fusing JIT, tiled parallel, simulated cluster — and both optimization
+levels against a single oracle on randomly generated programs.
+
+The oracle is the unoptimized reference interpreter: it executes one
+byte-code per NumPy operation in program order, which *is* the NumPy
+semantics of the program.  Three layers of assertion:
+
+1. every backend × optimization level matches the oracle within the
+   semantic verifier's tolerances (optimization may legitimately reorder
+   floating-point work, e.g. power expansion),
+2. all backends executing the *same* optimized program agree bit-for-bit
+   on element-wise programs (they run the same NumPy ops; tiling slices
+   rows but never reorders arithmetic),
+3. the tiled parallel backend actually tiled something (the configuration
+   pins tiny tiles), so the parity statement covers the parallel code
+   path rather than a wall of serial fallbacks.
+
+The only relaxation: programs with full 1-D reductions compare the
+parallel backend within tight tolerances instead of bitwise, because
+tree-combining per-tile partials legitimately reassociates the reduction.
+
+Adding a backend to the harness: register it (see
+``docs/architecture.md``), append its name to ``BACKENDS`` below, and — if
+it reorders floating-point arithmetic — to ``REASSOCIATING_BACKENDS``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.engine import ExecutionEngine
+from repro.utils.config import config_override
+from repro.workloads.generators import random_elementwise_program, random_mixed_program
+
+#: Every backend the harness checks.  All execute for real (the cluster
+#: backend computes via the interpreter and only *prices* in simulation).
+BACKENDS = ("interpreter", "jit", "parallel", "cluster")
+
+#: Backends allowed to reassociate floating-point reductions (tree-combined
+#: tile partials); they get tolerance instead of bitwise comparison on
+#: programs containing full 1-D reductions.
+REASSOCIATING_BACKENDS = ("parallel",)
+
+#: Tolerances matching the semantic verifier's defaults.
+RTOL, ATOL = 1e-6, 1e-8
+
+#: Force multi-tile execution paths even on the small arrays the generator
+#: produces, so parity covers tiling rather than serial fallbacks.
+TINY_TILES = dict(parallel_tile_elements=16, parallel_serial_threshold=4)
+
+ELEMENTWISE_SEEDS = tuple(range(60))
+MIXED_SEEDS = tuple(range(1000, 1040))
+
+
+def _execute(program, views, backend, optimize):
+    engine = ExecutionEngine(backend=backend, optimize=optimize)
+    result = engine.execute(program)
+    return [result.value(view) for view in views], result.stats
+
+
+def _assert_close(actual, expected, context):
+    np.testing.assert_allclose(
+        actual, expected, rtol=RTOL, atol=ATOL, equal_nan=True, err_msg=context
+    )
+
+
+def _assert_bitwise(actual, expected, context):
+    assert np.array_equal(actual, expected, equal_nan=True), (
+        f"{context}: results differ bitwise\nexpected={expected!r}\nactual={actual!r}"
+    )
+
+
+def _check_program(program, synced, bitwise_backends, close_backends):
+    """Run the full backend × optimization matrix for one program."""
+    oracle, _ = _execute(program, synced, "interpreter", optimize=False)
+    optimized_results = {}
+    parallel_tiles = 0
+    for backend in BACKENDS:
+        for optimize in (False, True):
+            values, stats = _execute(program, synced, backend, optimize)
+            for index, (actual, expected) in enumerate(zip(values, oracle)):
+                _assert_close(
+                    actual,
+                    expected,
+                    f"{backend} (optimize={optimize}) vs oracle, output {index}",
+                )
+            if optimize:
+                optimized_results[backend] = values
+            if backend == "parallel":
+                parallel_tiles += stats.tiles_executed
+    # All backends executed the same optimized program: results must agree
+    # exactly (modulo documented reduction reassociation).
+    reference = optimized_results["interpreter"]
+    for backend in bitwise_backends:
+        for index, (actual, expected) in enumerate(
+            zip(optimized_results[backend], reference)
+        ):
+            _assert_bitwise(actual, expected, f"{backend} vs interpreter, output {index}")
+    for backend in close_backends:
+        for index, (actual, expected) in enumerate(
+            zip(optimized_results[backend], reference)
+        ):
+            _assert_close(actual, expected, f"{backend} vs interpreter, output {index}")
+    assert parallel_tiles > 0, "parallel backend never tiled; parity proves nothing"
+
+
+@pytest.mark.parametrize("seed", ELEMENTWISE_SEEDS)
+def test_elementwise_program_parity(seed):
+    """Element-wise programs: every backend bit-identical to the others."""
+    program, synced = random_elementwise_program(
+        seed, num_instructions=12, vector_length=24
+    )
+    with config_override(**TINY_TILES):
+        _check_program(
+            program,
+            synced,
+            bitwise_backends=("jit", "parallel", "cluster"),
+            close_backends=(),
+        )
+
+
+@pytest.mark.parametrize("seed", MIXED_SEEDS)
+def test_mixed_program_parity(seed):
+    """Programs with reductions and generators: tolerance for tree combines."""
+    program, synced = random_mixed_program(seed, num_instructions=10)
+    with config_override(**TINY_TILES):
+        _check_program(
+            program,
+            synced,
+            bitwise_backends=("jit", "cluster"),
+            close_backends=REASSOCIATING_BACKENDS,
+        )
+
+
+def test_optimization_levels_agree_per_backend():
+    """Optimized and unoptimized pipelines agree within tolerance per backend."""
+    for seed in (7, 21, 1007):
+        generator = random_elementwise_program if seed < 1000 else random_mixed_program
+        program, synced = generator(seed)
+        with config_override(**TINY_TILES):
+            for backend in BACKENDS:
+                plain, _ = _execute(program, synced, backend, optimize=False)
+                optimized, _ = _execute(program, synced, backend, optimize=True)
+                for index, (actual, expected) in enumerate(zip(optimized, plain)):
+                    _assert_close(
+                        actual, expected, f"{backend} optimized vs plain, output {index}"
+                    )

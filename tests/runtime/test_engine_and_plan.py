@@ -362,3 +362,94 @@ class TestKernelStructuralCache:
         engine.execute(chain_program()[0])
         result = engine.execute(chain_program()[0])
         assert result.stats.plan_cache_hits == 1
+
+
+class TestPlanCacheInvalidationEdgeCases:
+    """Edge cases where a stale plan replay would silently mis-execute."""
+
+    def test_engine_lru_evicts_in_recency_order(self):
+        engine = ExecutionEngine(
+            backend="interpreter", optimize=True, plan_cache_size=2
+        )
+        program_a = chain_program(adds=1)[0]
+        program_b = chain_program(adds=2)[0]
+        program_c = chain_program(adds=3)[0]
+        engine.execute(program_a)  # miss: cache [a]
+        engine.execute(program_b)  # miss: cache [a, b]
+        engine.execute(program_a)  # hit: refresh a -> cache [b, a]
+        engine.execute(program_c)  # miss: evicts b (least recent), not a
+        assert engine.plan_cache.stats()["plan_cache_evictions"] == 1
+        result_a = engine.execute(chain_program(adds=1)[0])
+        assert result_a.stats.plan_cache_hits == 1  # a survived
+        result_b = engine.execute(chain_program(adds=2)[0])
+        assert result_b.stats.plan_cache_misses == 1  # b was evicted
+
+    def test_config_signature_change_mid_session_misses(self):
+        from repro.utils.config import get_config, set_config
+
+        engine = ExecutionEngine(backend="interpreter", optimize=True)
+        engine.execute(chain_program()[0])
+        baseline = get_config()
+        # Mutate the *global* configuration mid-session (no context
+        # manager): cached plans must stop matching immediately.
+        set_config(baseline.replace(power_expansion_limit=2))
+        try:
+            changed = engine.execute(chain_program()[0])
+            assert changed.stats.plan_cache_misses == 1
+            assert changed.stats.plan_cache_hits == 0
+            # Restoring the configuration restores the original plan.
+            set_config(baseline)
+            restored = engine.execute(chain_program()[0])
+            assert restored.stats.plan_cache_hits == 1
+        finally:
+            set_config(baseline)
+
+    def test_parallel_tiling_config_is_part_of_the_signature(self):
+        baseline = config_signature()
+        with config_override(parallel_tile_elements=1024):
+            assert config_signature() != baseline
+        with config_override(parallel_num_threads=2):
+            assert config_signature() != baseline
+        with config_override(parallel_serial_threshold=1):
+            assert config_signature() != baseline
+
+    def test_rebinding_onto_different_shape_misses(self):
+        engine = ExecutionEngine(backend="interpreter", optimize=True)
+        small = engine.execute(chain_program(size=16)[0])
+        assert small.stats.plan_cache_misses == 1
+        large_program, large_vector = chain_program(size=32)
+        large = engine.execute(large_program)
+        # Same opcodes and constants, different geometry: must be a miss
+        # (binding the 16-element plan would write out of bounds).
+        assert large.stats.plan_cache_misses == 1
+        assert large.stats.plan_cache_hits == 0
+        np.testing.assert_array_equal(
+            large.value(large_vector), np.full(32, 3.0)
+        )
+
+    def test_rebinding_onto_different_dtype_misses(self):
+        from repro.bytecode.dtypes import float32, float64
+
+        def typed_program(dtype):
+            builder = ProgramBuilder(dtype)
+            vector = builder.new_vector(16)
+            builder.identity(vector, 0)
+            builder.add(vector, vector, 1)
+            builder.sync(vector)
+            return builder.build(), vector
+
+        engine = ExecutionEngine(backend="interpreter", optimize=True)
+        engine.execute(typed_program(float64)[0])
+        program32, vector32 = typed_program(float32)
+        result = engine.execute(program32)
+        assert result.stats.plan_cache_misses == 1
+        assert result.stats.plan_cache_hits == 0
+        assert result.value(vector32).dtype == np.float32
+
+    def test_bind_refuses_structurally_foreign_bases(self):
+        # Safety net below the cache: even if a caller hands bind() the
+        # wrong enumeration size, it must raise instead of mis-executing.
+        program, vector = chain_program()
+        plan = _plan_for(program, vector)
+        with pytest.raises(ExecutionError):
+            plan.bind(plan.source_bases + (BaseArray(16),))

@@ -89,6 +89,36 @@ class TestElementwise:
         result = execute(builder.build())
         assert np.allclose(result.value(y), scipy_erf(np.arange(8) * 0.25))
 
+    def test_erf_without_scipy_uses_math_fallback(self, monkeypatch):
+        # Simulate a scipy-less host through the resolver seam; the
+        # fallback path must keep BH_ERF working, not just importing.
+        import math
+
+        from repro.runtime import interpreter as interpreter_module
+
+        monkeypatch.setattr(interpreter_module, "_scipy_erf", lambda: None)
+        builder = ProgramBuilder()
+        x = builder.new_vector(8)
+        y = builder.new_vector(8)
+        builder.arange(x)
+        builder.multiply(x, x, 0.25)
+        builder.emit_unary(OpCode.BH_ERF, y, x)
+        result = execute(builder.build())
+        expected = [math.erf(v * 0.25) for v in range(8)]
+        np.testing.assert_allclose(result.value(y), expected, rtol=1e-15)
+
+    def test_erf_fallback_matches_scipy_bitwise_enough(self):
+        from scipy.special import erf as scipy_erf
+
+        from repro.runtime.interpreter import _erf, _erf_fallback
+
+        values = np.linspace(-3.0, 3.0, 41)
+        np.testing.assert_allclose(
+            _erf_fallback(values), scipy_erf(values), rtol=1e-14, atol=1e-15
+        )
+        # With scipy resolvable, _erf prefers it.
+        assert np.array_equal(_erf(values), scipy_erf(values))
+
     def test_comparison_into_bool_base(self):
         builder = ProgramBuilder()
         x = builder.new_vector(6)
