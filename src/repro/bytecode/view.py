@@ -79,11 +79,16 @@ class View:
             )
         if self.offset < 0:
             raise ValueError(f"negative offset {self.offset}")
-        if self._max_index() >= base.nelem and self.nelem > 0:
-            raise ValueError(
-                f"view extends beyond its base: max element index {self._max_index()} "
-                f">= base nelem {base.nelem}"
-            )
+        if self.nelem > 0:
+            if self._min_index() < 0:
+                raise ValueError(
+                    f"view extends before its base: min element index {self._min_index()} < 0"
+                )
+            if self._max_index() >= base.nelem:
+                raise ValueError(
+                    f"view extends beyond its base: max element index {self._max_index()} "
+                    f">= base nelem {base.nelem}"
+                )
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -149,11 +154,23 @@ class View:
         return self.offset == 0 and self.is_contiguous() and self.nelem == self.base.nelem
 
     def _max_index(self) -> int:
-        """Largest element index into the base touched by this view."""
+        """Largest element index into the base touched by this view.
+
+        Negative strides walk *down* from the offset, so only positive
+        strides advance the maximum.
+        """
         index = self.offset
         for dim, stride in zip(self.shape, self.strides):
-            if dim > 0:
-                index += (dim - 1) * abs(stride)
+            if dim > 0 and stride > 0:
+                index += (dim - 1) * stride
+        return index
+
+    def _min_index(self) -> int:
+        """Smallest element index into the base touched by this view."""
+        index = self.offset
+        for dim, stride in zip(self.shape, self.strides):
+            if dim > 0 and stride < 0:
+                index += (dim - 1) * stride
         return index
 
     def element_indices(self) -> Tuple[int, ...]:
@@ -203,8 +220,8 @@ class View:
             return False
         if self.nelem == 0 or other.nelem == 0:
             return False
-        lo_a, hi_a = self.offset, self._max_index()
-        lo_b, hi_b = other.offset, other._max_index()
+        lo_a, hi_a = self._min_index(), self._max_index()
+        lo_b, hi_b = other._min_index(), other._max_index()
         if hi_a < lo_b or hi_b < lo_a:
             return False
         exact_limit = 4096

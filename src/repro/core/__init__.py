@@ -29,10 +29,12 @@ objects into cheaper but semantically equivalent programs.  Its pieces:
 """
 
 from repro.core.analysis import (
+    BaseInterval,
     DefUse,
     base_read_between,
     base_written_between,
     is_dead_after,
+    live_intervals,
     reads_of_base,
     writes_to_base,
 )
@@ -74,6 +76,8 @@ from repro.core.pipeline import (
 
 __all__ = [
     "DefUse",
+    "BaseInterval",
+    "live_intervals",
     "base_read_between",
     "base_written_between",
     "is_dead_after",

@@ -116,32 +116,205 @@ class DefUse:
         """Indices of instructions after ``index`` that write ``base``."""
         return tuple(a.index for a in self.writes_of(base) if a.index > index)
 
+    # ------------------------------------------------------------------ #
+    # Indexed interference / liveness queries
+    #
+    # These answer the same questions as the stand-alone helpers below, but
+    # against the prebuilt access index: a pass that asks many queries per
+    # run builds one DefUse and pays O(accesses of base) per query instead
+    # of rescanning the whole program every time.
+    # ------------------------------------------------------------------ #
+
+    def written_between(
+        self, base: BaseArray, start: int, stop: int, within: Optional[View] = None
+    ) -> bool:
+        """Is ``base`` written in the open index range (start, stop)?
+
+        When ``within`` is given only writes whose view may overlap it count.
+        """
+        for access in self.accesses.get(id(base), ()):
+            if not access.is_write or not start < access.index < stop:
+                continue
+            if within is None or access.view.overlaps(within):
+                return True
+        return False
+
+    def read_between(
+        self, base: BaseArray, start: int, stop: int, within: Optional[View] = None
+    ) -> bool:
+        """Is ``base`` read (SYNC included) in the open index range (start, stop)?"""
+        for access in self.accesses.get(id(base), ()):
+            if access.is_write or not start < access.index < stop:
+                continue
+            if within is None or access.view.overlaps(within):
+                return True
+        return False
+
+    def value_dead_after(
+        self, index: int, view: View, observable_at_end: bool = True
+    ) -> bool:
+        """Index-backed equivalent of :func:`is_dead_after`.
+
+        The value held by ``view`` is dead after instruction ``index`` when
+        no later instruction can observe it: every later event on the
+        view's base, in program order, is either a complete overwrite or a
+        free before any overlapping read or sync.
+        """
+        base = view.base
+        events = []
+        for access in self.accesses.get(id(base), ()):
+            if access.index > index:
+                # Reads sort before writes at the same instruction: inputs
+                # are consumed before the output is produced.
+                events.append((access.index, 1 if access.is_write else 0, access))
+        for free_index in self.freed.get(id(base), ()):
+            if free_index > index:
+                events.append((free_index, 0, None))
+        events.sort(key=lambda item: (item[0], item[1]))
+        for _, _, access in events:
+            if access is None:
+                return True  # freed before any observing read
+            if not access.is_write:
+                if access.instruction.opcode is OpCode.BH_SYNC:
+                    # A sync observes the base conservatively (whatever the
+                    # synced window): the value is live, unless a complete
+                    # overwrite already replaced it earlier in the walk.
+                    return False
+                if access.view.overlaps(view):
+                    return False
+                continue
+            if _covers(access.view, view):
+                return True
+        return not observable_at_end
+
+
+# ---------------------------------------------------------------------- #
+# Interval liveness (consumed by the plan-time memory planner)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class BaseInterval:
+    """The lifetime of one base array within one program.
+
+    ``start`` is the index of the first access (read, write or sync);
+    ``last_use`` the index of the last access; ``end`` additionally covers
+    any ``BH_FREE``.  The flags are what the memory planner needs to decide
+    whether the base's storage may be aliased onto a shared slot and whether
+    a recycled (non-zeroed) buffer can be handed to it safely.
+    """
+
+    base: BaseArray
+    start: int
+    last_use: int
+    end: int
+    #: First access is a write: the base's prior contents are never read, so
+    #: its storage need not survive from before this program.
+    defined_in_program: bool
+    #: A base-covering write precedes every read: no element can ever be
+    #: read uninitialised, so a recycled buffer needs no zero fill.
+    fully_defined_before_read: bool
+    synced: bool
+    freed: bool
+
+    @property
+    def is_temporary(self) -> bool:
+        """Storage may be aliased: defined here, freed here, never observable.
+
+        ``BH_FREE`` placement does not matter — liveness already proves no
+        access after ``last_use``, so the slot can be recycled from then on
+        even when the free byte-code trails at the end of the batch (where
+        the front-end's deferred garbage-collection frees land).
+        """
+        return self.defined_in_program and self.freed and not self.synced
+
+
+def live_intervals(program: Program, defuse: Optional[DefUse] = None) -> List[BaseInterval]:
+    """Per-base lifetime intervals for ``program``, in first-access order.
+
+    Bases that are only freed (their values were produced by an earlier
+    flush) get a degenerate interval whose ``defined_in_program`` is false.
+    """
+    defuse = defuse if defuse is not None else DefUse.analyze(program)
+    intervals: List[BaseInterval] = []
+    for base_id, base in defuse.bases.items():
+        accesses = defuse.accesses.get(base_id, ())
+        frees = defuse.freed.get(base_id, ())
+        indices = [a.index for a in accesses] + list(frees)
+        if not indices:
+            continue
+        start = min(indices)
+        last_use = max((a.index for a in accesses), default=start)
+        end = max(indices)
+        first_access_index = min((a.index for a in accesses), default=None)
+        defined = (
+            first_access_index is not None
+            and all(
+                a.is_write for a in accesses if a.index == first_access_index
+            )
+        )
+        fully_defined = defined and _covered_before_reads(base, accesses)
+        intervals.append(
+            BaseInterval(
+                base=base,
+                start=start,
+                last_use=last_use,
+                end=end,
+                defined_in_program=defined,
+                fully_defined_before_read=fully_defined,
+                synced=base_id in defuse.synced,
+                freed=base_id in defuse.freed,
+            )
+        )
+    intervals.sort(key=lambda interval: interval.start)
+    return intervals
+
+
+def _covered_before_reads(base: BaseArray, accesses: Sequence[Access]) -> bool:
+    """Does a base-covering write precede every read of ``base``?
+
+    Within one instruction inputs are consumed before the output is
+    produced, so a read at the same index as the first covering write does
+    not count as covered.
+    """
+    covered_from: Optional[int] = None
+    for access in accesses:
+        if access.is_write and access.view.covers_base():
+            covered_from = access.index
+            break
+    if covered_from is None:
+        return False
+    for access in accesses:
+        if not access.is_write and access.index <= covered_from:
+            return False
+    return True
+
 
 # ---------------------------------------------------------------------- #
 # Stand-alone query helpers (operate directly on a program)
+#
+# Thin wrappers over :class:`DefUse` kept for call sites that ask a single
+# question about a program; passes that query repeatedly build one DefUse
+# and use its indexed methods instead.
 # ---------------------------------------------------------------------- #
 
 
 def reads_of_base(program: Program, base: BaseArray) -> List[int]:
     """Indices of instructions that read ``base`` (SYNC counts as a read)."""
-    result = []
-    for index, instruction in enumerate(program):
-        if instruction.opcode is OpCode.BH_SYNC:
-            if any(view.base is base for view in instruction.views()):
-                result.append(index)
-            continue
-        if any(view.base is base for view in instruction.reads()):
-            result.append(index)
-    return result
+    indices = []
+    for access in DefUse.analyze(program).reads_of(base):
+        if not indices or indices[-1] != access.index:
+            indices.append(access.index)
+    return indices
 
 
 def writes_to_base(program: Program, base: BaseArray) -> List[int]:
     """Indices of instructions that write ``base``."""
-    result = []
-    for index, instruction in enumerate(program):
-        if any(view.base is base for view in instruction.writes()):
-            result.append(index)
-    return result
+    indices = []
+    for access in DefUse.analyze(program).writes_of(base):
+        if not indices or indices[-1] != access.index:
+            indices.append(access.index)
+    return indices
 
 
 def base_read_between(
@@ -152,33 +325,14 @@ def base_read_between(
     When ``within`` is given, only reads whose view may overlap ``within``
     count.
     """
-    for index in range(start + 1, stop):
-        instruction = program[index]
-        views = (
-            instruction.views()
-            if instruction.opcode is OpCode.BH_SYNC
-            else instruction.reads()
-        )
-        for view in views:
-            if view.base is not base:
-                continue
-            if within is None or view.overlaps(within):
-                return True
-    return False
+    return DefUse.analyze(program).read_between(base, start, stop, within=within)
 
 
 def base_written_between(
     program: Program, base: BaseArray, start: int, stop: int, within: Optional[View] = None
 ) -> bool:
     """Is ``base`` written by any instruction with index in the open range (start, stop)?"""
-    for index in range(start + 1, stop):
-        instruction = program[index]
-        for view in instruction.writes():
-            if view.base is not base:
-                continue
-            if within is None or view.overlaps(within):
-                return True
-    return False
+    return DefUse.analyze(program).written_between(base, start, stop, within=within)
 
 
 def is_dead_after(
@@ -209,25 +363,9 @@ def is_dead_after(
         correctly recognised as dead.  Pass ``False`` only for whole-program
         (closed-world) analyses.
     """
-    base = view.base
-    for later_index in range(index + 1, len(program)):
-        instruction = program[later_index]
-        if instruction.opcode is OpCode.BH_SYNC:
-            if any(v.base is base for v in instruction.views()):
-                return False
-            continue
-        if instruction.opcode is OpCode.BH_FREE:
-            if any(v.base is base for v in instruction.views()):
-                return True
-            continue
-        for read_view in instruction.reads():
-            if read_view.base is base and read_view.overlaps(view):
-                return False
-        for write_view in instruction.writes():
-            if write_view.base is base and _covers(write_view, view):
-                # Completely overwritten before being read: dead.
-                return True
-    return not observable_at_end
+    return DefUse.analyze(program).value_dead_after(
+        index, view, observable_at_end=observable_at_end
+    )
 
 
 def _covers(writer: View, target: View) -> bool:

@@ -30,7 +30,7 @@ from typing import List, Optional
 from repro.bytecode.instruction import Instruction
 from repro.bytecode.opcodes import OpCode
 from repro.bytecode.program import Program
-from repro.core.analysis import base_written_between
+from repro.core.analysis import DefUse
 from repro.core.rules import Pass, PassResult
 
 
@@ -60,10 +60,13 @@ class CommonSubexpressionEliminationPass(Pass):
 
     def run(self, program: Program) -> PassResult:
         stats = self._new_stats(program)
+        # One def-use index answers every "was this written in between?"
+        # query below; the pass never rescans the program per candidate.
+        defuse = DefUse.analyze(program)
         instructions = list(program)
         result: List[Instruction] = []
         for index, instruction in enumerate(instructions):
-            replacement = self._find_replacement(program, instructions, index, instruction)
+            replacement = self._find_replacement(defuse, instructions, index, instruction)
             if replacement is None:
                 result.append(instruction)
             else:
@@ -76,7 +79,7 @@ class CommonSubexpressionEliminationPass(Pass):
         return self._finish(Program(result), stats)
 
     def _find_replacement(
-        self, program: Program, instructions, index: int, instruction: Instruction
+        self, defuse: DefUse, instructions, index: int, instruction: Instruction
     ):
         if not _is_candidate(instruction):
             return None
@@ -86,7 +89,7 @@ class CommonSubexpressionEliminationPass(Pass):
                 continue
             if not _same_computation(earlier, instruction):
                 continue
-            if not self._still_valid(program, earlier, earlier_index, index):
+            if not self._still_valid(defuse, earlier, earlier_index, index):
                 continue
             source = earlier.out
             target = instruction.out
@@ -105,14 +108,14 @@ class CommonSubexpressionEliminationPass(Pass):
         return None
 
     def _still_valid(
-        self, program: Program, earlier: Instruction, earlier_index: int, index: int
+        self, defuse: DefUse, earlier: Instruction, earlier_index: int, index: int
     ) -> bool:
         # inputs unchanged since the earlier computation
         for view in earlier.input_views:
-            if base_written_between(program, view.base, earlier_index, index, within=view):
+            if defuse.written_between(view.base, earlier_index, index, within=view):
                 return False
         # the cached result itself unchanged
         out = earlier.out
-        if base_written_between(program, out.base, earlier_index, index, within=out):
+        if defuse.written_between(out.base, earlier_index, index, within=out):
             return False
         return True

@@ -17,7 +17,7 @@ from typing import List
 from repro.bytecode.instruction import Instruction
 from repro.bytecode.opcodes import OpCode
 from repro.bytecode.program import Program
-from repro.core.analysis import is_dead_after
+from repro.core.analysis import DefUse
 from repro.core.rules import Pass, PassResult
 
 
@@ -40,10 +40,13 @@ class DeadCodeEliminationPass(Pass):
 
     def _sweep(self, program: Program, stats) -> tuple:
         """One removal sweep; returns (number removed, new program)."""
+        # One def-use index per sweep serves every deadness query; removals
+        # invalidate it, which is why the fixed-point loop re-sweeps.
+        defuse = DefUse.analyze(program)
         keep: List[Instruction] = []
         removed = 0
         for index, instruction in enumerate(program):
-            if self._is_removable(program, index, instruction):
+            if self._is_removable(defuse, index, instruction):
                 removed += 1
                 stats.rewrites_applied += 1
                 stats.note(f"removed dead {instruction.opcode.value} at {index}")
@@ -51,7 +54,7 @@ class DeadCodeEliminationPass(Pass):
             keep.append(instruction)
         return removed, Program(keep)
 
-    def _is_removable(self, program: Program, index: int, instruction: Instruction) -> bool:
+    def _is_removable(self, defuse: DefUse, index: int, instruction: Instruction) -> bool:
         # System byte-codes, frees and syncs are control/observability points
         # and are never removed here.
         if instruction.is_system():
@@ -59,4 +62,4 @@ class DeadCodeEliminationPass(Pass):
         writes = instruction.writes()
         if not writes:
             return False
-        return all(is_dead_after(program, index, view) for view in writes)
+        return all(defuse.value_dead_after(index, view) for view in writes)

@@ -34,7 +34,7 @@ from typing import List, Optional
 from repro.bytecode.instruction import Instruction
 from repro.bytecode.opcodes import OpCode
 from repro.bytecode.program import Program
-from repro.core.analysis import DefUse, base_written_between, is_dead_after
+from repro.core.analysis import DefUse
 from repro.core.pattern import Capture, InstructionPattern, IsView, SequencePattern
 from repro.core.rules import Pass, PassResult
 
@@ -122,19 +122,18 @@ class LinearSolveRewritePass(Pass):
 
         # The inverse value must be dead after the matmul (nothing reads it
         # later before it is overwritten or freed).
-        matmul_instruction = program[matmul_index]
-        if not is_dead_after(program, matmul_index, inverse_view):
+        if not defuse.value_dead_after(matmul_index, inverse_view):
             return False
 
         # A and b must still hold the same values at the matmul as they did
         # at the inversion, otherwise A used by LU_SOLVE differs from the A
         # that was inverted.
-        if base_written_between(
-            program, matrix_view.base, inverse_index, matmul_index, within=matrix_view
+        if defuse.written_between(
+            matrix_view.base, inverse_index, matmul_index, within=matrix_view
         ):
             return False
-        if base_written_between(
-            program, rhs_view.base, inverse_index, matmul_index, within=rhs_view
+        if defuse.written_between(
+            rhs_view.base, inverse_index, matmul_index, within=rhs_view
         ):
             return False
 

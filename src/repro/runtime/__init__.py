@@ -29,7 +29,7 @@ and an :class:`ExecutionStats` record (kernel launches, elements traversed,
 bytes moved, wall-clock and simulated time, plan/kernel cache outcomes).
 """
 
-from repro.runtime.memory import MemoryManager
+from repro.runtime.memory import BufferDirective, BufferPool, MemoryManager
 from repro.runtime.instrumentation import ExecutionStats, ExecutionResult
 from repro.runtime.backend import Backend, get_backend, register_backend, available_backends
 from repro.runtime.interpreter import NumPyInterpreter
@@ -60,13 +60,20 @@ from repro.runtime.plan import (
     canonical_program_key,
     config_signature,
     merge_batches,
+    program_base_order,
     program_fingerprint,
     split_into_batches,
 )
+from repro.runtime.memplan import MemoryPlan, attach_memory_plan, bind_memory_plan
 from repro.runtime.engine import ExecutionEngine
 
 __all__ = [
     "MemoryManager",
+    "BufferPool",
+    "BufferDirective",
+    "MemoryPlan",
+    "attach_memory_plan",
+    "bind_memory_plan",
     "ExecutionStats",
     "ExecutionResult",
     "Backend",
@@ -98,6 +105,7 @@ __all__ = [
     "ExecutionEngine",
     "canonical_program_key",
     "config_signature",
+    "program_base_order",
     "program_fingerprint",
     "split_into_batches",
     "merge_batches",

@@ -47,11 +47,18 @@ class Backend(abc.ABC):
 
         The execution engine calls this once per plan-cache miss (and per
         :meth:`~repro.runtime.engine.ExecutionEngine.prime`), inside the
-        plan stage.  Backends that precompute per-program artifacts — the
-        parallel backend's tile decomposition — store them on the plan
-        here, so replays of the plan never recompute them.  The default
-        does nothing.
+        plan stage.  The base implementation attaches the liveness-driven
+        :class:`~repro.runtime.memplan.MemoryPlan` — slot aliasing and
+        zero-fill waivers are backend-independent, so every backend gets
+        them for free.  Backends that precompute further per-program
+        artifacts (the parallel backend's tile decomposition) override
+        this, call ``super().prepare_plan(plan)`` and store their own
+        artifacts alongside, so replays of the plan never recompute
+        either.
         """
+        from repro.runtime.memplan import attach_memory_plan
+
+        attach_memory_plan(plan)
 
     def execute_plan(
         self, plan, program: Program, memory: Optional[MemoryManager] = None
@@ -60,9 +67,17 @@ class Backend(abc.ABC):
 
         ``program`` is the plan's optimized program rebound onto the
         current flush's base arrays; ``plan`` carries whatever
-        :meth:`prepare_plan` attached.  The default ignores the plan and
-        delegates to :meth:`execute`.
+        :meth:`prepare_plan` attached.  The default installs the plan's
+        memory directives (slot aliasing, zero-fill waivers) on the
+        memory manager and delegates to :meth:`execute`; it covers every
+        backend whose execution itself is plan-agnostic (interpreter,
+        fusing JIT, cluster, simulator).
         """
+        from repro.runtime.memplan import attach_memory_plan, bind_memory_plan
+
+        attach_memory_plan(plan)
+        memory = memory if memory is not None else MemoryManager()
+        bind_memory_plan(plan, program, memory)
         return self.execute(program, memory)
 
     def cache_stats(self) -> Dict[str, int]:

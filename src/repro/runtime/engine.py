@@ -161,15 +161,44 @@ class ExecutionEngine:
             plan = self.last_plan
         plan_seconds = time.perf_counter() - plan_started
 
+        pool_before = memory.pool_counters() if memory is not None else None
+        if memory is not None:
+            memory.reset_peak_window()
         if plan is not None:
             result = backend.execute_plan(plan, executable, memory)
         else:
+            if memory is not None:
+                # Directives from a previous plan-bound flush must not leak
+                # into a plan-less execution: a dead base's id can be
+                # reused by a fresh base this program allocates.
+                memory.apply_plan(None)
             result = backend.execute(executable, memory)
         stats = result.stats
         stats.plan_time_seconds = plan_seconds
         stats.plan_cache_hits += 1 if hit else 0
         stats.plan_cache_misses += 1 if miss else 0
+        self._capture_memory_stats(stats, result.memory, pool_before, plan)
         return result
+
+    @staticmethod
+    def _capture_memory_stats(stats, memory: MemoryManager, pool_before, plan) -> None:
+        """Fill in the buffer-pool and peak-footprint counters for one flush.
+
+        Pool counters are cumulative on the (session-lived) memory manager,
+        so the per-flush numbers are deltas against the pre-flush snapshot;
+        a backend-created fresh manager starts at zero and needs none.
+        """
+        after = memory.pool_counters()
+        before = pool_before if pool_before is not None else {}
+        stats.pool_hits += after["pool_hits"] - before.get("pool_hits", 0)
+        stats.pool_misses += after["pool_misses"] - before.get("pool_misses", 0)
+        stats.pool_bytes_reused += after["pool_bytes_reused"] - before.get(
+            "pool_bytes_reused", 0
+        )
+        stats.actual_peak_bytes = memory.window_peak_bytes
+        memory_plan = getattr(plan, "memory_plan", None) if plan is not None else None
+        if memory_plan is not None:
+            stats.planned_peak_bytes = memory_plan.planned_peak_bytes
 
     def _plan(self, program: Program, backend: Backend):
         """Stage 2: resolve an execution plan for ``program``."""

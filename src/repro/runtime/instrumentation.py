@@ -54,6 +54,20 @@ class ExecutionStats:
     threads_used:
         Worker-thread count of the parallel backend for this execution
         (zero for other backends; :meth:`merge` keeps the maximum).
+    pool_hits / pool_misses:
+        Buffer-pool outcomes during this execution: how many base-array
+        materializations were served from recycled storage versus fresh
+        host allocations (filled in by the
+        :class:`~repro.runtime.engine.ExecutionEngine`).
+    pool_bytes_reused:
+        Bytes of storage served from recycled buffers this execution.
+    planned_peak_bytes:
+        The memory plan's simulated peak footprint for this execution
+        (zero when planning was disabled; :meth:`merge` keeps the
+        maximum).
+    actual_peak_bytes:
+        The memory manager's measured high-water mark after this
+        execution (:meth:`merge` keeps the maximum).
     backend_name:
         Which backend produced these statistics.
     """
@@ -75,6 +89,11 @@ class ExecutionStats:
     tiled_instructions: int = 0
     serial_fallbacks: int = 0
     threads_used: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    pool_bytes_reused: int = 0
+    planned_peak_bytes: int = 0
+    actual_peak_bytes: int = 0
     backend_name: str = ""
 
     def record_instruction(self, opcode: OpCode) -> None:
@@ -100,6 +119,11 @@ class ExecutionStats:
         self.tiled_instructions += other.tiled_instructions
         self.serial_fallbacks += other.serial_fallbacks
         self.threads_used = max(self.threads_used, other.threads_used)
+        self.pool_hits += other.pool_hits
+        self.pool_misses += other.pool_misses
+        self.pool_bytes_reused += other.pool_bytes_reused
+        self.planned_peak_bytes = max(self.planned_peak_bytes, other.planned_peak_bytes)
+        self.actual_peak_bytes = max(self.actual_peak_bytes, other.actual_peak_bytes)
         for opcode, count in other.opcode_counts.items():
             self.opcode_counts[opcode] = self.opcode_counts.get(opcode, 0) + count
         return self
@@ -128,6 +152,11 @@ class ExecutionStats:
             "tiled_instructions": self.tiled_instructions,
             "serial_fallbacks": self.serial_fallbacks,
             "threads_used": self.threads_used,
+            "pool_hits": self.pool_hits,
+            "pool_misses": self.pool_misses,
+            "pool_bytes_reused": self.pool_bytes_reused,
+            "planned_peak_bytes": self.planned_peak_bytes,
+            "actual_peak_bytes": self.actual_peak_bytes,
         }
 
 

@@ -5,29 +5,204 @@ realized as strided windows over those allocations, so an instruction that
 writes a view writes straight into its base storage — the semantics the
 paper relies on when it reuses the result tensor as scratch space in the
 power-expansion example.
+
+Two layers of storage reuse sit below the manager:
+
+* a size-class :class:`BufferPool` recycles the raw byte buffers of freed
+  bases instead of returning them to the host, so iterative workloads stop
+  paying an allocation per temporary per flush, and
+* plan-directed *aliasing*: the execution plan's
+  :class:`~repro.runtime.memplan.MemoryPlan` may bind several temporaries
+  with disjoint lifetimes to one shared storage slot, and may waive the
+  zero fill for bases the liveness analysis proves fully written before
+  any read.  Without directives every allocation is zero-initialised,
+  matching Bohrium's behaviour for uninitialised operands — bit-for-bit
+  the pre-pool semantics.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
 from repro.bytecode.base import BaseArray
 from repro.bytecode.view import View
+from repro.utils.config import get_config
 from repro.utils.errors import AllocationError
+
+#: Smallest size class the pool hands out; tiny buffers are not worth
+#: recycling individually and round up to this.
+_MIN_CLASS_BYTES = 64
+
+
+def size_class(nbytes: int) -> int:
+    """The pool size class for an allocation of ``nbytes``: next power of two."""
+    if nbytes <= _MIN_CLASS_BYTES:
+        return _MIN_CLASS_BYTES
+    return 1 << (int(nbytes) - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class BufferDirective:
+    """One base's storage instruction from a bound memory plan.
+
+    ``slot`` names a shared storage slot (``None`` for dedicated storage);
+    ``slot_nbytes`` is the slot's capacity (the largest occupant).
+    ``zero_fill`` is false only when liveness proved every element is
+    written before it can be read.
+    """
+
+    slot: Optional[int]
+    slot_nbytes: int
+    zero_fill: bool
+
+
+class BufferPool:
+    """Recycles raw byte buffers in power-of-two size classes.
+
+    Freed buffers are parked here instead of being released to the host;
+    a later allocation of the same size class pops one back out.  The pool
+    is bounded: once ``max_bytes`` worth of buffers are parked, further
+    releases fall through to the host allocator's free.
+    """
+
+    def __init__(self, max_bytes: Optional[int] = None) -> None:
+        self.max_bytes = (
+            max_bytes if max_bytes is not None else get_config().memory_pool_max_bytes
+        )
+        self._bins: Dict[int, List[np.ndarray]] = {}
+        self.bytes_held = 0
+        self.hits = 0
+        self.misses = 0
+        self.bytes_reused = 0
+        self.discards = 0
+
+    def acquire(self, nbytes: int) -> np.ndarray:
+        """A raw ``uint8`` buffer of ``size_class(nbytes)`` bytes, recycled if possible.
+
+        The contents of a recycled buffer are whatever its previous owner
+        left there — the caller decides whether a zero fill is needed.
+        """
+        cls = size_class(nbytes)
+        bin_ = self._bins.get(cls)
+        if bin_:
+            buffer = bin_.pop()
+            self.bytes_held -= cls
+            self.hits += 1
+            self.bytes_reused += int(nbytes)
+            return buffer
+        self.misses += 1
+        try:
+            return np.empty(cls, dtype=np.uint8)
+        except MemoryError as exc:  # pragma: no cover - depends on host
+            raise AllocationError(f"cannot allocate {cls} bytes") from exc
+
+    def release(self, buffer: np.ndarray) -> None:
+        """Park ``buffer`` for reuse, or drop it when the pool is full."""
+        cls = buffer.nbytes
+        if self.bytes_held + cls > self.max_bytes:
+            self.discards += 1
+            return
+        self._bins.setdefault(cls, []).append(buffer)
+        self.bytes_held += cls
+
+    def clear(self) -> None:
+        """Drop every parked buffer (counters are preserved)."""
+        self._bins.clear()
+        self.bytes_held = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for reporting: hits, misses, reused and held bytes."""
+        return {
+            "pool_hits": self.hits,
+            "pool_misses": self.misses,
+            "pool_bytes_reused": self.bytes_reused,
+            "pool_bytes_held": self.bytes_held,
+            "pool_discards": self.discards,
+        }
 
 
 class MemoryManager:
     """Allocates, tracks and frees the NumPy storage behind base arrays."""
 
-    def __init__(self) -> None:
+    def __init__(self, pool: Optional[BufferPool] = None) -> None:
         self._storage: Dict[int, np.ndarray] = {}
         self._bases: Dict[int, BaseArray] = {}
+        #: Raw byte buffer backing each dedicated (non-slot) base.
+        self._buffers: Dict[int, np.ndarray] = {}
+        #: Plan directives for the current execution, keyed by id(base).
+        self._directives: Dict[int, BufferDirective] = {}
+        #: Shared slot buffers, keyed by (plan epoch, slot id): an epoch
+        #: bump on every ``apply_plan`` guarantees a new plan's slot ids
+        #: can never adopt a previous plan's buffer (whose capacity the
+        #: new plan knows nothing about).
+        self._slots: Dict[tuple, np.ndarray] = {}
+        #: Accounted bytes per slot (the planned capacity, not the class).
+        self._slot_bytes: Dict[tuple, int] = {}
+        #: Which slot key (if any) currently backs each live base.
+        self._slot_of: Dict[int, tuple] = {}
+        self._plan_epoch = 0
+        #: The pool is always present; disabling pooling means a zero byte
+        #: cap (every release falls through to the host), which keeps the
+        #: allocation path single and the miss counter authoritative.
+        self.pool: BufferPool = pool if pool is not None else BufferPool()
         self.bytes_allocated = 0
         self.peak_bytes = 0
+        #: High-water mark since :meth:`reset_peak_window` (the engine
+        #: resets it per flush so per-execution statistics don't inherit
+        #: an earlier flush's peak).
+        self.window_peak_bytes = 0
         self.allocation_count = 0
         self.free_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Plan directives
+    # ------------------------------------------------------------------ #
+
+    def apply_plan(self, directives: Optional[Dict[int, BufferDirective]]) -> None:
+        """Install the directives of a freshly bound memory plan.
+
+        Replaces any previous plan: stale directives must never outlive the
+        execution they were bound for (a dead base's ``id`` can be reused by
+        a fresh one).  Slot buffers of the previous plan are recycled
+        through the pool unless a still-live base occupies them (they are
+        released once that base is freed and the next plan is applied).
+        """
+        self.clear_plan()
+        self._plan_epoch += 1
+        if directives:
+            self._directives = dict(directives)
+
+    def clear_plan(self) -> None:
+        """Forget the current plan's directives and release idle slot buffers."""
+        self._directives = {}
+        occupied = set(self._slot_of.values())
+        for slot_key, buffer in list(self._slots.items()):
+            if slot_key in occupied:
+                continue
+            del self._slots[slot_key]
+            self.bytes_allocated -= self._slot_bytes.pop(slot_key)
+            self.pool.release(buffer)
+
+    def pool_counters(self) -> Dict[str, int]:
+        """The pool's cumulative counters."""
+        return self.pool.stats()
+
+    @property
+    def host_allocations(self) -> int:
+        """Buffers actually requested from the host allocator (``np.empty``).
+
+        Every allocation path goes through the pool, so this is exactly the
+        pool's miss count; pool hits and slot reuse keep it flat on warm
+        flushes.
+        """
+        return self.pool.misses
+
+    def reset_peak_window(self) -> None:
+        """Start a fresh per-execution peak window at the current level."""
+        self.window_peak_bytes = self.bytes_allocated
 
     # ------------------------------------------------------------------ #
     # Base-level operations
@@ -37,24 +212,56 @@ class MemoryManager:
         """True when storage for ``base`` currently exists."""
         return id(base) in self._storage
 
-    def allocate(self, base: BaseArray) -> np.ndarray:
+    def _note_peak(self) -> None:
+        self.peak_bytes = max(self.peak_bytes, self.bytes_allocated)
+        self.window_peak_bytes = max(self.window_peak_bytes, self.bytes_allocated)
+
+    def _carve(self, buffer: np.ndarray, base: BaseArray) -> np.ndarray:
+        """The typed flat storage of ``base`` over the head of ``buffer``."""
+        return buffer[: base.nbytes].view(base.dtype.np_dtype)
+
+    def allocate(self, base: BaseArray, zero: Optional[bool] = None) -> np.ndarray:
         """Return the flat storage for ``base``, allocating it if needed.
 
         Fresh allocations are zero-initialised, matching Bohrium's behaviour
-        for uninitialised operands.
+        for uninitialised operands — unless the current plan's directive for
+        ``base`` waives the fill (liveness proved every element is written
+        before it is read) and the zero policy is ``"auto"``, or the caller
+        passes ``zero=False`` because it immediately overwrites the whole
+        buffer (:meth:`set_data`).
         """
         key = id(base)
-        if key not in self._storage:
-            try:
-                buffer = np.zeros(base.nelem, dtype=base.dtype.np_dtype)
-            except MemoryError as exc:  # pragma: no cover - depends on host
-                raise AllocationError(f"cannot allocate {base.nbytes} bytes for {base}") from exc
-            self._storage[key] = buffer
-            self._bases[key] = base
+        existing = self._storage.get(key)
+        if existing is not None:
+            return existing
+        directive = self._directives.get(key)
+        if directive is not None and directive.slot is not None:
+            slot_key = (self._plan_epoch, directive.slot)
+            buffer = self._slots.get(slot_key)
+            if buffer is None:
+                buffer = self.pool.acquire(directive.slot_nbytes)
+                self._slots[slot_key] = buffer
+                self._slot_bytes[slot_key] = directive.slot_nbytes
+                self.bytes_allocated += directive.slot_nbytes
+                self._note_peak()
+            storage = self._carve(buffer, base)
+            self._slot_of[key] = slot_key
+        else:
+            buffer = self.pool.acquire(base.nbytes)
+            storage = self._carve(buffer, base)
+            self._buffers[key] = buffer
             self.bytes_allocated += base.nbytes
-            self.peak_bytes = max(self.peak_bytes, self.bytes_allocated)
-            self.allocation_count += 1
-        return self._storage[key]
+            self._note_peak()
+        if zero is None:
+            zero = directive is None or directive.zero_fill
+            if get_config().memory_zero_policy == "always":
+                zero = True
+        if zero:
+            storage.fill(0)
+        self._storage[key] = storage
+        self._bases[key] = base
+        self.allocation_count += 1
+        return storage
 
     def set_data(self, base: BaseArray, data: np.ndarray) -> None:
         """Initialise ``base`` storage from an existing NumPy array.
@@ -67,23 +274,34 @@ class MemoryManager:
             raise AllocationError(
                 f"data with {flat.size} elements does not fit base of {base.nelem} elements"
             )
-        buffer = self.allocate(base)
+        buffer = self.allocate(base, zero=False)
         np.copyto(buffer, flat)
 
     def free(self, base: BaseArray) -> None:
-        """Release the storage behind ``base`` (no-op when not allocated)."""
+        """Release the storage behind ``base`` (no-op when not allocated).
+
+        Dedicated buffers are recycled through the pool; a slot-backed base
+        leaves its shared slot buffer in place for the slot's next occupant.
+        """
         key = id(base)
-        if key in self._storage:
-            del self._storage[key]
-            del self._bases[key]
-            self.bytes_allocated -= base.nbytes
-            self.free_count += 1
+        if key not in self._storage:
+            return
+        del self._storage[key]
+        del self._bases[key]
+        self.free_count += 1
+        if self._slot_of.pop(key, None) is not None:
+            # Shared slot: the buffer is owned by the plan, not the base.
+            return
+        buffer = self._buffers.pop(key)
+        self.bytes_allocated -= base.nbytes
+        self.pool.release(buffer)
 
     def free_all(self) -> None:
-        """Release every allocation."""
+        """Release every allocation (plan slots included)."""
         for key in list(self._storage):
             base = self._bases[key]
             self.free(base)
+        self.clear_plan()
 
     def live_bases(self) -> Iterable[BaseArray]:
         """The base arrays that currently have storage."""
@@ -123,13 +341,25 @@ class MemoryManager:
         """Deep-copy the manager: same bases, copied buffers.
 
         Used by the semantic verifier, which executes the original and the
-        optimized program from identical initial states.
+        optimized program from identical initial states.  The clone gets
+        dedicated storage for every base (slot sharing is a property of one
+        plan-bound execution, not of the data), its own empty pool, and
+        carries the accounting counters — including the true ``peak_bytes``
+        high-water mark, which a fresh run from the cloned state could
+        otherwise under-report.
         """
         other = MemoryManager()
-        for key, buffer in self._storage.items():
+        for key, storage in self._storage.items():
             base = self._bases[key]
-            other._storage[key] = buffer.copy()
+            buffer = other.pool.acquire(base.nbytes)
+            copied = other._carve(buffer, base)
+            np.copyto(copied, storage)
+            other._storage[key] = copied
             other._bases[key] = base
+            other._buffers[key] = buffer
             other.bytes_allocated += base.nbytes
-        other.peak_bytes = other.bytes_allocated
+        other.peak_bytes = max(self.peak_bytes, other.bytes_allocated)
+        other.window_peak_bytes = other.bytes_allocated
+        other.allocation_count = self.allocation_count
+        other.free_count = self.free_count
         return other

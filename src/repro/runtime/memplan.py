@@ -1,0 +1,280 @@
+"""Plan-time memory planning: liveness-driven buffer aliasing.
+
+The optimizer's context-aware rewrites already lean on in-place storage
+semantics (the power-expansion rewrite reuses the result tensor as scratch
+space); this module extends the same idea to *every* temporary the runtime
+materializes.  At plan-compilation time — once per plan-cache miss — the
+optimized program's per-base lifetime intervals
+(:func:`repro.core.analysis.live_intervals`) feed a linear-scan interval
+allocator that:
+
+* assigns temporaries with provably disjoint lifetimes to shared storage
+  **slots** (one buffer, several bases over time),
+* records **zero-fill waivers** for bases whose every element is written
+  before it can be read (a recycled buffer can be handed over unzeroed),
+* computes the **planned peak bytes** of the execution alongside the
+  unplanned baseline, so benchmarks can assert the footprint reduction.
+
+The result is a :class:`MemoryPlan`, cached inside the
+:class:`~repro.runtime.plan.ExecutionPlan` exactly like the parallel
+backend's tile decomposition: everything it stores is structural (canonical
+base positions, byte sizes, boolean flags — never base identities), so a
+warm plan-cache hit rebinds it onto the new flush's fresh bases in one
+linear walk (:meth:`MemoryPlan.bind`) and replays the planning work for
+free.
+
+Safety invariants, mirroring the paper's "only if we do not use the
+inverse for anything else" caveat:
+
+* **observable bases are never aliased** — anything synced, read before
+  its first in-program write (its value arrives from a previous flush or
+  ``set_data``), or not freed within the program keeps dedicated storage;
+* a slot is handed to its next occupant only after the previous occupant's
+  *last use* — the trailing ``BH_FREE`` the front-end emits at the end of
+  a batch does not delay reuse, because liveness already proves no access
+  in between;
+* a zero fill is waived only when a base-covering write precedes every
+  read, so the differential harness stays bitwise-identical with planning
+  on and off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode.program import Program
+from repro.core.analysis import BaseInterval, live_intervals
+from repro.runtime.memory import BufferDirective, MemoryManager
+from repro.runtime.plan import program_base_order
+from repro.utils.config import Config, get_config
+
+
+@dataclass
+class MemoryPlan:
+    """The replayable storage layout of one optimized program.
+
+    Directives are keyed by *canonical base position* (first-use order, see
+    :func:`~repro.runtime.plan.program_base_order`), never by base
+    identity: the plan cache rebinds the optimized program onto fresh base
+    arrays every flush, and the layout follows along positionally.
+    """
+
+    #: Canonical base position -> directive (slot assignment / zero waiver).
+    directives: Dict[int, BufferDirective] = field(default_factory=dict)
+    num_bases: int = 0
+    num_slots: int = 0
+    #: How many bases were folded onto shared slots.
+    aliased_bases: int = 0
+    #: Simulated peak bytes with slot sharing and last-use reclamation.
+    planned_peak_bytes: int = 0
+    #: Simulated peak bytes of the naive allocator (dedicated storage,
+    #: reclaimed only at the ``BH_FREE``).
+    unplanned_peak_bytes: int = 0
+    #: Zero fills the plan waives per execution.
+    zero_fills_waived: int = 0
+
+    @classmethod
+    def plan(cls, program: Program, config: Optional[Config] = None) -> "MemoryPlan":
+        """Compute the storage layout for ``program`` (one linear scan)."""
+        config = config if config is not None else get_config()
+        order = program_base_order(program)
+        position_of = {id(base): position for position, base in enumerate(order)}
+        intervals = live_intervals(program)
+        waive_zero = config.memory_zero_policy == "auto"
+
+        directives: Dict[int, BufferDirective] = {}
+        slots: List[_Slot] = []
+        aliased = 0
+        waived = 0
+        for interval in intervals:  # already sorted by first access
+            position = position_of[id(interval.base)]
+            zero_fill = not (waive_zero and interval.fully_defined_before_read)
+            if not zero_fill:
+                waived += 1
+            slot_id = None
+            nbytes = interval.base.nbytes
+            if interval.is_temporary:
+                slot = _claim_slot(slots, interval)
+                slot_id = slot.slot_id
+                slot.capacity = max(slot.capacity, nbytes)
+                slot.release_index = interval.last_use
+                slot.first_start = min(slot.first_start, interval.start)
+                slot.last_end = max(slot.last_end, interval.last_use)
+                if len(slot.occupants) > 0:
+                    aliased += 1
+                slot.occupants.append(position)
+            if slot_id is None and zero_fill:
+                continue  # dedicated zeroed storage is the default anyway
+            directives[position] = BufferDirective(
+                slot=slot_id,
+                slot_nbytes=nbytes if slot_id is None else 0,  # patched below
+                zero_fill=zero_fill,
+            )
+        # Slot capacities are only final after the scan: patch them in.
+        for slot in slots:
+            for position in slot.occupants:
+                directive = directives[position]
+                directives[position] = BufferDirective(
+                    slot=directive.slot,
+                    slot_nbytes=slot.capacity,
+                    zero_fill=directive.zero_fill,
+                )
+
+        planned, unplanned = _simulate_peaks(intervals, slots, len(program))
+        return cls(
+            directives=directives,
+            num_bases=len(order),
+            num_slots=len(slots),
+            aliased_bases=aliased,
+            planned_peak_bytes=planned,
+            unplanned_peak_bytes=unplanned,
+            zero_fills_waived=waived,
+        )
+
+    def bind(self, program: Program) -> Dict[int, BufferDirective]:
+        """Map the layout onto ``program``'s concrete bases.
+
+        ``program`` must be (a rebinding of) the program the plan was
+        computed from; the walk is the same canonical enumeration, so
+        position *i* of the bound program is position *i* of the planned
+        one.  Returns ``id(base) -> directive`` ready for
+        :meth:`~repro.runtime.memory.MemoryManager.apply_plan`.
+        """
+        bound: Dict[int, BufferDirective] = {}
+        for position, base in enumerate(program_base_order(program)):
+            directive = self.directives.get(position)
+            if directive is not None:
+                bound[id(base)] = directive
+        return bound
+
+    def stats(self) -> Dict[str, int]:
+        """Planner counters for reporting."""
+        return {
+            "memory_plan_bases": self.num_bases,
+            "memory_plan_slots": self.num_slots,
+            "memory_plan_aliased_bases": self.aliased_bases,
+            "memory_plan_planned_peak_bytes": self.planned_peak_bytes,
+            "memory_plan_unplanned_peak_bytes": self.unplanned_peak_bytes,
+            "memory_plan_zero_fills_waived": self.zero_fills_waived,
+        }
+
+
+@dataclass
+class _Slot:
+    """Linear-scan bookkeeping for one shared storage slot."""
+
+    slot_id: int
+    capacity: int
+    #: Instruction index after which the current occupant is provably dead.
+    release_index: int
+    first_start: int
+    last_end: int
+    occupants: List[int] = field(default_factory=list)
+
+
+def _claim_slot(slots: List[_Slot], interval: BaseInterval) -> _Slot:
+    """The slot ``interval`` will occupy, reusing a released one when possible.
+
+    Best fit first (smallest adequate capacity); otherwise the largest
+    released slot is grown — its earlier occupants simply carve a prefix of
+    the bigger buffer.  A fresh slot is opened only when every slot is
+    still occupied at ``interval.start``.
+    """
+    released = [slot for slot in slots if slot.release_index < interval.start]
+    adequate = [slot for slot in released if slot.capacity >= interval.base.nbytes]
+    if adequate:
+        return min(adequate, key=lambda slot: (slot.capacity, slot.slot_id))
+    if released:
+        return max(released, key=lambda slot: (slot.capacity, -slot.slot_id))
+    slot = _Slot(
+        slot_id=len(slots),
+        capacity=interval.base.nbytes,
+        release_index=interval.last_use,
+        first_start=interval.start,
+        last_end=interval.last_use,
+    )
+    slots.append(slot)
+    return slot
+
+
+def _simulate_peaks(
+    intervals: List[BaseInterval], slots: List[_Slot], program_length: int
+) -> Tuple[int, int]:
+    """Planned vs. unplanned peak bytes over the program's timeline.
+
+    Unplanned models the naive allocator: every base gets dedicated
+    storage at its first access and releases it at its ``BH_FREE`` (or
+    never).  Planned counts each shared slot once over the union of its
+    occupants' lifetimes and dedicated bases as-is.
+    """
+    horizon = program_length + 1
+    planned_deltas: Dict[int, int] = {}
+    unplanned_deltas: Dict[int, int] = {}
+
+    def add(deltas: Dict[int, int], start: int, stop: int, nbytes: int) -> None:
+        deltas[start] = deltas.get(start, 0) + nbytes
+        deltas[stop] = deltas.get(stop, 0) - nbytes
+
+    for interval in intervals:
+        nbytes = interval.base.nbytes
+        release = interval.end + 1 if interval.freed else horizon
+        add(unplanned_deltas, interval.start, release, nbytes)
+        if interval.is_temporary:
+            continue  # temporaries are counted once per slot, below
+        add(planned_deltas, interval.start, release, nbytes)
+    for slot in slots:
+        add(planned_deltas, slot.first_start, slot.last_end + 1, slot.capacity)
+
+    def peak(deltas: Dict[int, int]) -> int:
+        level = 0
+        highest = 0
+        for _, delta in sorted(deltas.items()):
+            level += delta
+            highest = max(highest, level)
+        return highest
+
+    return peak(planned_deltas), peak(unplanned_deltas)
+
+
+# --------------------------------------------------------------------------- #
+# Plan attachment / binding (shared by every backend)
+# --------------------------------------------------------------------------- #
+
+
+def memory_plan_signature(config: Optional[Config] = None) -> tuple:
+    """The settings a computed :class:`MemoryPlan` depends on."""
+    config = config if config is not None else get_config()
+    return (config.memory_plan_enabled, config.memory_zero_policy)
+
+
+def attach_memory_plan(plan, config: Optional[Config] = None) -> None:
+    """Compute and cache the memory plan on ``plan`` (idempotent per signature).
+
+    Called from :meth:`~repro.runtime.backend.Backend.prepare_plan` on
+    every plan-cache miss; replays of the plan skip straight to
+    :func:`bind_memory_plan`.
+    """
+    config = config if config is not None else get_config()
+    signature = memory_plan_signature(config)
+    if plan.memory_signature == signature:
+        return
+    if config.memory_plan_enabled:
+        plan.memory_plan = MemoryPlan.plan(plan.optimized, config)
+    else:
+        plan.memory_plan = None
+    plan.memory_signature = signature
+
+
+def bind_memory_plan(plan, program: Program, memory: MemoryManager) -> None:
+    """Install ``plan``'s storage directives on ``memory`` for one execution.
+
+    When the plan carries no memory plan the manager's directives are
+    cleared instead — stale directives must never survive into an
+    execution they were not bound for.
+    """
+    memory_plan = getattr(plan, "memory_plan", None)
+    if memory_plan is None:
+        memory.apply_plan(None)
+        return
+    memory.apply_plan(memory_plan.bind(program))

@@ -49,6 +49,7 @@ from repro.runtime.instrumentation import ExecutionResult, ExecutionStats
 from repro.runtime.interpreter import NumPyInterpreter
 from repro.runtime.kernel import KernelTemplate, prepare_kernel_launch
 from repro.runtime.memory import MemoryManager
+from repro.runtime.memplan import bind_memory_plan
 from repro.runtime.plan import program_fingerprint
 from repro.runtime.tiling import (
     SerialStep,
@@ -164,6 +165,7 @@ class ParallelBackend(Backend):
         tiled by a differently-configured instance is re-tiled, never
         replayed stale.
         """
+        super().prepare_plan(plan)  # liveness-driven memory plan
         signature = self._tiling_signature()
         if (
             getattr(plan, "tiling", None) is None
@@ -177,6 +179,8 @@ class ParallelBackend(Backend):
     ) -> ExecutionResult:
         """Execute a bound program with its plan's cached decomposition."""
         self.prepare_plan(plan)
+        memory = memory if memory is not None else MemoryManager()
+        bind_memory_plan(plan, program, memory)
         return self._run(program, plan.tiling, memory)
 
     def execute(

@@ -115,6 +115,30 @@ class OperandEncoder:
         return tuple(self._bases.order)
 
 
+def _walk_instruction_bases(instruction: Instruction, enumerator: _BaseEnumerator) -> None:
+    for operand in instruction.operands:
+        if is_view(operand):
+            enumerator.index_of(operand.base)
+    if instruction.kernel is not None:
+        for inner in instruction.kernel:
+            _walk_instruction_bases(inner, enumerator)
+
+
+def program_base_order(program: Program) -> Tuple[BaseArray, ...]:
+    """The program's base arrays in canonical (first-use) order.
+
+    Exactly the enumeration :func:`canonical_program_key` builds, without
+    paying for the structural tokens.  Anything structural that a plan
+    stores per base (the memory planner's slot assignments) is keyed by
+    position in this order, so it can be rebound onto a structurally
+    identical program by re-walking it the same way.
+    """
+    enumerator = _BaseEnumerator()
+    for instruction in program:
+        _walk_instruction_bases(instruction, enumerator)
+    return tuple(enumerator.order)
+
+
 def canonical_program_key(program: Program) -> Tuple[tuple, Tuple[BaseArray, ...]]:
     """Return ``(key, bases)`` for ``program``.
 
@@ -156,6 +180,14 @@ _CONFIG_SIGNATURE_FIELDS = (
     "parallel_num_threads",
     "parallel_tile_elements",
     "parallel_serial_threshold",
+    # Memory-planning knobs: plans carry their slot assignments and
+    # zero-fill waivers, so toggling the planner or the zero policy must
+    # compile a fresh plan rather than replay directives computed under
+    # the other setting.  The pool cap is included because it bounds how
+    # much recycled storage a planned execution may park.
+    "memory_plan_enabled",
+    "memory_pool_max_bytes",
+    "memory_zero_policy",
 )
 
 
@@ -207,6 +239,12 @@ class ExecutionPlan:
         instruction indices and row spans, never base identities — so the
         one computed at plan time applies unchanged to every rebound
         replay of the plan.
+    memory_plan:
+        The liveness-driven :class:`~repro.runtime.memplan.MemoryPlan`
+        attached at plan time (``None`` when memory planning is
+        disabled).  Like ``tiling`` it is structural — slot assignments
+        are keyed by canonical base position — so every rebound replay
+        re-uses it via :meth:`~repro.runtime.memplan.MemoryPlan.bind`.
     hits:
         How many times this plan has been reused.
     """
@@ -221,6 +259,10 @@ class ExecutionPlan:
     #: (tile size, serial threshold, resolved thread count); backends
     #: re-tile when their effective settings no longer match.
     tiling_signature: Optional[tuple] = None
+    memory_plan: Optional[object] = None
+    #: Memory-planning settings the plan was computed under (enabled flag
+    #: and zero policy); re-planned when the effective settings change.
+    memory_signature: Optional[tuple] = None
     hits: int = 0
     _scratch_bases: Tuple[BaseArray, ...] = field(default_factory=tuple)
 

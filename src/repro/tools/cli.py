@@ -18,6 +18,7 @@ The tool reads stdin when no file is given, so it composes with pipes.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -112,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="print only the optimized listing (no report, no cost table)",
     )
     parser.add_argument(
+        "--stats-json",
+        action="store_true",
+        help="emit a machine-readable JSON document instead of the human "
+        "report: optimization summary, cost model, and (with --backend) "
+        "the per-run execution-statistics trajectory plus cache counters",
+    )
+    parser.add_argument(
         "--list-passes",
         action="store_true",
         help="list the registered passes and exit",
@@ -160,6 +168,9 @@ def run(args, out=None) -> int:
     )
     report = pipeline.run(program)
 
+    if args.stats_json:
+        return _run_stats_json(program, pipeline, report, args, out)
+
     print(format_program(report.optimized), file=out)
     if args.quiet:
         return 0
@@ -194,27 +205,93 @@ def run(args, out=None) -> int:
             return 2
 
     if args.backend is not None:
-        if args.threads is not None:
-            with config_override(parallel_num_threads=args.threads):
-                _execute_with_engine(program, pipeline, report, args, out)
-        else:
-            _execute_with_engine(program, pipeline, report, args, out)
+        _execute_with_engine(program, pipeline, report, args, out)
     return 0
+
+
+def _engine_trajectory(program, pipeline, report, args):
+    """Execute the listing ``--repeat`` times; returns (engine, per-run stats).
+
+    Owns the execution-affecting flag handling (``--threads``), so the
+    human and JSON output paths cannot diverge on how runs are configured.
+    """
+    if args.repeat < 1:
+        raise ReproError(f"--repeat must be at least 1, got {args.repeat}")
+
+    def execute():
+        engine = ExecutionEngine(backend=args.backend, optimize=True, pipeline=pipeline)
+        # The pipeline already ran once to print the report above — seed the
+        # plan cache with it so the first execution replays instead of
+        # re-optimizing.
+        engine.prime(program, report)
+        trajectory = []
+        for _ in range(args.repeat):
+            # Fresh memory per run: repeats measure middleware reuse, not state.
+            trajectory.append(engine.execute(program).stats)
+        return engine, trajectory
+
+    if args.threads is not None:
+        with config_override(parallel_num_threads=args.threads):
+            return execute()
+    return execute()
+
+
+def _run_stats_json(program, pipeline, report, args, out) -> int:
+    """Emit the machine-readable statistics document (``--stats-json``)."""
+    model = CostModel(args.profile)
+    before = model.breakdown(program)
+    after = model.breakdown(report.optimized)
+    passes = {}
+    for stats in report.pass_stats:
+        passes[stats.pass_name] = passes.get(stats.pass_name, 0) + stats.rewrites_applied
+    payload = {
+        "optimization": {
+            "instructions_before": report.instructions_before,
+            "instructions_after": report.instructions_after,
+            "iterations": report.iterations,
+            "rewrites": report.total_rewrites,
+            "rewrites_per_pass": passes,
+        },
+        "cost_model": {
+            "profile": args.profile,
+            "kernels_before": before.kernel_launches,
+            "kernels_after": after.kernel_launches,
+            "flops_before": before.flops,
+            "flops_after": after.flops,
+            "bytes_before": before.bytes_moved,
+            "bytes_after": after.bytes_moved,
+            "seconds_before": before.seconds,
+            "seconds_after": after.seconds,
+        },
+    }
+    exit_code = 0
+    if args.verify:
+        equivalent = SemanticVerifier().equivalent(program, report.optimized)
+        payload["verified"] = bool(equivalent)
+        if not equivalent:
+            exit_code = 2
+    if args.backend is not None:
+        engine, trajectory = _engine_trajectory(program, pipeline, report, args)
+        execution = {
+            "backend": engine.backend.name,
+            "runs": args.repeat,
+            "per_run": [stats.as_dict() for stats in trajectory],
+            "cache": engine.cache_stats(),
+        }
+        plan = engine.last_plan
+        memory_plan = plan.memory_plan if plan is not None else None
+        if memory_plan is not None:
+            execution["memory_plan"] = memory_plan.stats()
+        payload["execution"] = execution
+    json.dump(payload, out, indent=2)
+    print(file=out)
+    return exit_code
 
 
 def _execute_with_engine(program, pipeline, report, args, out) -> None:
     """Run the listing through the staged engine and report cache statistics."""
-    if args.repeat < 1:
-        raise ReproError(f"--repeat must be at least 1, got {args.repeat}")
-    engine = ExecutionEngine(backend=args.backend, optimize=True, pipeline=pipeline)
-    # The pipeline already ran once to print the report above — seed the
-    # plan cache with it so the first execution replays instead of
-    # re-optimizing.
-    engine.prime(program, report)
-    last_stats = None
-    for _ in range(args.repeat):
-        # Fresh memory per run: repeats measure middleware reuse, not state.
-        last_stats = engine.execute(program).stats
+    engine, trajectory = _engine_trajectory(program, pipeline, report, args)
+    last_stats = trajectory[-1]
 
     print(file=out)
     print(f"execution ({engine.backend.name} backend, {args.repeat} run(s)):", file=out)
@@ -231,6 +308,24 @@ def _execute_with_engine(program, pipeline, report, args, out) -> None:
             f"{last_stats.threads_used} thread(s), "
             f"{last_stats.tiled_instructions} tiled byte-code(s), "
             f"{last_stats.serial_fallbacks} serial fallback(s)",
+            file=out,
+        )
+    print(
+        f"  memory: {last_stats.pool_hits} pool hit(s), "
+        f"{last_stats.pool_misses} pool miss(es), "
+        f"{last_stats.pool_bytes_reused} byte(s) reused, "
+        f"peak {last_stats.actual_peak_bytes} byte(s)",
+        file=out,
+    )
+    plan = engine.last_plan
+    memory_plan = plan.memory_plan if plan is not None else None
+    if memory_plan is not None:
+        print(
+            f"  memory plan: {memory_plan.num_slots} shared slot(s) over "
+            f"{memory_plan.aliased_bases} aliased base(s), "
+            f"{memory_plan.zero_fills_waived} zero fill(s) waived, "
+            f"planned peak {memory_plan.planned_peak_bytes} byte(s) "
+            f"(unplanned {memory_plan.unplanned_peak_bytes})",
             file=out,
         )
     cache = engine.cache_stats()

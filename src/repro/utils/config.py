@@ -61,6 +61,24 @@ class Config:
     parallel_serial_threshold:
         Operations over fewer elements than this run serially in the
         parallel backend: below it, tiling overhead exceeds the win.
+    memory_plan_enabled:
+        Whether plan compilation additionally runs the liveness-driven
+        memory planner (:mod:`repro.runtime.memplan`): temporaries with
+        disjoint lifetimes share storage slots and provably
+        fully-initialised buffers skip their zero fill.  Part of the plan
+        cache key, so toggling it re-plans instead of replaying a plan
+        built under the other setting.
+    memory_pool_max_bytes:
+        Byte cap of the size-class buffer pool each
+        :class:`~repro.runtime.memory.MemoryManager` recycles freed
+        allocations through.  ``0`` disables pooling entirely (every
+        allocation is fresh, every free returns storage to the host).
+    memory_zero_policy:
+        ``"auto"`` zero-fills a buffer only when the liveness analysis
+        cannot prove every element is written before it is read;
+        ``"always"`` zero-fills every allocation regardless (the
+        pre-planning behaviour, useful when debugging a suspected
+        planner unsoundness).
     enabled_passes:
         Names of passes that the default pipeline should include.  ``None``
         means "all registered default passes".
@@ -81,6 +99,9 @@ class Config:
     parallel_num_threads: Optional[int] = None
     parallel_tile_elements: int = 65536
     parallel_serial_threshold: int = 8192
+    memory_plan_enabled: bool = True
+    memory_pool_max_bytes: int = 1 << 26  # 64 MiB
+    memory_zero_policy: str = "auto"
     enabled_passes: Optional[List[str]] = None
     random_seed: int = 0x5EED
 

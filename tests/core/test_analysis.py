@@ -150,3 +150,122 @@ class TestObservableViews:
         builder.identity(used, 1)
         program = builder.build()
         assert {view.base for view in observable_views(program)} == {used.base}
+
+
+# Independent scan-based reference implementations (the pre-index helpers):
+# the library's stand-alone functions are now thin wrappers over DefUse, so
+# comparing against *them* would be tautological.
+
+
+def _scan_written_between(program, base, start, stop, within=None):
+    for index in range(start + 1, stop):
+        if index < 0 or index >= len(program):
+            continue
+        for view in program[index].writes():
+            if view.base is base and (within is None or view.overlaps(within)):
+                return True
+    return False
+
+
+def _scan_read_between(program, base, start, stop, within=None):
+    for index in range(start + 1, stop):
+        if index < 0 or index >= len(program):
+            continue
+        instruction = program[index]
+        views = (
+            instruction.views()
+            if instruction.opcode is OpCode.BH_SYNC
+            else instruction.reads()
+        )
+        for view in views:
+            if view.base is base and (within is None or view.overlaps(within)):
+                return True
+    return False
+
+
+def _scan_is_dead_after(program, index, view, observable_at_end=True):
+    base = view.base
+    for later in range(index + 1, len(program)):
+        instruction = program[later]
+        if instruction.opcode is OpCode.BH_SYNC:
+            if any(v.base is base for v in instruction.views()):
+                return False
+            continue
+        if instruction.opcode is OpCode.BH_FREE:
+            if any(v.base is base for v in instruction.views()):
+                return True
+            continue
+        for read_view in instruction.reads():
+            if read_view.base is base and read_view.overlaps(view):
+                return False
+        for write_view in instruction.writes():
+            if write_view.base is base and (
+                write_view.same_view(view) or write_view.covers_base()
+            ):
+                return True
+    return not observable_at_end
+
+
+class TestIndexedQueries:
+    """DefUse methods and wrapper helpers must agree with independent scans."""
+
+    def test_written_between_matches_scan(self):
+        program, a, b, c = sample_program()
+        defuse = DefUse.analyze(program)
+        for base in (a.base, b.base, c.base):
+            for start in range(-1, len(program)):
+                for stop in range(start, len(program) + 1):
+                    expected = _scan_written_between(program, base, start, stop)
+                    assert defuse.written_between(base, start, stop) == expected
+                    assert base_written_between(program, base, start, stop) == expected
+
+    def test_read_between_matches_scan(self):
+        program, a, b, c = sample_program()
+        defuse = DefUse.analyze(program)
+        for base in (a.base, b.base, c.base):
+            for start in range(-1, len(program)):
+                for stop in range(start, len(program) + 1):
+                    expected = _scan_read_between(program, base, start, stop)
+                    assert defuse.read_between(base, start, stop) == expected
+                    assert base_read_between(program, base, start, stop) == expected
+
+    def test_written_between_respects_window(self):
+        builder = ProgramBuilder()
+        base = BaseArray(8)
+        left = View(base, 0, (4,), (1,))
+        right = View(base, 4, (4,), (1,))
+        builder.identity(right, 1)
+        builder.identity(builder.new_vector(4), 2)
+        program = builder.build(validate=False)
+        defuse = DefUse.analyze(program)
+        assert defuse.written_between(base, -1, 2)
+        assert not defuse.written_between(base, -1, 2, within=left)
+
+    def test_value_dead_after_matches_scan(self):
+        program, a, b, c = sample_program()
+        defuse = DefUse.analyze(program)
+        for view in (a, b, c):
+            for index in range(len(program)):
+                for observable in (True, False):
+                    expected = _scan_is_dead_after(
+                        program, index, view, observable_at_end=observable
+                    )
+                    assert defuse.value_dead_after(
+                        index, view, observable_at_end=observable
+                    ) == expected
+                    assert is_dead_after(
+                        program, index, view, observable_at_end=observable
+                    ) == expected
+
+    def test_value_dead_after_overwrite_then_sync(self):
+        builder = ProgramBuilder()
+        v = builder.new_vector(4)
+        builder.identity(v, 1)
+        builder.identity(v, 2)
+        builder.sync(v)
+        program = builder.build()
+        defuse = DefUse.analyze(program)
+        # The complete overwrite at 1 kills the value written at 0 even
+        # though the base is synced later (the sync observes the new value).
+        assert defuse.value_dead_after(0, v)
+        assert not defuse.value_dead_after(1, v)

@@ -139,6 +139,32 @@ def test_mixed_program_parity(seed):
         )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_memory_planning_is_bitwise_invisible(backend):
+    """Planning on vs. off: bitwise-identical results on every backend.
+
+    Slot aliasing and zero-fill waivers may only rearrange *where*
+    temporaries live, never what any observable view contains — the
+    planner waives a zero fill only where liveness proves no element can
+    be read uninitialised, so even bit patterns must match.
+    """
+    for seed in (3, 11, 1003, 1011):
+        generator = random_elementwise_program if seed < 1000 else random_mixed_program
+        program, synced = generator(seed)
+        with config_override(**TINY_TILES, memory_plan_enabled=True):
+            planned, _ = _execute(program, synced, backend, optimize=True)
+        with config_override(
+            **TINY_TILES, memory_plan_enabled=False, memory_pool_max_bytes=0
+        ):
+            unplanned, _ = _execute(program, synced, backend, optimize=True)
+        for index, (actual, expected) in enumerate(zip(planned, unplanned)):
+            _assert_bitwise(
+                actual,
+                expected,
+                f"{backend} planned vs unplanned (seed {seed}), output {index}",
+            )
+
+
 def test_optimization_levels_agree_per_backend():
     """Optimized and unoptimized pipelines agree within tolerance per backend."""
     for seed in (7, 21, 1007):

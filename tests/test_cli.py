@@ -128,6 +128,52 @@ class TestBackendExecution:
     def test_invalid_repeat_is_an_error(self, listing_file):
         assert main([listing_file, "--backend", "interpreter", "--repeat", "0"]) == 1
 
+    def test_memory_stats_reported(self, listing_file):
+        code, output = run_cli([listing_file, "--backend", "interpreter"])
+        assert code == 0
+        assert "memory:" in output
+        assert "pool hit(s)" in output
+        assert "memory plan:" in output
+
+
+class TestStatsJson:
+    def test_emits_parseable_document(self, listing_file):
+        import json
+
+        code, output = run_cli([listing_file, "--stats-json"])
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["optimization"]["instructions_before"] == 5
+        assert payload["optimization"]["rewrites"] >= 1
+        assert payload["cost_model"]["profile"] == "gpu"
+        assert "execution" not in payload
+
+    def test_execution_trajectory_with_backend(self, listing_file):
+        import json
+
+        code, output = run_cli(
+            [listing_file, "--stats-json", "--backend", "interpreter", "--repeat", "3"]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        execution = payload["execution"]
+        assert execution["backend"] == "interpreter"
+        assert execution["runs"] == 3
+        assert len(execution["per_run"]) == 3
+        for run_stats in execution["per_run"]:
+            assert run_stats["plan_cache_hits"] == 1  # primed cache replays
+            assert "pool_hits" in run_stats
+            assert "actual_peak_bytes" in run_stats
+        assert execution["cache"]["plan_cache_hits"] == 3
+        assert "memory_plan" in execution
+
+    def test_verify_result_included(self, listing_file):
+        import json
+
+        code, output = run_cli([listing_file, "--stats-json", "--verify"])
+        assert code == 0
+        assert json.loads(output)["verified"] is True
+
 
 class TestErrorHandling:
     def test_missing_file(self):
