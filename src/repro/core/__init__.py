@@ -66,6 +66,13 @@ from repro.core.constant_fold import ScalarConstantFoldingPass
 from repro.core.strength_reduction import StrengthReductionPass
 from repro.core.cse import CommonSubexpressionEliminationPass
 from repro.core.cost import CostModel
+from repro.core.schedule import (
+    FusionSchedule,
+    compute_schedule,
+    dependency_graph,
+    fusion_schedule_of,
+    schedule_signature,
+)
 from repro.core.verifier import SemanticVerifier, VerificationError
 from repro.core.pipeline import (
     OptimizationReport,
@@ -110,6 +117,11 @@ __all__ = [
     "StrengthReductionPass",
     "CommonSubexpressionEliminationPass",
     "CostModel",
+    "FusionSchedule",
+    "compute_schedule",
+    "dependency_graph",
+    "fusion_schedule_of",
+    "schedule_signature",
     "SemanticVerifier",
     "VerificationError",
     "OptimizationReport",

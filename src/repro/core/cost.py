@@ -12,10 +12,11 @@ passes can ask "is the rewritten sequence actually cheaper on this device?".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, Iterable, Optional, Union
 
 from repro.bytecode.instruction import Instruction
 from repro.bytecode.program import Program
+from repro.bytecode.view import View
 from repro.runtime.simulator import (
     DEVICE_PROFILES,
     DeviceProfile,
@@ -94,6 +95,49 @@ class CostModel:
             bytes_moved=bytes_moved,
             seconds=self.program_cost(program),
         )
+
+    @staticmethod
+    def view_key(view: View) -> tuple:
+        """Identity of a streamed operand (base plus exact window)."""
+        return (id(view.base), view.offset, view.shape, view.strides)
+
+    def fusion_merge_saving(
+        self, kernel_views: Iterable[View], instruction: Instruction
+    ) -> float:
+        """Predicted seconds saved by fusing ``instruction`` into a kernel.
+
+        ``kernel_views`` are the views the kernel already streams (its
+        template slot views).  Fusing saves the candidate's own kernel
+        launch, plus the memory traffic of every candidate operand the
+        kernel streams anyway — a fused kernel reads/writes each distinct
+        view once, not once per byte-code.  This is the acceptance criterion
+        the dependency-graph fusion scheduler evaluates per merge.
+        """
+        return self.fusion_merge_saving_for_keys(
+            {self.view_key(view) for view in kernel_views}, instruction
+        )
+
+    def fusion_merge_saving_for_keys(
+        self, streamed_keys, instruction: Instruction
+    ) -> float:
+        """:meth:`fusion_merge_saving` against a precomputed key set.
+
+        Callers that evaluate many candidates against one growing kernel
+        (the dependency-graph scheduler's absorb loop) maintain the set of
+        :meth:`view_key` tokens incrementally instead of rebuilding it per
+        candidate.
+        """
+        saving = self.profile.kernel_launch_overhead_s
+        if not self.profile.bytes_per_second:
+            return saving
+        shared_bytes = 0
+        seen = set()
+        for view in instruction.views():
+            key = self.view_key(view)
+            if key in streamed_keys and key not in seen:
+                seen.add(key)
+                shared_bytes += view.nbytes
+        return saving + shared_bytes / self.profile.bytes_per_second
 
     # ------------------------------------------------------------------ #
     # Decisions

@@ -1,33 +1,37 @@
 """Fusion: contract element-wise byte-code chains into single kernels.
 
-The paper describes the low end of its transformation spectrum as "small
-loop-fusion-like contractions of byte-codes".  This pass performs exactly
-that contraction at the IR level: maximal runs of consecutive element-wise
-byte-codes sharing one iteration space are wrapped into a single
-``BH_FUSED`` instruction, so a backend launches one kernel (and, under the
-simulated accelerator's cost model, streams each operand once) instead of
-one kernel per byte-code.
+The paper describes its transformation spectrum as ranging from "small
+loop-fusion-like contractions of byte-codes" upward.  This pass performs
+that contraction at the IR level through the shared scheduling seam
+(:func:`repro.core.schedule.compute_schedule`): under the default
+``"dag"`` scheduler it builds the program's data-dependency graph, legally
+reorders *non-adjacent* fusable element-wise byte-codes next to each other
+and wraps each cost-accepted cluster into a single ``BH_FUSED``
+instruction; under ``"consecutive"`` it restores the low-end policy of
+maximal adjacent runs (:func:`repro.runtime.kernel.partition_into_kernels`).
 
-The clustering policy is shared with the runtime's fusing JIT
-(:func:`repro.runtime.kernel.partition_into_kernels`) so "what the optimizer
-fuses" and "what the backend would fuse anyway" stay consistent; running the
-pass simply bakes the decision into the program, which the simulated
-accelerator and the cluster executor honour.
+Because the pass bakes the *scheduled order* into the optimized program,
+every downstream consumer sees it: a backend launches one kernel per
+cluster (and, under the simulated accelerator's cost model, streams each
+operand once), the tiled parallel backend decomposes the fused kernels, and
+the memory planner observes the fusion-shortened lifetimes when it aliases
+buffers.  The computed :class:`~repro.core.schedule.FusionSchedule` is
+recorded in the pass statistics so the execution engine can attach it to
+the cached :class:`~repro.runtime.plan.ExecutionPlan`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-from repro.bytecode.instruction import Instruction
 from repro.bytecode.program import Program
 from repro.core.rules import Pass, PassResult
-from repro.runtime.kernel import Kernel, partition_into_kernels
+from repro.core.schedule import compute_schedule
 from repro.utils.config import get_config
 
 
 class FusionPass(Pass):
-    """Wrap fusable element-wise chains into ``BH_FUSED`` kernels."""
+    """Wrap fusable element-wise clusters into ``BH_FUSED`` kernels."""
 
     name = "fusion"
 
@@ -39,7 +43,7 @@ class FusionPass(Pass):
             Largest number of byte-codes per fused kernel (defaults to the
             library configuration).
         min_kernel_size:
-            Chains shorter than this are left alone — fusing a single
+            Clusters smaller than this are left alone — fusing a single
             byte-code only adds wrapper overhead.
         """
         self.max_kernel_size = (
@@ -51,15 +55,43 @@ class FusionPass(Pass):
 
     def run(self, program: Program) -> PassResult:
         stats = self._new_stats(program)
-        result: List[Instruction] = []
-        for item in partition_into_kernels(program, self.max_kernel_size):
-            if isinstance(item, Kernel):
-                if item.size >= self.min_kernel_size:
-                    stats.rewrites_applied += 1
-                    stats.note(f"fused {item.size} element-wise byte-codes into one kernel")
-                    result.append(item.as_instruction(tag=self.name))
-                else:
-                    result.extend(item.instructions)
-            else:
-                result.append(item)
-        return self._finish(Program(result), stats)
+        # Passing min_kernel_size keeps the schedule's items (and therefore
+        # its launch counts, reported on the plan and by the CLI) in exact
+        # agreement with what this pass emits: sub-threshold clusters are
+        # already broken back into singletons.
+        schedule = compute_schedule(
+            program,
+            max_kernel_size=self.max_kernel_size,
+            min_kernel_size=self.min_kernel_size,
+        )
+        stats.artifacts["fusion_schedule"] = schedule
+        fused_any = False
+        for item in schedule.items:
+            if len(item) > 1:
+                fused_any = True
+                stats.rewrites_applied += 1
+                stats.note(
+                    f"fused {len(item)} element-wise byte-codes into one kernel"
+                    + ("" if _is_contiguous(item) else " (non-adjacent)")
+                )
+        reordered = not schedule.is_identity_order
+        if reordered and not fused_any:
+            # The scheduler moved byte-codes in service of clusters that
+            # ended up below the wrapping threshold; the emitted program
+            # still changed, so report the reorder as a rewrite.
+            stats.rewrites_applied += 1
+            stats.note(
+                f"reordered {schedule.bytecodes_reordered} byte-code(s) along the "
+                "dependency-graph schedule"
+            )
+        if not fused_any and not reordered:
+            return self._finish(program, stats)
+        result = schedule.materialize(
+            program, min_kernel_size=self.min_kernel_size, tag=self.name
+        )
+        return self._finish(result, stats)
+
+
+def _is_contiguous(item) -> bool:
+    """True when a cluster's byte-codes were already adjacent in order."""
+    return all(b == a + 1 for a, b in zip(item, item[1:]))

@@ -33,6 +33,11 @@ class PassStats:
         Program sizes around the pass.
     notes:
         Free-form per-rewrite notes (e.g. "merged 3 BH_ADD constants into 3").
+    artifacts:
+        Structured artifacts a pass wants to expose beyond counters (the
+        fusion pass records its :class:`~repro.core.schedule.FusionSchedule`
+        here so the engine can attach it to the execution plan and the CLI
+        can report scheduler statistics).
     """
 
     pass_name: str
@@ -40,6 +45,7 @@ class PassStats:
     instructions_before: int = 0
     instructions_after: int = 0
     notes: List[str] = field(default_factory=list)
+    artifacts: Dict[str, object] = field(default_factory=dict)
 
     @property
     def instructions_removed(self) -> int:

@@ -1,0 +1,456 @@
+"""Dependency-graph fusion scheduling: cost-guided clustering of byte-codes.
+
+The paper frames byte-code fusion as a *spectrum* of transformations.  The
+low end — maximal runs of consecutive element-wise byte-codes — is what
+:func:`repro.runtime.kernel.partition_into_kernels` implements: any
+interleaved reduction, system byte-code or shape change cuts the kernel, so
+real workloads (a stencil with a per-step norm, Black–Scholes with
+diagnostics) launch far more kernels than their dependency structure
+requires.
+
+This module implements the next rung: a **dependency-graph fusion
+scheduler**.  It builds a data-dependency DAG over the program (reusing the
+:class:`~repro.core.analysis.DefUse` index), then clusters *non-adjacent*
+fusable element-wise byte-codes by legal topological reordering.  Each merge
+is accepted greedily by the :class:`~repro.core.cost.CostModel`: fusing a
+byte-code into an existing kernel saves its kernel launch plus the memory
+traffic of every operand the kernel already streams, and the merge goes
+ahead only when that predicted saving clears the configured
+``fusion_cost_threshold``.
+
+Legality rules (what an edge in the DAG means):
+
+* **flow (read-after-write)** — an instruction reading a view that may
+  overlap an earlier instruction's written view must stay after it;
+* **anti (write-after-read)** — an instruction overwriting a view an
+  earlier instruction reads must stay after it;
+* **output (write-after-write)** — overlapping writes keep their order;
+* ``BH_SYNC`` counts as a read of its view (an observation point), and a
+  ``BH_FREE`` is a barrier for its base: every earlier access happens
+  before it, every later access after it.
+
+Reads never conflict with reads, so two windows of one base that are only
+read can reorder freely — which is exactly what lets the scheduler hoist an
+element-wise chain past an interleaved reduction.
+
+The result is a :class:`FusionSchedule`.  Like the tile decomposition and
+the memory plan it is **structural**: items reference byte-codes by program
+index, never by base identity, so the schedule computed once per plan-cache
+miss replays against every rebound flush.  One seam —
+:func:`compute_schedule` — serves every consumer: the optimizer's
+:class:`~repro.core.fusion.FusionPass` bakes the scheduled order into the
+optimized program (which the simulated accelerator prices and the memory
+planner consumes, so fusion-shortened lifetimes improve buffer aliasing),
+and the fusing JIT and the tiled parallel backend schedule plan-less
+programs through the same function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.program import Program
+from repro.core.analysis import DefUse
+from repro.core.cost import CostModel
+from repro.runtime.kernel import Kernel, partition_into_kernels
+from repro.utils.config import Config, get_config
+from repro.utils.errors import ExecutionError
+
+#: Device profile the scheduler prices merges against.  The GPU profile has
+#: the largest launch overhead, which matches the paper's motivation: the
+#: scheduler exists to amortize kernel launches.
+SCHEDULER_PROFILE = "gpu"
+
+#: Recognised ``fusion_scheduler`` configuration values.
+SCHEDULERS = ("dag", "consecutive")
+
+
+def schedule_signature(config: Optional[Config] = None) -> tuple:
+    """The configuration slice a computed :class:`FusionSchedule` depends on."""
+    config = config if config is not None else get_config()
+    return (
+        config.fusion_scheduler,
+        config.fusion_cost_threshold,
+        config.fusion_max_kernel_size,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The dependency DAG
+# --------------------------------------------------------------------------- #
+
+
+def dependency_graph(
+    program: Program, defuse: Optional[DefUse] = None
+) -> Tuple[List[Set[int]], List[int]]:
+    """Build the data-dependency DAG of ``program``.
+
+    Returns ``(successors, predecessor_counts)``: ``successors[i]`` is the
+    set of instruction indices that must execute after instruction ``i``,
+    and ``predecessor_counts[j]`` how many instructions must execute before
+    ``j``.  Edges follow the legality rules in the module docstring; all
+    edges point forward in program order, so the graph is acyclic by
+    construction.
+    """
+    defuse = defuse if defuse is not None else DefUse.analyze(program)
+    n = len(program)
+    successors: List[Set[int]] = [set() for _ in range(n)]
+    predecessors = [0] * n
+
+    def add_edge(earlier: int, later: int) -> None:
+        if earlier != later and later not in successors[earlier]:
+            successors[earlier].add(later)
+            predecessors[later] += 1
+
+    for base_id, accesses in defuse.accesses.items():
+        for position, first in enumerate(accesses):
+            for second in accesses[position + 1 :]:
+                if second.index == first.index:
+                    continue  # one instruction's own read/write pair
+                if not (first.is_write or second.is_write):
+                    continue  # reads never conflict with reads
+                if first.view.overlaps(second.view):
+                    add_edge(first.index, second.index)
+        # A free is a barrier for its base: it must stay after every
+        # earlier access and before every later one.
+        for free_index in defuse.freed.get(base_id, ()):
+            for access in accesses:
+                if access.index < free_index:
+                    add_edge(access.index, free_index)
+                elif access.index > free_index:
+                    add_edge(free_index, access.index)
+    return successors, predecessors
+
+
+# --------------------------------------------------------------------------- #
+# The schedule artifact
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FusionSchedule:
+    """The scheduled clustering of one program.
+
+    ``items`` is the scheduled execution order: each entry is a tuple of
+    source-program instruction indices forming one launch unit — a
+    multi-index tuple is a fused kernel, a singleton a stand-alone
+    byte-code.  Everything is structural (indices only), so a schedule
+    computed for one program applies to any program with the same canonical
+    structural key — exactly like the tile decomposition and the memory
+    plan cached on an :class:`~repro.runtime.plan.ExecutionPlan`.
+    """
+
+    scheduler: str
+    items: Tuple[Tuple[int, ...], ...]
+    #: Kernel launches had every byte-code launched individually.
+    kernels_before: int
+    #: Kernel launches under this schedule (a cluster is one launch).
+    kernels_after: int
+    #: Byte-codes that execute at a different relative position than in the
+    #: source program (non-adjacent clustering moved them).
+    bytecodes_reordered: int
+    #: Cost-model seconds the accepted merges are predicted to save
+    #: (launch overhead plus re-streamed shared operands).
+    predicted_savings_seconds: float
+
+    @property
+    def order(self) -> Tuple[int, ...]:
+        """Flattened scheduled execution order of source indices."""
+        return tuple(index for item in self.items for index in item)
+
+    @property
+    def is_identity_order(self) -> bool:
+        """True when no byte-code moved relative to program order."""
+        return self.order == tuple(range(len(self.order)))
+
+    @property
+    def num_clusters(self) -> int:
+        """Fused kernels (items holding more than one byte-code)."""
+        return sum(1 for item in self.items if len(item) > 1)
+
+    def materialize(
+        self, program: Program, min_kernel_size: int = 2, tag: str = "fusion"
+    ) -> Program:
+        """Emit the scheduled program, wrapping clusters into ``BH_FUSED``.
+
+        Clusters smaller than ``min_kernel_size`` are emitted as bare
+        byte-codes (in cluster order) — fusing a single byte-code only adds
+        wrapper overhead.
+        """
+        result: List[Instruction] = []
+        for item in self.items:
+            instructions = [program[index] for index in item]
+            if len(instructions) >= min_kernel_size and all(
+                instruction.is_elementwise() for instruction in instructions
+            ):
+                result.append(
+                    Instruction(OpCode.BH_FUSED, (), kernel=instructions, tag=tag)
+                )
+            else:
+                result.extend(instructions)
+        return Program(result)
+
+    def partition(self, program: Program) -> List[object]:
+        """Launch units for a backend: :class:`Kernel` or bare instructions.
+
+        Single element-wise byte-codes become one-step kernels (they compile
+        to cached templates), pre-existing ``BH_FUSED`` byte-codes unwrap
+        into kernels carrying their provenance, and everything else stays a
+        bare instruction executed individually.
+        """
+        units: List[object] = []
+        for item in self.items:
+            if len(item) > 1:
+                units.append(Kernel([program[index] for index in item]))
+                continue
+            instruction = program[item[0]]
+            if instruction.is_fused():
+                units.append(Kernel(list(instruction.kernel), source=instruction))
+            elif instruction.is_elementwise():
+                units.append(Kernel([instruction]))
+            else:
+                units.append(instruction)
+        return units
+
+    def stats(self) -> dict:
+        """Scheduler counters for reports, the CLI and ``--stats-json``."""
+        return {
+            "fusion_scheduler": self.scheduler,
+            "fusion_kernels_before": self.kernels_before,
+            "fusion_kernels_after": self.kernels_after,
+            "fusion_clusters": self.num_clusters,
+            "fusion_bytecodes_reordered": self.bytecodes_reordered,
+            "fusion_predicted_savings_seconds": self.predicted_savings_seconds,
+        }
+
+
+def fusion_schedule_of(report) -> Optional[FusionSchedule]:
+    """The fusion schedule an optimization report's fusion pass computed.
+
+    The pipeline may run the fusion pass several times on its way to a
+    fixed point; later runs see the already-fused program and typically
+    schedule it to itself.  The returned schedule carries the *final*
+    clustering structure with the transformation counters aggregated across
+    runs: launches before scheduling from the first run, launches after
+    from the last, reorders and predicted savings summed.
+    """
+    if report is None:
+        return None
+    schedules = [
+        stats.artifacts["fusion_schedule"]
+        for stats in getattr(report, "pass_stats", ())
+        if "fusion_schedule" in stats.artifacts
+    ]
+    if not schedules:
+        return None
+    if len(schedules) == 1:
+        return schedules[0]
+    return FusionSchedule(
+        scheduler=schedules[-1].scheduler,
+        items=schedules[-1].items,
+        kernels_before=schedules[0].kernels_before,
+        kernels_after=schedules[-1].kernels_after,
+        bytecodes_reordered=sum(s.bytecodes_reordered for s in schedules),
+        predicted_savings_seconds=sum(
+            s.predicted_savings_seconds for s in schedules
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Scheduling policies
+# --------------------------------------------------------------------------- #
+
+
+def compute_schedule(
+    program: Program,
+    config: Optional[Config] = None,
+    max_kernel_size: Optional[int] = None,
+    min_kernel_size: int = 1,
+) -> FusionSchedule:
+    """Compute the fusion schedule of ``program`` under ``config``.
+
+    This is the single partitioning seam shared by the optimizer's fusion
+    pass, the fusing JIT and the tiled parallel backend.  The policy is the
+    configuration's ``fusion_scheduler``: ``"dag"`` reorders and clusters
+    over the dependency graph, ``"consecutive"`` reproduces the adjacent
+    runs of :func:`~repro.runtime.kernel.partition_into_kernels`.
+
+    Clusters smaller than ``min_kernel_size`` are broken back into
+    singletons (in cluster order), so the schedule's launch counts describe
+    exactly what :meth:`FusionSchedule.materialize` will emit for a caller
+    with the same threshold.
+    """
+    config = config if config is not None else get_config()
+    scheduler = config.fusion_scheduler
+    if scheduler not in SCHEDULERS:
+        raise ExecutionError(
+            f"unknown fusion scheduler {scheduler!r}; available: {SCHEDULERS}"
+        )
+    max_size = (
+        max_kernel_size if max_kernel_size is not None else config.fusion_max_kernel_size
+    )
+    model = CostModel(SCHEDULER_PROFILE)
+    if scheduler == "dag":
+        items, item_savings = _dag_schedule(program, config, max_size, model)
+    else:
+        items, item_savings = _consecutive_schedule(program, max_size, model)
+    if min_kernel_size > 1:
+        # Sub-threshold clusters are undone — and so are their accepted
+        # merges, so their savings must not be reported.
+        split_items: List[Tuple[int, ...]] = []
+        split_savings: List[float] = []
+        for item, saving in zip(items, item_savings):
+            if len(item) == 1 or len(item) >= min_kernel_size:
+                split_items.append(item)
+                split_savings.append(saving)
+            else:
+                split_items.extend((index,) for index in item)
+                split_savings.extend(0.0 for _ in item)
+        items, item_savings = split_items, split_savings
+    savings = sum(item_savings)
+    return FusionSchedule(
+        scheduler=scheduler,
+        items=tuple(items),
+        kernels_before=sum(
+            1 for instruction in program if not instruction.is_system()
+        ),
+        kernels_after=sum(
+            1
+            for item in items
+            if any(not program[index].is_system() for index in item)
+        ),
+        bytecodes_reordered=_count_reordered(items),
+        predicted_savings_seconds=savings,
+    )
+
+
+def _count_reordered(items: Sequence[Tuple[int, ...]]) -> int:
+    """Byte-codes emitted after a higher-indexed byte-code (i.e. that moved)."""
+    highest = -1
+    moved = 0
+    for item in items:
+        for index in item:
+            if index < highest:
+                moved += 1
+            else:
+                highest = index
+    return moved
+
+
+def _consecutive_schedule(
+    program: Program, max_size: int, model: CostModel
+) -> Tuple[List[Tuple[int, ...]], float]:
+    """The low-end policy: maximal runs of adjacent fusable byte-codes.
+
+    Delegates the clustering itself to
+    :func:`~repro.runtime.kernel.partition_into_kernels` — the two must
+    never drift apart — and only derives the index items (consecutive
+    clustering preserves program order, so indices are assigned by walking
+    the items in sequence) plus the cost model's predicted per-item savings.
+    """
+    items: List[Tuple[int, ...]] = []
+    item_savings: List[float] = []
+    index = 0
+    for item in partition_into_kernels(program, max_size):
+        if not isinstance(item, Kernel):
+            items.append((index,))
+            item_savings.append(0.0)
+            index += 1
+            continue
+        items.append(tuple(range(index, index + item.size)))
+        index += item.size
+        saving = 0.0
+        streamed_keys: Set[tuple] = set()
+        for instruction in item.instructions:
+            if streamed_keys:
+                saving += model.fusion_merge_saving_for_keys(
+                    streamed_keys, instruction
+                )
+            streamed_keys.update(
+                model.view_key(view) for view in instruction.views()
+            )
+        item_savings.append(saving)
+    return items, item_savings
+
+
+def _dag_schedule(
+    program: Program, config: Config, max_size: int, model: CostModel
+) -> Tuple[List[Tuple[int, ...]], float]:
+    """Greedy topological list scheduling with cost-guided clustering.
+
+    Ready byte-codes are consumed in program-index order (a stable
+    tie-break: a program already in scheduled form re-schedules to
+    itself).  Whenever an element-wise byte-code is scheduled it opens a
+    cluster, and the scheduler keeps absorbing the lowest-indexed ready
+    byte-code the kernel accepts — compatibility via
+    :meth:`~repro.runtime.kernel.Kernel.can_accept` (shared iteration
+    space, loop-fusion legality) and profitability via
+    :meth:`~repro.core.cost.CostModel.fusion_merge_saving` against the
+    ``fusion_cost_threshold``.  Absorbing a byte-code releases its
+    dependents, so whole dependent chains fall into one kernel even when a
+    reduction or system byte-code sat between them in program order.
+    """
+    import bisect
+
+    n = len(program)
+    successors, predecessors = dependency_graph(program)
+    ready: List[int] = sorted(i for i in range(n) if predecessors[i] == 0)
+    items: List[Tuple[int, ...]] = []
+    item_savings: List[float] = []
+    threshold = config.fusion_cost_threshold
+
+    def release(index: int) -> None:
+        for successor in sorted(successors[index]):
+            predecessors[successor] -= 1
+            if predecessors[successor] == 0:
+                bisect.insort(ready, successor)
+
+    while ready:
+        index = ready.pop(0)
+        instruction = program[index]
+        if not instruction.is_elementwise():
+            items.append((index,))
+            item_savings.append(0.0)
+            release(index)
+            continue
+        kernel = Kernel([instruction])
+        cluster = [index]
+        cluster_saving = 0.0
+        streamed_keys: Set[tuple] = {
+            model.view_key(view) for view in instruction.views()
+        }
+        release(index)
+        while kernel.size < max_size:
+            chosen = None
+            for candidate_index in ready:
+                candidate = program[candidate_index]
+                if not kernel.can_accept(candidate, max_size):
+                    continue
+                saving = model.fusion_merge_saving_for_keys(streamed_keys, candidate)
+                if saving > threshold:
+                    chosen = (candidate_index, saving)
+                    break
+            if chosen is None:
+                break
+            candidate_index, saving = chosen
+            ready.remove(candidate_index)
+            candidate = program[candidate_index]
+            kernel.append(candidate)
+            cluster.append(candidate_index)
+            streamed_keys.update(model.view_key(view) for view in candidate.views())
+            cluster_saving += saving
+            release(candidate_index)
+        items.append(tuple(cluster))
+        item_savings.append(cluster_saving)
+
+    scheduled = sum(len(item) for item in items)
+    if scheduled != n:
+        raise ExecutionError(
+            f"fusion scheduler covered {scheduled} of {n} byte-codes; "
+            "the dependency graph is not acyclic"
+        )
+    return items, item_savings

@@ -45,6 +45,13 @@ from repro.runtime.plan import (
 from repro.utils.config import get_config
 
 
+def _fusion_schedule_of(report):
+    """The fusion schedule the pipeline's fusion pass recorded, if any."""
+    from repro.core.schedule import fusion_schedule_of
+
+    return fusion_schedule_of(report)
+
+
 class ExecutionEngine:
     """Fingerprints, plans and executes byte-code programs.
 
@@ -224,6 +231,7 @@ class ExecutionEngine:
             source_bases=bases,
             optimized=report.optimized,
             report=report,
+            fusion_schedule=_fusion_schedule_of(report),
         )
         # Plan-time backend preparation (e.g. tile decomposition): paid on
         # the miss, replayed for free on every hit.
@@ -252,6 +260,7 @@ class ExecutionEngine:
             source_bases=bases,
             optimized=report.optimized,
             report=report,
+            fusion_schedule=_fusion_schedule_of(report),
         )
         backend.prepare_plan(plan)
         cache_key = (

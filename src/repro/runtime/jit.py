@@ -1,9 +1,14 @@
 """The fusing JIT backend.
 
-Clusters consecutive element-wise byte-codes into kernels (one launch per
-cluster) before executing.  Non-element-wise byte-codes — reductions,
-extension methods, system directives — are executed individually through
-the reference interpreter.
+Clusters fusable element-wise byte-codes into kernels (one launch per
+cluster) before executing, through the shared scheduling seam
+(:func:`repro.core.schedule.compute_schedule`): under the default ``"dag"``
+fusion scheduler non-adjacent byte-codes are legally reordered into
+clusters, under ``"consecutive"`` only adjacent runs fuse.  Pre-fused
+``BH_FUSED`` byte-codes (baked in by the optimizer) launch as compiled
+kernels too, sharing templates with structurally identical unfused chains.
+Non-element-wise byte-codes — reductions, extension methods, system
+directives — are executed individually through the reference interpreter.
 
 Compiled kernels are cached by their *canonical structural form* (see
 :meth:`~repro.runtime.kernel.Kernel.structural_key`), not by operand
@@ -16,13 +21,14 @@ launched with each kernel's concrete views.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from collections import OrderedDict
+from typing import Dict, List, Optional
 
 from repro.bytecode.program import Program
 from repro.runtime.backend import Backend
 from repro.runtime.instrumentation import ExecutionResult, ExecutionStats
 from repro.runtime.interpreter import NumPyInterpreter
-from repro.runtime.kernel import Kernel, KernelTemplate, partition_into_kernels
+from repro.runtime.kernel import Kernel, KernelTemplate
 from repro.runtime.memory import MemoryManager
 from repro.utils.config import get_config
 
@@ -42,6 +48,12 @@ class FusingJIT(Backend):
         self._kernel_cache: Dict[tuple, KernelTemplate] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        # Fusion schedules keyed by (fingerprint, schedule-relevant config):
+        # warm plan-cache replays hand this backend the same (already
+        # scheduled) program every flush, and the schedule is structural, so
+        # one dependency-graph analysis serves them all.
+        self._schedule_cache: "OrderedDict[tuple, object]" = OrderedDict()
+        self._schedule_capacity = max(1, get_config().plan_cache_size)
 
     def _template(self, kernel: Kernel) -> KernelTemplate:
         key = kernel.structural_key()
@@ -64,6 +76,32 @@ class FusingJIT(Backend):
             "kernel_cache_size": len(self._kernel_cache),
         }
 
+    def _partition(self, program: Program) -> List[object]:
+        """Launch units for ``program`` via the shared scheduling seam."""
+        from repro.core.schedule import compute_schedule
+        from repro.runtime.plan import program_fingerprint
+
+        # The key carries exactly the settings the schedule is computed
+        # under: the instance's kernel-size snapshot (a constructor
+        # override, like ParallelBackend's), not the live config knob the
+        # computation ignores.
+        config = get_config()
+        key = (
+            program_fingerprint(program),
+            config.fusion_scheduler,
+            config.fusion_cost_threshold,
+            self.max_kernel_size,
+        )
+        schedule = self._schedule_cache.get(key)
+        if schedule is not None:
+            self._schedule_cache.move_to_end(key)
+        else:
+            schedule = compute_schedule(program, max_kernel_size=self.max_kernel_size)
+            self._schedule_cache[key] = schedule
+            while len(self._schedule_cache) > self._schedule_capacity:
+                self._schedule_cache.popitem(last=False)
+        return schedule.partition(program)
+
     def execute(
         self, program: Program, memory: Optional[MemoryManager] = None
     ) -> ExecutionResult:
@@ -71,7 +109,7 @@ class FusingJIT(Backend):
         stats = ExecutionStats(backend_name=self.name)
         hits_before, misses_before = self.cache_hits, self.cache_misses
         start = time.perf_counter()
-        for item in partition_into_kernels(program, self.max_kernel_size):
+        for item in self._partition(program):
             if isinstance(item, Kernel):
                 self._execute_kernel(item, memory, stats)
             else:
@@ -83,6 +121,10 @@ class FusingJIT(Backend):
 
     def _execute_kernel(self, kernel: Kernel, memory: MemoryManager, stats: ExecutionStats) -> None:
         stats.kernel_launches += 1
+        if kernel.source is not None:
+            # The kernel unwraps a pre-fused byte-code: keep the instruction
+            # accounting identical to interpreting it (BH_FUSED + payload).
+            stats.record_instruction(kernel.source.opcode)
         for instruction in kernel.instructions:
             stats.record_instruction(instruction.opcode)
             out = instruction.out

@@ -32,9 +32,14 @@ class Kernel:
     ----------
     instructions:
         The element-wise byte-codes in execution order.
+    source:
+        The pre-existing ``BH_FUSED`` instruction this kernel unwraps, when
+        it was built from one (backends keep their statistics faithful by
+        recording the fused op-code alongside the payload).
     """
 
     instructions: List[Instruction] = field(default_factory=list)
+    source: Optional[Instruction] = None
 
     @property
     def size(self) -> int:
@@ -62,8 +67,19 @@ class Kernel:
         """Whether ``instruction`` may be appended to this kernel.
 
         Fusion requires the candidate to be element-wise, the kernel to have
-        room, and the candidate's output shape to match the kernel's shape
-        (all fused byte-codes share one iteration space).
+        room, and *every* view operand of the candidate — output **and**
+        inputs — to share the kernel's iteration space (a broadcast or
+        differently-shaped input view iterates a different space and must
+        not be folded into the kernel's single loop; dtypes follow bases,
+        so a shape-matched view is automatically dtype-consistent with any
+        kernel view of the same base).
+
+        On top of the iteration-space rule, loop-fusion legality: inside one
+        fused loop a statement may consume a value an earlier statement
+        produced only through the *identical* view.  A shifted or otherwise
+        overlapping window would read elements the fused loop has already
+        overwritten (or not yet written), diverging from sequential
+        execution — the kernel is cut instead.
         """
         if not instruction.is_elementwise():
             return False
@@ -72,7 +88,24 @@ class Kernel:
         if not self.instructions:
             return True
         out = instruction.out
-        return out is not None and self.shape == out.shape
+        if out is None or self.shape != out.shape:
+            return False
+        for view in instruction.input_views:
+            if view.shape != self.shape:
+                return False
+        # Flow/output dependencies: candidate touching a view the kernel
+        # writes must do so through the identical view.
+        for written in self.output_views():
+            for view in instruction.views():
+                if not view.same_view(written) and view.overlaps(written):
+                    return False
+        # Anti-dependency: candidate overwriting elements an earlier
+        # statement reads through a different window.
+        for view in instruction.writes():
+            for read in self.input_views():
+                if not view.same_view(read) and view.overlaps(read):
+                    return False
+        return True
 
     def append(self, instruction: Instruction) -> None:
         """Add one instruction to the cluster."""
@@ -276,7 +309,7 @@ def _compile_step(instruction: Instruction, operand_refs):
 
 
 def partition_into_kernels(
-    program: Program, max_kernel_size: int = 32
+    program: Program, max_kernel_size: Optional[int] = None
 ) -> List[object]:
     """Greedy fusion clustering of a program.
 
@@ -288,8 +321,16 @@ def partition_into_kernels(
     The clustering is the same "consecutive, same shape" policy Bohrium's
     simple fuser applies; a kernel is cut whenever the next instruction is
     not element-wise, has a different iteration space, or the kernel reached
-    ``max_kernel_size``.
+    ``max_kernel_size`` (defaulting to the configuration's
+    ``fusion_max_kernel_size``, so bare calls honour the knob).  The
+    dependency-graph scheduler (:mod:`repro.core.schedule`) supersedes this
+    policy behind the shared partitioning seam; this walk remains the
+    ``"consecutive"`` mode and the low-level clustering primitive.
     """
+    if max_kernel_size is None:
+        from repro.utils.config import get_config
+
+        max_kernel_size = get_config().fusion_max_kernel_size
     partition: List[object] = []
     current: Optional[Kernel] = None
     for instruction in program:

@@ -93,9 +93,11 @@ class ParallelBackend(Backend):
         self._template_cache: Dict[tuple, KernelTemplate] = {}
         self.template_hits = 0
         self.template_misses = 0
-        # Decompositions for plan-less executions, keyed by (fingerprint,
-        # tiling-relevant config); plans carry their own decomposition.
-        self._tiling_cache: "OrderedDict[tuple, TileDecomposition]" = OrderedDict()
+        # (fusion schedule, decomposition) pairs for plan-less executions,
+        # keyed by (fingerprint, tiling- and scheduling-relevant config);
+        # plans carry their own decomposition of the already-scheduled
+        # optimized program.
+        self._tiling_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._tiling_capacity = max(1, get_config().plan_cache_size)
         self.tiling_hits = 0
         self.tiling_misses = 0
@@ -186,19 +188,38 @@ class ParallelBackend(Backend):
     def execute(
         self, program: Program, memory: Optional[MemoryManager] = None
     ) -> ExecutionResult:
-        """Execute without a plan; decompositions amortize via a local LRU."""
-        key = (program_fingerprint(program),) + self._tiling_signature()
-        tiling = self._tiling_cache.get(key)
-        if tiling is not None:
+        """Execute without a plan; schedules and decompositions amortize via a local LRU.
+
+        Plan-less programs have not been through the optimizer's fusion
+        pass, so the backend runs the shared fusion-scheduling seam itself:
+        the (structural) schedule clusters fusable byte-codes into kernels,
+        and the tile decomposition is computed over the scheduled program.
+        Both artifacts are cached by fingerprint; only the cheap linear
+        materialization onto the concrete program is paid per execution.
+        """
+        from repro.core.schedule import compute_schedule, schedule_signature
+
+        config = self._effective_config()
+        key = (
+            (program_fingerprint(program),)
+            + self._tiling_signature()
+            + schedule_signature(config)
+        )
+        cached = self._tiling_cache.get(key)
+        if cached is not None:
             self._tiling_cache.move_to_end(key)
             self.tiling_hits += 1
+            schedule, tiling = cached
+            executable = schedule.materialize(program)
         else:
             self.tiling_misses += 1
-            tiling = self._decompose(program)
-            self._tiling_cache[key] = tiling
+            schedule = compute_schedule(program, config)
+            executable = schedule.materialize(program)
+            tiling = decompose(executable, config)
+            self._tiling_cache[key] = (schedule, tiling)
             while len(self._tiling_cache) > self._tiling_capacity:
                 self._tiling_cache.popitem(last=False)
-        return self._run(program, tiling, memory)
+        return self._run(executable, tiling, memory)
 
     def cache_stats(self) -> Dict[str, int]:
         """Tile-template and decomposition cache counters."""

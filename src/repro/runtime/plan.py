@@ -171,6 +171,11 @@ _CONFIG_SIGNATURE_FIELDS = (
     "max_constant_merge_window",
     "power_expansion_limit",
     "fusion_max_kernel_size",
+    # Fusion-scheduler knobs: the schedule (clustering and byte-code order)
+    # is baked into a plan's optimized program, so switching the scheduling
+    # policy or the merge-acceptance threshold must compile a fresh plan.
+    "fusion_scheduler",
+    "fusion_cost_threshold",
     "fixed_point_max_iterations",
     "verify_rewrites",
     "random_seed",
@@ -263,6 +268,13 @@ class ExecutionPlan:
     #: Memory-planning settings the plan was computed under (enabled flag
     #: and zero policy); re-planned when the effective settings change.
     memory_signature: Optional[tuple] = None
+    #: The :class:`~repro.core.schedule.FusionSchedule` the optimizer's
+    #: fusion pass computed for this plan (``None`` when the pipeline ran
+    #: without the fusion pass).  Purely structural — byte-code indices and
+    #: counters — so, like ``tiling`` and ``memory_plan``, it replays
+    #: unchanged for every rebound flush; its clustering and byte-code
+    #: order are already baked into ``optimized``.
+    fusion_schedule: Optional[object] = None
     hits: int = 0
     _scratch_bases: Tuple[BaseArray, ...] = field(default_factory=tuple)
 

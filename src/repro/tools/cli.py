@@ -26,6 +26,7 @@ from repro.bytecode.parser import parse_program
 from repro.bytecode.printer import format_program
 from repro.core.cost import CostModel
 from repro.core.pipeline import default_pipeline
+from repro.core.schedule import fusion_schedule_of
 from repro.core.rules import DEFAULT_PASS_ORDER, EXTENDED_PASS_ORDER, available_passes
 from repro.core.verifier import SemanticVerifier
 from repro.runtime.engine import ExecutionEngine
@@ -178,6 +179,11 @@ def run(args, out=None) -> int:
     print(file=out)
     print(report.summary(), file=out)
 
+    schedule = fusion_schedule_of(report)
+    if schedule is not None:
+        print(file=out)
+        print(_format_schedule(schedule), file=out)
+
     model = CostModel(args.profile)
     before = model.breakdown(program)
     after = model.breakdown(report.optimized)
@@ -236,6 +242,17 @@ def _engine_trajectory(program, pipeline, report, args):
     return execute()
 
 
+def _format_schedule(schedule) -> str:
+    """Human-readable one-liner for the fusion scheduler's statistics."""
+    return (
+        f"fusion scheduler ({schedule.scheduler}): "
+        f"kernels {schedule.kernels_before} -> {schedule.kernels_after}, "
+        f"{schedule.bytecodes_reordered} byte-code(s) reordered, "
+        f"predicted streaming savings "
+        f"{schedule.predicted_savings_seconds * 1e6:.2f} us"
+    )
+
+
 def _run_stats_json(program, pipeline, report, args, out) -> int:
     """Emit the machine-readable statistics document (``--stats-json``)."""
     model = CostModel(args.profile)
@@ -264,6 +281,9 @@ def _run_stats_json(program, pipeline, report, args, out) -> int:
             "seconds_after": after.seconds,
         },
     }
+    schedule = fusion_schedule_of(report)
+    if schedule is not None:
+        payload["optimization"]["fusion_scheduler"] = schedule.stats()
     exit_code = 0
     if args.verify:
         equivalent = SemanticVerifier().equivalent(program, report.optimized)
@@ -282,6 +302,9 @@ def _run_stats_json(program, pipeline, report, args, out) -> int:
         memory_plan = plan.memory_plan if plan is not None else None
         if memory_plan is not None:
             execution["memory_plan"] = memory_plan.stats()
+        plan_schedule = plan.fusion_schedule if plan is not None else None
+        if plan_schedule is not None:
+            execution["fusion_scheduler"] = plan_schedule.stats()
         payload["execution"] = execution
     json.dump(payload, out, indent=2)
     print(file=out)
@@ -318,6 +341,15 @@ def _execute_with_engine(program, pipeline, report, args, out) -> None:
         file=out,
     )
     plan = engine.last_plan
+    plan_schedule = plan.fusion_schedule if plan is not None else None
+    report_schedule = fusion_schedule_of(report)
+    if plan_schedule is not None and (
+        report_schedule is None or plan_schedule.stats() != report_schedule.stats()
+    ):
+        # Normally the plan replays the printed report's schedule (the CLI
+        # primes the cache with it) and the line above already said it all;
+        # only a genuinely different plan-stage schedule is worth a line.
+        print(f"  {_format_schedule(plan_schedule)}", file=out)
     memory_plan = plan.memory_plan if plan is not None else None
     if memory_plan is not None:
         print(

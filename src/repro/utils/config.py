@@ -44,6 +44,19 @@ class Config:
         into multiplications.  Above this the ``BH_POWER`` op-code is kept.
     fusion_max_kernel_size:
         Maximum number of element-wise byte-codes fused into one kernel.
+    fusion_scheduler:
+        Clustering policy behind kernel fusion.  ``"dag"`` (the default)
+        builds a data-dependency graph and clusters *non-adjacent* fusable
+        byte-codes via legal topological reordering, accepting each merge
+        with the cost model; ``"consecutive"`` restores the low-end policy
+        of maximal runs of adjacent element-wise byte-codes.  Part of the
+        plan-cache signature, so toggling it re-plans.
+    fusion_cost_threshold:
+        Minimum predicted saving (simulated seconds: one kernel launch plus
+        re-streamed shared operands) a merge must clear before the
+        dependency-graph scheduler accepts it.  ``0.0`` accepts every legal
+        merge; a large value disables merging without disabling the
+        scheduler's analysis.
     fixed_point_max_iterations:
         Safety bound on the pipeline's iterate-to-fixed-point loop.
     plan_cache_enabled:
@@ -93,6 +106,8 @@ class Config:
     max_constant_merge_window: int = 1024
     power_expansion_limit: int = 64
     fusion_max_kernel_size: int = 32
+    fusion_scheduler: str = "dag"
+    fusion_cost_threshold: float = 0.0
     fixed_point_max_iterations: int = 16
     plan_cache_enabled: bool = True
     plan_cache_size: int = 128

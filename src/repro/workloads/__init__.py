@@ -24,6 +24,7 @@ from repro.workloads.applications import (
     black_scholes,
     gaussian_blur,
     heat_equation,
+    heat_equation_with_norm,
     monte_carlo_pi,
     polynomial_evaluation,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "elementwise_chain",
     "linear_solve_program",
     "heat_equation",
+    "heat_equation_with_norm",
     "black_scholes",
     "monte_carlo_pi",
     "gaussian_blur",

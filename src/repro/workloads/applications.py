@@ -46,6 +46,49 @@ def heat_equation(
     return work
 
 
+def heat_equation_with_norm(
+    grid_size: int = 64,
+    iterations: int = 10,
+    hot_edge_value: float = 100.0,
+    session: Optional[Session] = None,
+) -> Tuple[BhArray, list]:
+    """Heat-equation Jacobi iteration with a per-step norm diagnostic.
+
+    Identical stencil to :func:`heat_equation`, but every step also records
+    a convergence diagnostic — the summed vertical neighbour contribution —
+    **mid-chain**: the reduction is emitted between the element-wise
+    byte-codes of the stencil, exactly where a monitoring statement lands
+    in real simulation codes.  Consecutive-only fusion cuts the
+    element-wise chain at the interleaved reduction; the dependency-graph
+    fusion scheduler legally reorders the reduction past the rest of the
+    chain and fuses the whole stencil step into one kernel, so this
+    workload launches strictly fewer kernels with the scheduler on.
+
+    Returns the final grid plus the list of per-step norm arrays (one
+    single-element array per iteration).
+    """
+    grid = creation.zeros((grid_size, grid_size), session=session)
+    grid[0, :] = hot_edge_value
+    grid[-1, :] = hot_edge_value
+    work = grid
+    norms = []
+    for _ in range(iterations):
+        up = work[0:-2, 1:-1]
+        down = work[2:, 1:-1]
+        left = work[1:-1, 0:-2]
+        right = work[1:-1, 2:]
+        vertical = up + down
+        # The per-step "norm": interleaved into the stencil's chain on
+        # purpose (see the docstring).
+        norm = reductions.sum(vertical) * 0.25
+        interior = ((vertical + left) + right) * 0.25
+        next_grid = work.copy()
+        next_grid[1:-1, 1:-1] = interior
+        norms.append(norm)
+        work = next_grid
+    return work, norms
+
+
 def black_scholes(
     num_options: int = 10_000,
     strike: float = 100.0,

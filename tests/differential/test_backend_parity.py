@@ -165,6 +165,61 @@ def test_memory_planning_is_bitwise_invisible(backend):
             )
 
 
+@pytest.mark.parametrize("seed", MIXED_SEEDS[:12])
+def test_fusion_scheduler_parity(seed):
+    """DAG scheduling on vs. off: bitwise-identical on every backend.
+
+    Mixed programs interleave reductions between element-wise byte-codes,
+    so the dependency-graph scheduler's non-adjacent clustering genuinely
+    reorders work; legality demands that not a single bit moves relative
+    to the consecutive-only policy, on any backend.  (Tree-combined 1-D
+    reduction partials are unaffected: the reduction instruction and its
+    tile spans are identical under both schedules, so even the parallel
+    backend must match bitwise.)
+    """
+    program, synced = random_mixed_program(seed, num_instructions=12)
+    per_backend = {}
+    for scheduler in ("dag", "consecutive"):
+        with config_override(**TINY_TILES, fusion_scheduler=scheduler):
+            for backend in BACKENDS:
+                engine = ExecutionEngine(backend=backend, optimize=True)
+                result = engine.execute(program)
+                values = [result.value(view) for view in synced]
+                per_backend.setdefault(backend, {})[scheduler] = values
+    for backend, by_scheduler in per_backend.items():
+        for index, (actual, expected) in enumerate(
+            zip(by_scheduler["dag"], by_scheduler["consecutive"])
+        ):
+            _assert_bitwise(
+                actual, expected, f"{backend} dag vs consecutive, output {index}"
+            )
+
+
+def test_fusion_scheduler_exercises_non_adjacent_clustering():
+    """At least some mixed seeds must make the DAG scheduler reorder work.
+
+    Without this the parity axis above could pass vacuously (identical
+    schedules under both policies).
+    """
+    reordered = 0
+    clustered_non_adjacent = 0
+    for seed in MIXED_SEEDS[:12]:
+        program, _ = random_mixed_program(seed, num_instructions=12)
+        with config_override(fusion_scheduler="dag"):
+            from repro.core.schedule import compute_schedule
+
+            schedule = compute_schedule(program)
+        reordered += schedule.bytecodes_reordered
+        clustered_non_adjacent += sum(
+            1
+            for item in schedule.items
+            if len(item) > 1
+            and any(b != a + 1 for a, b in zip(item, item[1:]))
+        )
+    assert reordered > 0, "no seed made the DAG scheduler reorder anything"
+    assert clustered_non_adjacent > 0, "no non-adjacent cluster was formed"
+
+
 def test_optimization_levels_agree_per_backend():
     """Optimized and unoptimized pipelines agree within tolerance per backend."""
     for seed in (7, 21, 1007):

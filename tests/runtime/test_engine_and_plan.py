@@ -255,6 +255,31 @@ class TestExecutionEngine:
         result = engine.execute(chain_program()[0])
         assert result.stats.plan_cache_hits == 1
 
+    def test_plan_carries_the_fusion_schedule(self):
+        engine = ExecutionEngine(backend="interpreter", optimize=True)
+        engine.execute(chain_program(adds=3)[0])
+        plan = engine.last_plan
+        assert plan.fusion_schedule is not None
+        assert plan.fusion_schedule.scheduler == "dag"
+        assert plan.fusion_schedule.kernels_after < plan.fusion_schedule.kernels_before
+        # Replays hand back the same structural schedule.
+        engine.execute(chain_program(adds=3)[0])
+        assert engine.last_plan.fusion_schedule is plan.fusion_schedule
+
+    def test_fusion_scheduler_change_invalidates_cached_plans(self):
+        engine = ExecutionEngine(backend="interpreter", optimize=True)
+        engine.execute(chain_program()[0])
+        with config_override(fusion_scheduler="consecutive"):
+            result = engine.execute(chain_program()[0])
+            assert result.stats.plan_cache_misses == 1
+            assert engine.last_plan.fusion_schedule.scheduler == "consecutive"
+        with config_override(fusion_cost_threshold=2.0):
+            result = engine.execute(chain_program()[0])
+            assert result.stats.plan_cache_misses == 1
+        # Back to the original configuration: the original plan still hits.
+        result = engine.execute(chain_program()[0])
+        assert result.stats.plan_cache_hits == 1
+
     def test_plan_cache_can_be_disabled(self):
         engine = ExecutionEngine(backend="interpreter", optimize=True)
         with config_override(plan_cache_enabled=False):

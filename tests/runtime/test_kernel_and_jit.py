@@ -7,10 +7,12 @@ from repro.bytecode.builder import ProgramBuilder
 from repro.bytecode.instruction import Instruction
 from repro.bytecode.opcodes import OpCode
 from repro.bytecode.program import Program
+from repro.bytecode.view import View
 from repro.runtime.interpreter import NumPyInterpreter
 from repro.runtime.jit import FusingJIT
 from repro.runtime.kernel import Kernel, partition_into_kernels
 from repro.runtime.memory import MemoryManager
+from repro.utils.config import config_override
 
 
 def chain_program(length=6, size=16):
@@ -69,6 +71,106 @@ class TestPartitioning:
         assert vector in kernel.output_views()
         assert vector in kernel.input_views()
 
+    def test_bare_call_honours_the_config_knob(self):
+        # Regression: the default used to be a hardcoded 32, silently
+        # ignoring Config.fusion_max_kernel_size for bare calls.
+        program, _ = chain_program(length=9)  # 10 element-wise byte-codes
+        with config_override(fusion_max_kernel_size=4):
+            partition = partition_into_kernels(program)
+        kernels = [item for item in partition if isinstance(item, Kernel)]
+        assert [k.size for k in kernels] == [4, 4, 2]
+        with config_override(fusion_max_kernel_size=3):
+            partition = partition_into_kernels(program)
+        kernels = [item for item in partition if isinstance(item, Kernel)]
+        assert [k.size for k in kernels] == [3, 3, 3, 1]
+
+
+class TestCanAcceptIterationSpaces:
+    """Regression tests for Kernel.can_accept's input-view validation."""
+
+    def _seed_kernel(self, length=8):
+        builder = ProgramBuilder()
+        out = builder.new_vector(length)
+        source = builder.new_vector(length)
+        instruction = builder.add(out, source, 1.0)
+        kernel = Kernel()
+        kernel.append(builder.build()[0])
+        return kernel, builder
+
+    def test_differently_shaped_input_view_is_rejected(self):
+        # Candidate's *output* matches the kernel shape but an input view
+        # iterates a different space (a reshaped window): it used to fuse.
+        kernel, builder = self._seed_kernel(length=8)
+        out2 = builder.new_vector(8)
+        reshaped = View(builder.new_base(8), 0, (2, 4))
+        candidate = Instruction(OpCode.BH_ADD, (out2, reshaped, 1.0))
+        assert candidate.out.shape == kernel.shape
+        assert not kernel.can_accept(candidate, max_size=32)
+
+    def test_shifted_overlapping_view_chain_is_cut(self):
+        # i1 writes a[0:8]; i2 reads the shifted window a[1:9].  Fusing
+        # them into one iteration space would read elements the fused loop
+        # already overwrote — the kernel must be cut.
+        builder = ProgramBuilder()
+        base = builder.new_base(9)
+        lo = View(base, 0, (8,), (1,))
+        hi = View(base, 1, (8,), (1,))
+        out = builder.new_vector(8)
+        builder.emit(OpCode.BH_ADD, lo, lo, 1.0)
+        builder.emit(OpCode.BH_ADD, out, hi, 0.5)
+        program = builder.build()
+        partition = partition_into_kernels(program)
+        kernels = [item for item in partition if isinstance(item, Kernel)]
+        assert [k.size for k in kernels] == [1, 1]
+        # The same chain through identical views still fuses.
+        builder2 = ProgramBuilder()
+        base2 = builder2.new_base(8)
+        full = View(base2, 0, (8,), (1,))
+        out2 = builder2.new_vector(8)
+        builder2.emit(OpCode.BH_ADD, full, full, 1.0)
+        builder2.emit(OpCode.BH_ADD, out2, full, 0.5)
+        kernels2 = [
+            item
+            for item in partition_into_kernels(builder2.build())
+            if isinstance(item, Kernel)
+        ]
+        assert [k.size for k in kernels2] == [2]
+
+    def test_overlapping_write_over_earlier_read_is_cut(self):
+        # i1 reads a[1:9]; i2 writes the shifted window a[0:8]: fusing
+        # would let the loop overwrite elements i1 still needs.
+        builder = ProgramBuilder()
+        base = builder.new_base(9)
+        lo = View(base, 0, (8,), (1,))
+        hi = View(base, 1, (8,), (1,))
+        out = builder.new_vector(8)
+        builder.emit(OpCode.BH_ADD, out, hi, 1.0)
+        builder.emit(OpCode.BH_IDENTITY, lo, 0.0)
+        kernels = [
+            item
+            for item in partition_into_kernels(builder.build())
+            if isinstance(item, Kernel)
+        ]
+        assert [k.size for k in kernels] == [1, 1]
+
+    def test_cut_chain_still_executes_bitwise_like_the_interpreter(self):
+        builder = ProgramBuilder()
+        base = builder.new_base(9)
+        lo = View(base, 0, (8,), (1,))
+        hi = View(base, 1, (8,), (1,))
+        out = builder.new_vector(8)
+        builder.emit(OpCode.BH_IDENTITY, View.full(base), 2.0)
+        builder.emit(OpCode.BH_ADD, lo, hi, 1.0)
+        builder.emit(OpCode.BH_MULTIPLY, out, hi, 0.5)
+        builder.sync(out)
+        program = builder.build()
+        reference = NumPyInterpreter().execute(program)
+        jit = FusingJIT().execute(program)
+        assert np.array_equal(reference.value(out), jit.value(out))
+        assert np.array_equal(
+            reference.value(View.full(base)), jit.value(View.full(base))
+        )
+
 
 class TestKernelCompilation:
     def test_compiled_kernel_computes_the_chain(self):
@@ -120,6 +222,17 @@ class TestFusingJIT:
         program = builder.build()
         result = FusingJIT().execute(program)
         assert result.scalar(total) == float(sum((i + 1) * 2 for i in range(6)))
+
+    def test_schedules_are_cached_across_repeated_executions(self):
+        # Warm flushes hand the JIT a structurally identical program every
+        # round; the dependency-graph analysis must not be re-paid.
+        jit = FusingJIT()
+        jit.execute(chain_program(length=5)[0])
+        assert len(jit._schedule_cache) == 1
+        jit.execute(chain_program(length=5)[0])  # fresh bases, same structure
+        assert len(jit._schedule_cache) == 1
+        jit.execute(chain_program(length=7)[0])
+        assert len(jit._schedule_cache) == 2
 
     def test_respects_preexisting_fused_instructions(self):
         program, vector = chain_program(length=3)

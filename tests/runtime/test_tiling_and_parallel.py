@@ -129,6 +129,41 @@ class TestDecomposition:
         assert isinstance(tiling.steps[0], SerialStep)
         assert tiling.steps[0].reason == "overlapping windows of one base"
 
+    def test_fused_kernel_with_cross_window_dependency_is_serial_and_bitwise(self):
+        # Regression: a fused kernel whose later instruction reads a view
+        # overlapping an earlier instruction's output through a *different*
+        # window must never be row-tiled — a tile would read rows another
+        # tile writes.  (The fusion clusterer refuses to build such kernels
+        # since the can_accept fix, but hand-built or legacy BH_FUSED
+        # byte-codes can still carry them.)
+        rows, cols = 16, 8
+        builder = ProgramBuilder()
+        base = builder.new_base((rows + 1) * cols)
+        lo = View(base, 0, (rows, cols))
+        hi = View(base, cols, (rows, cols))  # shifted one row down
+        out = builder.new_matrix(rows, cols)
+        write_lo = Instruction(OpCode.BH_ADD, (lo, lo, 1.0))
+        read_hi = Instruction(OpCode.BH_MULTIPLY, (out, hi, 0.5))
+        program = Program(
+            [
+                Instruction(OpCode.BH_IDENTITY, (View.full(base), 2.0)),
+                Instruction(OpCode.BH_FUSED, (), kernel=[write_lo, read_hi]),
+                Instruction(OpCode.BH_SYNC, (out,)),
+            ]
+        )
+        with config_override(parallel_tile_elements=8, parallel_serial_threshold=4):
+            tiling = decompose(program)
+            assert isinstance(tiling.steps[1], SerialStep)
+            assert tiling.steps[1].reason == "overlapping windows of one base"
+            # The serial fallback must agree with the interpreter oracle
+            # bit for bit.
+            reference = NumPyInterpreter().execute(program)
+            result = ParallelBackend(num_threads=4).execute(program)
+        assert np.array_equal(reference.value(out), result.value(out))
+        assert np.array_equal(
+            reference.value(View.full(base)), result.value(View.full(base))
+        )
+
     def test_shape_mismatch_falls_back_to_serial(self):
         builder = ProgramBuilder()
         matrix = builder.new_matrix(8, 8)

@@ -20,6 +20,25 @@ BH_POWER a1[0:64:1] a0[0:64:1] 10
 BH_SYNC a1[0:64:1]
 """
 
+#: An element-wise chain with a reduction interleaved mid-chain: the
+#: dependency-graph fusion scheduler reorders the reduction past the chain
+#: and fuses the whole chain into one kernel.
+INTERLEAVED_LISTING = """\
+BH_IDENTITY a0[0:32:1] 1
+BH_ADD_REDUCE a1[0:1:1] a0[0:32:1] 0
+BH_ADD a2[0:32:1] a0[0:32:1] 2
+BH_MULTIPLY a2[0:32:1] a2[0:32:1] 3
+BH_SYNC a1[0:1:1]
+BH_SYNC a2[0:32:1]
+"""
+
+
+@pytest.fixture
+def interleaved_file(tmp_path):
+    path = tmp_path / "interleaved.bh"
+    path.write_text(INTERLEAVED_LISTING)
+    return str(path)
+
 
 @pytest.fixture
 def listing_file(tmp_path):
@@ -91,6 +110,22 @@ class TestBasicOperation:
         assert code == 0
         assert "constant_merge" in output
         assert "pipeline order" in output
+
+    def test_fusion_scheduler_stats_reported(self, interleaved_file):
+        code, output = run_cli([interleaved_file])
+        assert code == 0
+        assert "fusion scheduler (dag):" in output
+        assert "byte-code(s) reordered" in output
+        assert "predicted streaming savings" in output
+
+    def test_fusion_scheduler_stats_follow_the_config(self, interleaved_file):
+        from repro.utils.config import config_override
+
+        with config_override(fusion_scheduler="consecutive"):
+            code, output = run_cli([interleaved_file])
+        assert code == 0
+        assert "fusion scheduler (consecutive):" in output
+        assert "0 byte-code(s) reordered" in output
 
     def test_profile_option(self, listing_file):
         code, output = run_cli([listing_file, "--profile", "multicore"])
@@ -173,6 +208,23 @@ class TestStatsJson:
         code, output = run_cli([listing_file, "--stats-json", "--verify"])
         assert code == 0
         assert json.loads(output)["verified"] is True
+
+    def test_fusion_scheduler_section(self, interleaved_file):
+        import json
+
+        code, output = run_cli(
+            [interleaved_file, "--stats-json", "--backend", "jit", "--repeat", "2"]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        optimization = payload["optimization"]["fusion_scheduler"]
+        assert optimization["fusion_scheduler"] == "dag"
+        assert optimization["fusion_kernels_after"] < optimization["fusion_kernels_before"]
+        assert optimization["fusion_bytecodes_reordered"] >= 1
+        assert optimization["fusion_predicted_savings_seconds"] > 0
+        execution = payload["execution"]["fusion_scheduler"]
+        assert execution["fusion_scheduler"] == "dag"
+        assert execution["fusion_kernels_after"] < execution["fusion_kernels_before"]
 
 
 class TestErrorHandling:
