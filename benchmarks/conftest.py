@@ -1,6 +1,6 @@
 """Shared fixtures and reporting helpers for the benchmark harness.
 
-Every experiment module (``test_bench_e1_*`` .. ``test_bench_e8_*``)
+Every experiment module (``test_bench_e1_*`` .. ``test_bench_e15_*``)
 corresponds to one row of the experiment index in ``DESIGN.md`` and one
 section of ``EXPERIMENTS.md``.  Wall-clock numbers come from
 pytest-benchmark; derived metrics (byte-code counts, kernel launches,
@@ -8,15 +8,34 @@ simulated device time, predicted speedups) are attached to each benchmark's
 ``extra_info`` so they appear in ``--benchmark-json`` output, and are also
 printed so a plain ``pytest benchmarks/ --benchmark-only -s`` shows the
 paper-style comparison tables.
+
+Perf trajectory
+---------------
+At session finish every benchmark that ran is folded into one
+``BENCH_<experiment>.json`` file per experiment module at the repository
+root (``test_bench_e12_parallel`` → ``BENCH_E12.json``): wall-clock
+statistics plus every ``record_table`` table.  The files are committed, so
+``git log -p BENCH_E12.json`` is the performance trajectory of that
+experiment across PRs — machine-readable, no dashboard required.
 """
 
 from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.frontend.session import Session, set_session
 from repro.utils.config import Config, set_config
+
+#: Repository root — BENCH_*.json trajectory files land here.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Bump when the trajectory file layout changes shape.
+BENCH_SCHEMA = 1
 
 
 @pytest.fixture(autouse=True)
@@ -61,3 +80,73 @@ def _format(value) -> str:
             return f"{value:.3e}"
         return f"{value:.3f}"
     return str(value)
+
+
+# --------------------------------------------------------------------------- #
+# BENCH_*.json perf-trajectory recorder
+# --------------------------------------------------------------------------- #
+
+
+def _experiment_id(fullname: str) -> str | None:
+    """``benchmarks/test_bench_e12_parallel.py::test_x`` → ``"E12"``."""
+    match = re.search(r"test_bench_(e\d+)_", fullname)
+    return match.group(1).upper() if match else None
+
+
+def _json_safe(value):
+    """Recursively coerce NumPy scalars so ``json`` can serialise tables."""
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, (np.floating, float)):
+        return float(value)
+    return value
+
+
+def _trajectory_entry(bench) -> dict | None:
+    """One trajectory record for a finished pytest-benchmark ``Metadata``."""
+    stats = getattr(bench, "stats", None)
+    if stats is None or not getattr(stats, "data", None):
+        return None  # disabled/skipped benchmark: nothing measured
+    return {
+        "test": bench.name,
+        "group": bench.group,
+        "wall_seconds": {
+            "min": float(stats.min),
+            "mean": float(stats.mean),
+            "max": float(stats.max),
+            "rounds": int(stats.rounds),
+        },
+        "tables": _json_safe(dict(bench.extra_info)),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<experiment>.json`` per experiment that ran.
+
+    Only experiments with at least one measured benchmark are written, so a
+    filtered run (``pytest benchmarks/test_bench_e15_codegen.py``) refreshes
+    its own trajectory file and leaves the others untouched.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    experiments: dict[str, list] = {}
+    for bench in bench_session.benchmarks:
+        experiment = _experiment_id(bench.fullname)
+        if experiment is None:
+            continue
+        entry = _trajectory_entry(bench)
+        if entry is not None:
+            experiments.setdefault(experiment, []).append(entry)
+    for experiment, entries in sorted(experiments.items()):
+        payload = {
+            "schema": BENCH_SCHEMA,
+            "experiment": experiment,
+            "benchmarks": sorted(entries, key=lambda item: item["test"]),
+        }
+        path = REPO_ROOT / f"BENCH_{experiment}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

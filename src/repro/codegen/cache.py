@@ -1,0 +1,248 @@
+"""Two-level compiled-artifact cache: in-process memo plus on-disk store.
+
+Artifacts are keyed by a content digest over the *generated source*, the
+compiler flags and the host ABI — never by file names or timestamps — so a
+cache directory can be shared between processes, CI runs and machines of
+the same architecture without coherence protocols:
+
+* **In-process**: ``digest → CompiledKernel`` in a lock-protected module
+  dict.  Every backend instance in the process shares it, so the
+  differential harness's fresh-engine-per-execution pattern compiles each
+  kernel form once.
+* **On disk**: ``<digest>.so`` plus ``<digest>.c`` (for debugging) and a
+  ``<digest>.json`` sidecar holding the SHA-256 of the shared library.
+  Writers compile to a process-unique temp name and ``os.replace`` into
+  place, so concurrent writers race benignly (last atomic rename wins and
+  every intermediate state is either absent or complete).  Readers verify
+  the sidecar hash before loading; a truncated, tampered or unloadable
+  artifact is discarded and recompiled — corruption can cost a compile,
+  never correctness.
+
+A warm disk cache therefore serves a cold process with **zero compiler
+invocations**, which is the property the E15 benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.codegen.compiler import (
+    CodegenError,
+    CompiledKernel,
+    CompilerUnavailable,
+    compile_flags,
+    compile_shared_library,
+    find_c_compiler,
+)
+
+#: Bump to invalidate every cached artifact when the ABI of generated
+#: kernels changes (argument layout, symbol name, helper semantics).
+ARTIFACT_SCHEMA = 1
+
+_memory_cache: Dict[str, CompiledKernel] = {}
+_lock = threading.Lock()
+_temp_counter = itertools.count()
+
+
+def resolve_cache_dir(configured: Optional[str] = None) -> str:
+    """The on-disk cache directory: config knob > env var > user cache dir."""
+    if configured:
+        return os.path.expanduser(configured)
+    env = os.environ.get("REPRO_CODEGEN_CACHE")
+    if env:
+        return os.path.expanduser(env)
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-codegen")
+
+
+def artifact_digest(source: str, opt_level: int) -> str:
+    """Content digest identifying one compiled artifact.
+
+    Covers the generated source, the compiler flags and the host ABI
+    (platform + machine + pointer width), so a shared cache directory can
+    never serve an artifact compiled for a different target or under
+    different semantics-relevant flags.
+    """
+    hasher = hashlib.blake2b(digest_size=20)
+    abi = (
+        ARTIFACT_SCHEMA,
+        sys.platform,
+        platform.machine(),
+        64 if sys.maxsize > 2**32 else 32,
+        compile_flags(opt_level),
+    )
+    hasher.update(repr(abi).encode("utf-8"))
+    hasher.update(source.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def clear_memory_cache() -> None:
+    """Drop every in-process loaded kernel (tests and cold-start simulation)."""
+    with _lock:
+        _memory_cache.clear()
+
+
+def memory_cache_size() -> int:
+    """Number of kernels currently loaded in the in-process cache."""
+    with _lock:
+        return len(_memory_cache)
+
+
+def _artifact_paths(cache_dir: str, digest: str) -> Tuple[str, str, str]:
+    return (
+        os.path.join(cache_dir, f"{digest}.so"),
+        os.path.join(cache_dir, f"{digest}.json"),
+        os.path.join(cache_dir, f"{digest}.c"),
+    )
+
+
+def _discard_artifact(cache_dir: str, digest: str) -> None:
+    for path in _artifact_paths(cache_dir, digest):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+def _sha256_file(path: str) -> str:
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def _load_from_disk(cache_dir: str, digest: str) -> Optional[CompiledKernel]:
+    """Load a verified artifact, or ``None`` (discarding anything corrupt)."""
+    so_path, meta_path, _ = _artifact_paths(cache_dir, digest)
+    if not (os.path.isfile(so_path) and os.path.isfile(meta_path)):
+        return None
+    try:
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        expected = meta["sha256"]
+        schema = meta["schema"]
+    except (OSError, ValueError, KeyError):
+        _discard_artifact(cache_dir, digest)
+        return None
+    if schema != ARTIFACT_SCHEMA:
+        _discard_artifact(cache_dir, digest)
+        return None
+    try:
+        actual = _sha256_file(so_path)
+    except OSError:
+        _discard_artifact(cache_dir, digest)
+        return None
+    if actual != expected:
+        _discard_artifact(cache_dir, digest)
+        return None
+    try:
+        return CompiledKernel(so_path)
+    except CodegenError:
+        _discard_artifact(cache_dir, digest)
+        return None
+
+
+def _atomic_write(path: str, data: bytes, temp_tag: str) -> None:
+    temp_path = f"{path}.{temp_tag}.tmp"
+    with open(temp_path, "wb") as handle:
+        handle.write(data)
+    os.replace(temp_path, path)
+
+
+def _compile_to_disk(
+    cache_dir: str, digest: str, source: str, opt_level: int
+) -> CompiledKernel:
+    os.makedirs(cache_dir, exist_ok=True)
+    so_path, meta_path, c_path = _artifact_paths(cache_dir, digest)
+    tag = f"{os.getpid()}.{next(_temp_counter)}"
+    temp_c = f"{c_path}.{tag}.tmp.c"  # must end in .c for the compiler driver
+    temp_so = f"{so_path}.{tag}.tmp"
+    try:
+        with open(temp_c, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        compile_shared_library(temp_c, temp_so, opt_level)
+        sha = _sha256_file(temp_so)
+        # Publication order matters for racing readers: the library first,
+        # its checksum last — a reader that sees a sidecar always sees a
+        # fully written .so (possibly a *different* racer's, in which case
+        # the checksum mismatch triggers a clean recompile).
+        os.replace(temp_so, so_path)
+        os.replace(temp_c, c_path)
+        _atomic_write(
+            meta_path,
+            json.dumps(
+                {"schema": ARTIFACT_SCHEMA, "sha256": sha, "opt_level": int(opt_level)}
+            ).encode("utf-8"),
+            tag,
+        )
+    finally:
+        for leftover in (temp_c, temp_so):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+    return CompiledKernel(so_path)
+
+
+def _compile_in_memory(source: str, opt_level: int) -> CompiledKernel:
+    """Compile without touching the cache dir (``codegen_disk_cache_enabled=False``)."""
+    workdir = tempfile.mkdtemp(prefix="repro-codegen-")
+    try:
+        c_path = os.path.join(workdir, "kernel.c")
+        so_path = os.path.join(workdir, "kernel.so")
+        with open(c_path, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        compile_shared_library(c_path, so_path, opt_level)
+        return CompiledKernel(so_path)
+    finally:
+        # The dynamic loader keeps the mapping alive after unlink (POSIX),
+        # so the working directory can go away immediately.
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def get_compiled_kernel(
+    source: str,
+    opt_level: int = 2,
+    cache_dir: Optional[str] = None,
+    use_disk: bool = True,
+) -> Tuple[CompiledKernel, str]:
+    """Resolve source to a loaded kernel: memory → disk → compile.
+
+    Returns ``(kernel, outcome)`` with ``outcome`` one of ``"memory"``,
+    ``"disk"`` or ``"compiled"`` so callers can maintain honest counters.
+
+    Raises
+    ------
+    CompilerUnavailable
+        When compilation is needed but the host has no C compiler.
+    CodegenError
+        When the compiler rejects the generated source.
+    """
+    digest = artifact_digest(source, opt_level)
+    directory = resolve_cache_dir(cache_dir)
+    with _lock:
+        kernel = _memory_cache.get(digest)
+        if kernel is not None:
+            return kernel, "memory"
+        if use_disk:
+            kernel = _load_from_disk(directory, digest)
+            if kernel is not None:
+                _memory_cache[digest] = kernel
+                return kernel, "disk"
+        if find_c_compiler() is None:
+            raise CompilerUnavailable("no C compiler (cc/gcc/clang) found on PATH")
+        if use_disk:
+            kernel = _compile_to_disk(directory, digest, source, opt_level)
+        else:
+            kernel = _compile_in_memory(source, opt_level)
+        _memory_cache[digest] = kernel
+        return kernel, "compiled"

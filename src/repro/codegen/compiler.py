@@ -1,0 +1,117 @@
+"""Invoking the host C compiler and loading compiled kernels via ctypes.
+
+The toolchain contract is deliberately small: any ``cc``-compatible driver
+that accepts ``-shared -fPIC`` works.  Flags are part of the artifact
+digest (see :mod:`repro.codegen.cache`), so changing the optimization
+level can never pick up a stale shared library.
+
+``-fwrapv`` is load-bearing for bitwise parity: NumPy's integer arithmetic
+wraps, and without the flag C signed overflow is undefined behaviour the
+optimizer may exploit.  ``-ffast-math`` is never passed for the same
+reason.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import shutil
+import subprocess
+from typing import Optional, Tuple
+
+from repro.codegen.emit_c import KERNEL_SYMBOL
+
+
+class CodegenError(Exception):
+    """Raised when native compilation or artifact loading fails."""
+
+
+class CompilerUnavailable(CodegenError):
+    """Raised when no C compiler can be found on the host."""
+
+
+_COMPILER_SEARCH = ("cc", "gcc", "clang")
+_compiler_cache: Optional[Tuple[bool, Optional[str]]] = None
+
+
+def find_c_compiler() -> Optional[str]:
+    """Locate the C compiler driver, or ``None`` when the host has none.
+
+    ``REPRO_CC`` overrides the search; otherwise the first of ``cc``,
+    ``gcc``, ``clang`` found on ``PATH`` wins.  The result is cached for
+    the process (compilers do not appear mid-run).
+    """
+    global _compiler_cache
+    override = os.environ.get("REPRO_CC")
+    if override:
+        return override if shutil.which(override) else None
+    if _compiler_cache is None:
+        found = None
+        for candidate in _COMPILER_SEARCH:
+            found = shutil.which(candidate)
+            if found:
+                break
+        _compiler_cache = (True, found)
+    return _compiler_cache[1]
+
+
+def compile_flags(opt_level: int) -> Tuple[str, ...]:
+    """The compiler flags for one artifact; part of the artifact digest."""
+    level = min(3, max(0, int(opt_level)))
+    return (
+        f"-O{level}",
+        "-shared",
+        "-fPIC",
+        "-fwrapv",
+        "-fno-strict-aliasing",
+    )
+
+
+def compile_shared_library(
+    source_path: str, output_path: str, opt_level: int, compiler: Optional[str] = None
+) -> None:
+    """Compile one generated C file into a shared library.
+
+    Raises
+    ------
+    CompilerUnavailable
+        When no compiler exists on the host.
+    CodegenError
+        When the compiler exits non-zero (its stderr is included).
+    """
+    compiler = compiler if compiler is not None else find_c_compiler()
+    if compiler is None:
+        raise CompilerUnavailable("no C compiler (cc/gcc/clang) found on PATH")
+    command = [compiler, *compile_flags(opt_level), "-o", output_path, source_path, "-lm"]
+    proc = subprocess.run(
+        command, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+    )
+    if proc.returncode != 0:
+        raise CodegenError(
+            f"{compiler} failed ({proc.returncode}) for {source_path}:\n{proc.stderr}"
+        )
+
+
+class CompiledKernel:
+    """A loaded native kernel: the shared library plus its typed entry point.
+
+    ctypes releases the GIL around foreign calls, so tiles of one step
+    genuinely overlap when the parallel scaffolding launches compiled
+    kernels from worker threads.
+    """
+
+    __slots__ = ("path", "_library", "fn")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        try:
+            self._library = ctypes.CDLL(path)
+            self.fn = getattr(self._library, KERNEL_SYMBOL)
+        except (OSError, AttributeError) as exc:
+            raise CodegenError(f"cannot load compiled kernel {path}: {exc}") from None
+        self.fn.argtypes = (
+            ctypes.POINTER(ctypes.c_int64),
+            ctypes.POINTER(ctypes.c_void_p),
+            ctypes.POINTER(ctypes.c_int64),
+        )
+        self.fn.restype = None

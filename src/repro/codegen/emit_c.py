@@ -1,0 +1,325 @@
+"""C99 emission from the loop-nest IR.
+
+One :class:`~repro.codegen.loopir.LoopNest` becomes one C translation unit
+exporting a single symbol::
+
+    void repro_kernel(const int64_t *dims,   /* rank extents          */
+                      char **ptrs,          /* one base ptr per slot  */
+                      const int64_t *strides /* slot-major, in bytes  */)
+
+Geometry is entirely runtime: the artifact is compiled once per canonical
+kernel *form* and launched with whatever extents, pointers and strides the
+current tile supplies.  ``ptrs[i]`` already includes the view's element
+offset; ``strides[i * rank + d]`` is slot ``i``'s byte stride along loop
+dimension ``d``.
+
+Two emission decisions carry the performance win:
+
+* **Store-to-load forwarding with dead-store elision** — every slot gets a
+  scalar local; intermediate stores stay in registers and only the *last*
+  store per slot writes memory.  This is sound because identical views
+  share a slot and lowering rejected every overlapping-window kernel, so
+  no other slot can observe an elided intermediate.  Slots liveness proved
+  instruction-local (``LoopNest.elided_slots``) go further: they get no
+  pointer, no strides and no memory lane at all — their value exists only
+  in the scalar local, so a fused chain's temporaries cost zero traffic.
+* **A contiguous fast path** — when every slot's innermost stride equals
+  its item size the body is re-emitted over typed pointers with unit
+  index arithmetic, which the C compiler auto-vectorizes; the strided
+  generic body remains the fallback inside the same artifact.
+
+Both bodies are generated from the same statement list, so they cannot
+diverge semantically.  Emission is deterministic: equal loop nests produce
+byte-identical source, which is what makes content-hashed artifact caching
+coherent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from repro.bytecode import dtypes
+from repro.codegen.loopir import Cast, Literal, Load, LoopNest, Op, Store
+
+#: Exported symbol name of every generated kernel.
+KERNEL_SYMBOL = "repro_kernel"
+
+_CTYPE = {
+    "BH_BOOL": "unsigned char",
+    "BH_INT32": "int32_t",
+    "BH_INT64": "int64_t",
+    "BH_FLOAT32": "float",
+    "BH_FLOAT64": "double",
+}
+
+#: Fixed helper preamble shared by every artifact.  The float max/min keep
+#: NumPy's NaN propagation (fmax/fmin would drop it); the mod helpers
+#: replicate npy_divmod's floored remainder, including the signed-zero rule
+#: and the integer guards NumPy applies before hitting C's division traps.
+_PREAMBLE = """\
+#include <stdint.h>
+#include <math.h>
+
+static inline double repro_max_f64(double a, double b) { return (a > b || a != a) ? a : b; }
+static inline double repro_min_f64(double a, double b) { return (a < b || a != a) ? a : b; }
+static inline float repro_max_f32(float a, float b) { return (a > b || a != a) ? a : b; }
+static inline float repro_min_f32(float a, float b) { return (a < b || a != a) ? a : b; }
+
+static inline double repro_mod_f64(double a, double b) {
+    double r = fmod(a, b);
+    if (r != 0.0) { if ((b < 0.0) != (r < 0.0)) r += b; }
+    else { r = copysign(0.0, b); }
+    return r;
+}
+static inline float repro_mod_f32(float a, float b) {
+    float r = fmodf(a, b);
+    if (r != 0.0f) { if ((b < 0.0f) != (r < 0.0f)) r += b; }
+    else { r = copysignf(0.0f, b); }
+    return r;
+}
+static inline int64_t repro_mod_i64(int64_t a, int64_t b) {
+    int64_t r;
+    if (b == 0 || b == -1) return 0;
+    r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0))) r += b;
+    return r;
+}
+static inline int32_t repro_mod_i32(int32_t a, int32_t b) {
+    int32_t r;
+    if (b == 0 || b == -1) return 0;
+    r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0))) r += b;
+    return r;
+}
+"""
+
+_MOD_HELPER = {
+    "BH_FLOAT64": "repro_mod_f64",
+    "BH_FLOAT32": "repro_mod_f32",
+    "BH_INT64": "repro_mod_i64",
+    "BH_INT32": "repro_mod_i32",
+}
+
+_MINMAX_HELPER = {
+    ("max", "BH_FLOAT64"): "repro_max_f64",
+    ("max", "BH_FLOAT32"): "repro_max_f32",
+    ("min", "BH_FLOAT64"): "repro_min_f64",
+    ("min", "BH_FLOAT32"): "repro_min_f32",
+}
+
+_BINARY_SYMBOL = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
+_COMPARE_SYMBOL = {"gt": ">", "ge": ">=", "lt": "<", "le": "<=", "eq": "==", "ne": "!="}
+
+
+def _float_literal(value: float, suffix: str, ctype: str) -> str:
+    if math.isnan(value):
+        return f"(({ctype})NAN)"
+    if math.isinf(value):
+        sign = "-" if value < 0 else ""
+        return f"({sign}({ctype})INFINITY)"
+    text = float(value).hex()
+    if text.startswith("-"):
+        return f"(-{text[1:]}{suffix})"
+    return f"({text}{suffix})"
+
+
+def _literal_c(literal: Literal) -> str:
+    name = literal.dtype_name
+    value = literal.value
+    if name == "BH_BOOL":
+        return "1" if bool(value) else "0"
+    if name == "BH_INT32":
+        return f"({int(value)})"
+    if name == "BH_INT64":
+        ivalue = int(value)
+        if ivalue == -(2**63):
+            return "(-9223372036854775807LL - 1)"
+        return f"({ivalue}LL)"
+    if name == "BH_FLOAT32":
+        return _float_literal(float(np.float32(value)), "f", "float")
+    return _float_literal(float(value), "", "double")
+
+
+def _cast_c(expr_c: str, dtype_name: str) -> str:
+    if dtype_name == "BH_BOOL":
+        # NumPy's unsafe cast to bool is a != 0 test, not a value truncation.
+        return f"(unsigned char)(({expr_c}) != 0)"
+    return f"({_CTYPE[dtype_name]})({expr_c})"
+
+
+def _expr_c(expr) -> str:
+    if isinstance(expr, Load):
+        return f"v{expr.slot}"
+    if isinstance(expr, Literal):
+        return _literal_c(expr)
+    if isinstance(expr, Cast):
+        return _cast_c(_expr_c(expr.arg), expr.dtype_name)
+    if isinstance(expr, Op):
+        return _op_c(expr)
+    raise TypeError(f"unknown IR expression {expr!r}")
+
+
+def _op_c(op: Op) -> str:
+    args = [_expr_c(arg) for arg in op.args]
+    kind = op.kind
+    if kind in _BINARY_SYMBOL:
+        return f"(({args[0]}) {_BINARY_SYMBOL[kind]} ({args[1]}))"
+    if kind in _COMPARE_SYMBOL:
+        return f"(({args[0]}) {_COMPARE_SYMBOL[kind]} ({args[1]}))"
+    if kind in ("max", "min"):
+        helper = _MINMAX_HELPER.get((kind, op.dtype_name))
+        if helper is not None:
+            return f"{helper}({args[0]}, {args[1]})"
+        symbol = ">" if kind == "max" else "<"
+        return f"((({args[0]}) {symbol} ({args[1]})) ? ({args[0]}) : ({args[1]}))"
+    if kind == "mod":
+        return f"{_MOD_HELPER[op.dtype_name]}({args[0]}, {args[1]})"
+    if kind == "neg":
+        return f"(-({args[0]}))"
+    if kind == "abs":
+        if op.dtype_name == "BH_FLOAT64":
+            return f"fabs({args[0]})"
+        if op.dtype_name == "BH_FLOAT32":
+            return f"fabsf({args[0]})"
+        if op.dtype_name == "BH_BOOL":
+            return args[0]
+        return f"((({args[0]}) < 0) ? (-({args[0]})) : ({args[0]}))"
+    if kind == "sqrt":
+        func = "sqrtf" if op.dtype_name == "BH_FLOAT32" else "sqrt"
+        return f"{func}({args[0]})"
+    if kind == "recip":
+        one = "1.0f" if op.dtype_name == "BH_FLOAT32" else "1.0"
+        return f"(({one}) / ({args[0]}))"
+    if kind == "land":
+        return f"((({args[0]}) != 0) && (({args[1]}) != 0))"
+    if kind == "lor":
+        return f"((({args[0]}) != 0) || (({args[1]}) != 0))"
+    if kind == "lnot":
+        return f"(({args[0]}) == 0)"
+    raise TypeError(f"unknown IR op kind {kind!r}")
+
+
+def _loads_of(expr, out: List[int]) -> None:
+    if isinstance(expr, Load):
+        out.append(expr.slot)
+    elif isinstance(expr, Cast):
+        _loads_of(expr.arg, out)
+    elif isinstance(expr, Op):
+        for arg in expr.args:
+            _loads_of(arg, out)
+
+
+class _BodyEmitter:
+    """Emits one loop-nest body; ``contiguous`` picks the addressing mode."""
+
+    def __init__(self, nest: LoopNest, contiguous: bool) -> None:
+        self.nest = nest
+        self.contiguous = contiguous
+        self.lines: List[str] = []
+        self.itemsizes = [dtypes.from_name(n).itemsize for n in nest.slot_dtypes]
+        # Statement index of the final store per slot: only these write memory.
+        self.last_store: Dict[int, int] = {
+            index: position
+            for position, statement in enumerate(nest.body)
+            for index in (statement.slot,)
+        }
+
+    def line(self, depth: int, text: str) -> None:
+        self.lines.append("    " * (depth + 1) + text)
+
+    def _base_ptr(self, slot: int, level: int) -> str:
+        return f"p{slot}" if level < 0 else f"b{slot}_{level}"
+
+    def _element(self, slot: int) -> str:
+        """Innermost-loop lvalue for one slot's current element."""
+        rank = self.nest.rank
+        base = self._base_ptr(slot, rank - 2)
+        ctype = _CTYPE[self.nest.slot_dtypes[slot]]
+        index = f"i{rank - 1}"
+        if self.contiguous:
+            return f"(({ctype} *){base})[{index}]"
+        return f"(*({ctype} *)({base} + {index} * s{slot}_{rank - 1}))"
+
+    def emit(self) -> List[str]:
+        rank = self.nest.rank
+        num_slots = self.nest.num_slots
+        for depth in range(rank - 1):
+            self.line(depth, f"for (int64_t i{depth} = 0; i{depth} < n{depth}; ++i{depth}) {{")
+            for slot in range(num_slots):
+                if slot in self.nest.elided_slots:
+                    continue
+                prev = self._base_ptr(slot, depth - 1)
+                self.line(
+                    depth + 1,
+                    f"char *b{slot}_{depth} = {prev} + i{depth} * s{slot}_{depth};",
+                )
+        depth = rank - 1
+        self.line(depth, f"for (int64_t i{depth} = 0; i{depth} < n{depth}; ++i{depth}) {{")
+        self._emit_statements(depth + 1)
+        self.line(depth, "}")
+        for depth in range(rank - 2, -1, -1):
+            self.line(depth, "}")
+        return self.lines
+
+    def _emit_statements(self, depth: int) -> None:
+        defined = set()
+        for position, statement in enumerate(self.nest.body):
+            loads: List[int] = []
+            _loads_of(statement.expr, loads)
+            for slot in loads:
+                if slot in defined:
+                    continue
+                defined.add(slot)
+                ctype = _CTYPE[self.nest.slot_dtypes[slot]]
+                self.line(depth, f"{ctype} v{slot} = {self._element(slot)};")
+            out_slot = statement.slot
+            value = _cast_c(_expr_c(statement.expr), self.nest.slot_dtypes[out_slot])
+            if out_slot in defined:
+                self.line(depth, f"v{out_slot} = {value};")
+            else:
+                defined.add(out_slot)
+                ctype = _CTYPE[self.nest.slot_dtypes[out_slot]]
+                self.line(depth, f"{ctype} v{out_slot} = {value};")
+            if (
+                self.last_store[out_slot] == position
+                and out_slot not in self.nest.elided_slots
+            ):
+                self.line(depth, f"{self._element(out_slot)} = v{out_slot};")
+
+
+def emit_kernel_source(nest: LoopNest) -> str:
+    """Emit the complete, deterministic C source for one loop nest."""
+    rank = nest.rank
+    num_slots = nest.num_slots
+    itemsizes = [dtypes.from_name(name).itemsize for name in nest.slot_dtypes]
+    lines = [
+        "/* Generated by repro.codegen; one artifact per canonical kernel form. */",
+        _PREAMBLE,
+        f"void {KERNEL_SYMBOL}(const int64_t *dims, char **ptrs, const int64_t *strides)",
+        "{",
+    ]
+    for depth in range(rank):
+        lines.append(f"    const int64_t n{depth} = dims[{depth}];")
+    for slot in range(num_slots):
+        if slot in nest.elided_slots:
+            continue  # no memory lane: the slot lives in a scalar local only
+        lines.append(f"    char * const p{slot} = ptrs[{slot}];")
+        for depth in range(rank):
+            lines.append(
+                f"    const int64_t s{slot}_{depth} = strides[{slot * rank + depth}];"
+            )
+    unit = " && ".join(
+        f"s{slot}_{rank - 1} == {itemsizes[slot]}"
+        for slot in range(num_slots)
+        if slot not in nest.elided_slots
+    ) or "1"
+    lines.append(f"    if ({unit}) {{")
+    lines.extend("    " + text for text in _BodyEmitter(nest, contiguous=True).emit())
+    lines.append("    } else {")
+    lines.extend("    " + text for text in _BodyEmitter(nest, contiguous=False).emit())
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

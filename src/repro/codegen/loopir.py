@@ -1,0 +1,410 @@
+"""The loop-nest IR and the byte-code → IR lowering rules.
+
+A fused kernel is a straight-line sequence of element-wise byte-codes over
+views that all share one iteration space.  Lowering turns that sequence
+into a :class:`LoopNest`: a rank-R loop over the common shape whose body is
+a list of scalar :class:`Store` statements into per-view *slots* — the same
+slot assignment :func:`repro.runtime.kernel._slot_walk` computes, so a
+compiled artifact launched with :func:`~repro.runtime.kernel.kernel_slot_views`
+binds each slot to the right concrete view.
+
+The IR is deliberately *geometry-generic*: shapes and strides are runtime
+arguments of the emitted function, so one compiled artifact serves every
+tile of a tiled execution and every structurally identical kernel,
+whatever its array sizes.
+
+Lowering is **bitwise-conservative**: an op-code is lowered only when the
+emitted C provably reproduces NumPy's result bit-for-bit on the supported
+dtypes (bool, int32/64, float32/64).  Everything else — transcendentals
+whose libm results differ from NumPy's SIMD kernels, bool arithmetic with
+saturating semantics, value-dependent integer ops NumPy guards specially —
+raises :class:`LoweringError` and the caller falls back to the interpreted
+kernel template.  Compute and result dtypes are not re-derived from a
+promotion table: each step is *probed* against NumPy itself on zero-size
+operands, so NEP-50 promotion changes can never skew the generated code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.bytecode import dtypes
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode, opcode_info
+from repro.bytecode.view import View
+
+
+class LoweringError(Exception):
+    """Raised when a kernel cannot be lowered bitwise-safely to native code."""
+
+
+# --------------------------------------------------------------------------- #
+# Expression and statement nodes
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Load:
+    """Read the current element of a slot; value dtype is the slot's storage."""
+
+    slot: int
+    dtype_name: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A scalar constant, already converted to its target dtype."""
+
+    value: object  # a NumPy scalar of dtype_name's np_dtype
+    dtype_name: str
+
+
+@dataclass(frozen=True)
+class Cast:
+    """Convert a value to another dtype (C cast; bool targets compare != 0)."""
+
+    arg: object
+    dtype_name: str
+
+
+@dataclass(frozen=True)
+class Op:
+    """A primitive operation over already-typed arguments.
+
+    ``kind`` is one of the emitter's primitive kinds (``"add"``, ``"max"``,
+    ``"lt"``, ...); ``dtype_name`` is the *value* dtype of the expression
+    (the compute dtype for arithmetic, ``BH_BOOL`` for comparisons and
+    logicals).
+    """
+
+    kind: str
+    dtype_name: str
+    args: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class Store:
+    """Assign an expression to the current element of ``slot``.
+
+    The emitted assignment casts the expression's value dtype to the slot's
+    storage dtype exactly like the interpreter's
+    ``np.copyto(out, result, casting="unsafe")``.
+    """
+
+    slot: int
+    expr: object
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A rank-R element-wise loop nest over slot views.
+
+    Attributes
+    ----------
+    rank:
+        Number of loop dimensions (the common view rank).
+    slot_dtypes:
+        Storage dtype name per slot, in slot order.
+    body:
+        The :class:`Store` statements, in program order.
+    """
+
+    rank: int
+    slot_dtypes: Tuple[str, ...]
+    body: Tuple[Store, ...]
+    #: Slots whose stores never reach memory: liveness proved their base is
+    #: instruction-local (see :func:`lower_kernel`'s ``local_slots``), so
+    #: the value lives purely in the per-iteration scalar local and the
+    #: backend neither allocates nor passes real storage for them.
+    elided_slots: frozenset = frozenset()
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.slot_dtypes)
+
+
+# --------------------------------------------------------------------------- #
+# Supported op-codes
+# --------------------------------------------------------------------------- #
+
+#: Binary arithmetic ops whose C emission is bitwise-equal to the NumPy loop
+#: on the probed compute dtype.
+_ARITH_KINDS = {
+    OpCode.BH_ADD: "add",
+    OpCode.BH_SUBTRACT: "sub",
+    OpCode.BH_MULTIPLY: "mul",
+    OpCode.BH_DIVIDE: "div",
+    OpCode.BH_MOD: "mod",
+    OpCode.BH_MAXIMUM: "max",
+    OpCode.BH_MINIMUM: "min",
+}
+
+_UNARY_KINDS = {
+    OpCode.BH_NEGATIVE: "neg",
+    OpCode.BH_ABSOLUTE: "abs",
+    OpCode.BH_SQRT: "sqrt",
+    OpCode.BH_RECIPROCAL: "recip",
+}
+
+_COMPARE_KINDS = {
+    OpCode.BH_GREATER: "gt",
+    OpCode.BH_GREATER_EQUAL: "ge",
+    OpCode.BH_LESS: "lt",
+    OpCode.BH_LESS_EQUAL: "le",
+    OpCode.BH_EQUAL: "eq",
+    OpCode.BH_NOT_EQUAL: "ne",
+}
+
+_LOGICAL_KINDS = {
+    OpCode.BH_LOGICAL_AND: "land",
+    OpCode.BH_LOGICAL_OR: "lor",
+    OpCode.BH_LOGICAL_NOT: "lnot",
+}
+
+#: Arithmetic kinds whose C emission diverges from NumPy when the compute
+#: dtype is bool (NumPy's bool add saturates to logical-or; C ``1 + 1`` is 2).
+_BOOL_UNSAFE_KINDS = frozenset({"add", "sub", "div", "mod", "neg"})
+
+#: NumPy dtype → byte-code dtype name, *exact* matches only.  Lowering must
+#: reject any probe result outside the supported storage set instead of
+#: rounding it to the nearest supported dtype the way
+#: :func:`repro.bytecode.dtypes.from_numpy` does.
+_EXACT_DTYPE_NAMES = {dt.np_dtype: dt.name for dt in dtypes.all_dtypes()}
+
+#: Loop ranks the emitter generates nests for.
+MAX_RANK = 4
+
+
+def supported_opcodes() -> frozenset:
+    """The op-codes :func:`lower_kernel` can lower (given friendly dtypes)."""
+    return frozenset(
+        {OpCode.BH_IDENTITY}
+        | set(_ARITH_KINDS)
+        | set(_UNARY_KINDS)
+        | set(_COMPARE_KINDS)
+        | set(_LOGICAL_KINDS)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Lowering
+# --------------------------------------------------------------------------- #
+
+
+def _exact_dtype_name(np_dtype) -> str:
+    name = _EXACT_DTYPE_NAMES.get(np.dtype(np_dtype))
+    if name is None:
+        raise LoweringError(f"unsupported compute dtype {np_dtype!r}")
+    return name
+
+
+def _write_is_injective(view: View) -> bool:
+    """Sufficient condition that a strided view never writes one element twice.
+
+    Sort dimensions by absolute stride; the view is injective when every
+    stride strictly exceeds the maximal index span reachable through all
+    smaller-stride dimensions (and no extent-over-one dimension has stride
+    zero).  Contiguous and sliced views always pass; genuinely self-aliasing
+    broadcasts fail and the kernel falls back to the interpreter.
+    """
+    dims = sorted(
+        (abs(stride), extent)
+        for stride, extent in zip(view.strides, view.shape)
+        if extent > 1
+    )
+    span = 0
+    for stride, extent in dims:
+        if stride == 0 or stride <= span:
+            return False
+        span += stride * (extent - 1)
+    return True
+
+
+def _ref_expr(kind: str, ref, slot_views) -> object:
+    if kind == "const":
+        return Literal(ref.as_numpy(), ref.dtype.name)
+    return Load(ref, slot_views[ref].dtype.name)
+
+
+def _cast(expr, dtype_name: str):
+    """Coerce an expression to ``dtype_name``; literals fold with NumPy casts."""
+    if expr.dtype_name == dtype_name:
+        return expr
+    if isinstance(expr, Literal):
+        target = dtypes.from_name(dtype_name).np_dtype
+        value = np.asarray(expr.value).astype(target, casting="unsafe")[()]
+        return Literal(value, dtype_name)
+    return Cast(expr, dtype_name)
+
+
+def _sample_operands(input_refs, slot_views):
+    """Zero-size stand-ins with the operands' exact dtypes, for NumPy probing."""
+    samples = []
+    for kind, ref in input_refs:
+        if kind == "const":
+            samples.append(ref.as_numpy())
+        else:
+            samples.append(np.zeros(0, dtype=slot_views[ref].dtype.np_dtype))
+    return samples
+
+
+def _probe_result_dtype(instruction: Instruction, samples) -> str:
+    """Ask NumPy itself what dtype this step produces on these operands."""
+    info = opcode_info(instruction.opcode)
+    func = getattr(np, info.numpy_name)
+    try:
+        result = func(*samples)
+    except Exception as exc:
+        raise LoweringError(
+            f"NumPy rejects {instruction.opcode} on these operand dtypes: {exc}"
+        ) from None
+    return _exact_dtype_name(np.asarray(result).dtype)
+
+
+def _lower_instruction(instruction: Instruction, refs, slot_views) -> Store:
+    opcode = instruction.opcode
+    out_kind, out_slot = refs[0]
+    if out_kind != "slot":
+        raise LoweringError(f"{opcode} writes to a constant operand")
+    input_refs = refs[1:]
+    args = [_ref_expr(kind, ref, slot_views) for kind, ref in input_refs]
+
+    if opcode is OpCode.BH_IDENTITY:
+        # Pure copy; the store-side cast reproduces copyto(..., "unsafe").
+        return Store(out_slot, args[0])
+
+    if opcode in _LOGICAL_KINDS:
+        # Each operand is tested != 0 in its own storage dtype; no
+        # promotion is involved, exactly like NumPy's logical loops.
+        return Store(out_slot, Op(_LOGICAL_KINDS[opcode], "BH_BOOL", tuple(args)))
+
+    samples = _sample_operands(input_refs, slot_views)
+
+    if opcode in _COMPARE_KINDS:
+        try:
+            compute = _exact_dtype_name(np.result_type(*samples))
+        except LoweringError:
+            raise
+        except Exception as exc:
+            raise LoweringError(f"cannot promote operands of {opcode}: {exc}") from None
+        operands = tuple(_cast(arg, compute) for arg in args)
+        return Store(out_slot, Op(_COMPARE_KINDS[opcode], "BH_BOOL", operands))
+
+    kind = _ARITH_KINDS.get(opcode) or _UNARY_KINDS.get(opcode)
+    if kind is None:
+        raise LoweringError(f"no bitwise-safe lowering for {opcode}")
+    compute = _probe_result_dtype(instruction, samples)
+    compute_dt = dtypes.from_name(compute)
+    if compute_dt.is_bool and kind in _BOOL_UNSAFE_KINDS:
+        raise LoweringError(f"{opcode} on bools has NumPy-specific semantics")
+    if kind == "recip" and not compute_dt.is_float:
+        raise LoweringError("integer reciprocal is NumPy-specific")
+    if kind == "div" and not compute_dt.is_float:
+        # BH_DIVIDE is true division; NumPy always promotes it to float, so
+        # an integer compute dtype here means the probe model broke.
+        raise LoweringError("non-float true division cannot be lowered")
+    operands = tuple(_cast(arg, compute) for arg in args)
+    return Store(out_slot, Op(kind, compute, operands))
+
+
+def _expr_load_slots(expr, out: list) -> None:
+    """Collect the slots an expression loads, left-to-right."""
+    if isinstance(expr, Load):
+        out.append(expr.slot)
+    elif isinstance(expr, Cast):
+        _expr_load_slots(expr.arg, out)
+    elif isinstance(expr, Op):
+        for arg in expr.args:
+            _expr_load_slots(arg, out)
+
+
+def _elidable_slots(body: Sequence[Store], local_slots: frozenset) -> frozenset:
+    """Which instruction-local slots can skip memory entirely.
+
+    A local slot's store may be elided when its first reference in
+    statement order is a *store*: every later load then forwards from the
+    per-iteration scalar local, so memory is never read.  (A local slot
+    loaded before any store would have to read its zero-initialised
+    storage — such slots keep their memory lane.)
+    """
+    stored: set = set()
+    disqualified: set = set()
+    for statement in body:
+        loads: list = []
+        _expr_load_slots(statement.expr, loads)
+        for slot in loads:
+            if slot not in stored:
+                disqualified.add(slot)
+        stored.add(statement.slot)
+    return frozenset(local_slots & stored - disqualified)
+
+
+def lower_kernel(
+    instructions: Sequence[Instruction], local_slots: frozenset = frozenset()
+) -> LoopNest:
+    """Lower a kernel's instruction list to a :class:`LoopNest`.
+
+    ``local_slots`` are slot indices whose base arrays liveness proved to be
+    *instruction-local* (written and read only inside this kernel, freed,
+    never synced — see :func:`repro.runtime.tiling.decompose`).  Stores to
+    such slots stay in scalar locals and are elided from memory, which is
+    the codegen backend's main traffic win on long fused chains.
+
+    Raises
+    ------
+    LoweringError
+        When any instruction, dtype or view-aliasing pattern has no
+        bitwise-safe native lowering; the caller falls back to the
+        interpreted kernel template.
+    """
+    from repro.runtime.kernel import _slot_walk
+
+    _, slot_views, specs = _slot_walk(instructions)
+    if not slot_views:
+        raise LoweringError("kernel has no view operands")
+    shape = slot_views[0].shape
+    rank = len(shape)
+    if rank < 1 or rank > MAX_RANK:
+        raise LoweringError(f"rank {rank} outside the emitter's 1..{MAX_RANK} range")
+    for view in slot_views:
+        if view.shape != shape:
+            raise LoweringError("slot views disagree on the iteration space")
+        if view.dtype.np_dtype not in _EXACT_DTYPE_NAMES:
+            raise LoweringError(f"unsupported storage dtype {view.dtype.name}")
+
+    supported = supported_opcodes()
+    written = []
+    for instruction, refs in specs:
+        if instruction.opcode not in supported:
+            raise LoweringError(f"unsupported op-code {instruction.opcode}")
+        out_kind, out_slot = refs[0]
+        if out_kind == "slot":
+            written.append(out_slot)
+
+    # A single element-wise C loop interleaves reads and writes per element,
+    # so any written view overlapping a *different* slot's view (identical
+    # views share a slot by construction) would diverge from the
+    # interpreter's read-everything-then-write semantics.  Self-aliasing
+    # writes (zero or colliding strides) would additionally make the
+    # dead-store elision unsound.
+    for out_slot in written:
+        out_view = slot_views[out_slot]
+        if not _write_is_injective(out_view):
+            raise LoweringError("written view may alias itself")
+        for index, view in enumerate(slot_views):
+            if index != out_slot and view.overlaps(out_view):
+                raise LoweringError("written view overlaps another operand window")
+
+    body = tuple(
+        _lower_instruction(instruction, refs, slot_views)
+        for instruction, refs in specs
+    )
+    return LoopNest(
+        rank=rank,
+        slot_dtypes=tuple(view.dtype.name for view in slot_views),
+        body=body,
+        elided_slots=_elidable_slots(body, frozenset(local_slots)),
+    )

@@ -3,7 +3,7 @@
 A backend turns a byte-code :class:`~repro.bytecode.program.Program` into
 results.  Backends are registered by name so configuration and the lazy
 front-end can select them with a string (``"interpreter"``, ``"jit"``,
-``"parallel"``, ``"simulator"``, ``"cluster"``).
+``"parallel"``, ``"native"``, ``"simulator"``, ``"cluster"``).
 """
 
 from __future__ import annotations
@@ -134,6 +134,7 @@ def _ensure_default_backends() -> None:
     from repro.cluster.executor import ClusterExecutor
     from repro.runtime.interpreter import NumPyInterpreter
     from repro.runtime.jit import FusingJIT
+    from repro.runtime.native import NativeBackend
     from repro.runtime.parallel import ParallelBackend
     from repro.runtime.simulator import SimulatedAccelerator
 
@@ -141,6 +142,7 @@ def _ensure_default_backends() -> None:
         ("interpreter", NumPyInterpreter),
         ("jit", FusingJIT),
         ("parallel", ParallelBackend),
+        ("native", NativeBackend),
         ("simulator", SimulatedAccelerator),
         ("cluster", ClusterExecutor),
     )

@@ -43,6 +43,18 @@ class ExecutionStats:
     kernel_cache_hits / kernel_cache_misses:
         Compiled-kernel cache outcomes during this execution (filled in by
         the fusing JIT).
+    native_compiles:
+        C compiler invocations during this execution (native backend; a
+        warm artifact cache keeps this at zero).
+    native_disk_hits / native_memory_hits:
+        Compiled artifacts served from the on-disk cache versus the
+        in-process loaded-kernel cache.
+    native_kernel_launches:
+        Tiled map steps that executed through compiled native loops.
+    native_fallbacks:
+        Tiled map steps that fell back to interpreted kernel templates
+        (unsupported op-codes/dtypes, aliasing hazards, compile failure or
+        codegen disabled).
     tiles_executed:
         Number of tiles launched by the tiled parallel backend.
     tiled_instructions:
@@ -85,6 +97,11 @@ class ExecutionStats:
     plan_cache_misses: int = 0
     kernel_cache_hits: int = 0
     kernel_cache_misses: int = 0
+    native_compiles: int = 0
+    native_disk_hits: int = 0
+    native_memory_hits: int = 0
+    native_kernel_launches: int = 0
+    native_fallbacks: int = 0
     tiles_executed: int = 0
     tiled_instructions: int = 0
     serial_fallbacks: int = 0
@@ -115,6 +132,11 @@ class ExecutionStats:
         self.plan_cache_misses += other.plan_cache_misses
         self.kernel_cache_hits += other.kernel_cache_hits
         self.kernel_cache_misses += other.kernel_cache_misses
+        self.native_compiles += other.native_compiles
+        self.native_disk_hits += other.native_disk_hits
+        self.native_memory_hits += other.native_memory_hits
+        self.native_kernel_launches += other.native_kernel_launches
+        self.native_fallbacks += other.native_fallbacks
         self.tiles_executed += other.tiles_executed
         self.tiled_instructions += other.tiled_instructions
         self.serial_fallbacks += other.serial_fallbacks
@@ -148,6 +170,11 @@ class ExecutionStats:
             "plan_cache_misses": self.plan_cache_misses,
             "kernel_cache_hits": self.kernel_cache_hits,
             "kernel_cache_misses": self.kernel_cache_misses,
+            "native_compiles": self.native_compiles,
+            "native_disk_hits": self.native_disk_hits,
+            "native_memory_hits": self.native_memory_hits,
+            "native_kernel_launches": self.native_kernel_launches,
+            "native_fallbacks": self.native_fallbacks,
             "tiles_executed": self.tiles_executed,
             "tiled_instructions": self.tiled_instructions,
             "serial_fallbacks": self.serial_fallbacks,

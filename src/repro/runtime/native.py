@@ -1,0 +1,306 @@
+"""The native backend: tiled execution through compiled C loop nests.
+
+Subclasses the tiled parallel backend and replaces exactly one seam —
+:meth:`~repro.runtime.parallel.ParallelBackend._map_launcher` — so the
+plan-time tile decomposition, the memory planning, the reduction paths and
+the serial interpreter fallbacks are *identical* to the parallel backend.
+What changes is what runs per tile: when a kernel form lowers bitwise-safely
+(:mod:`repro.codegen.loopir`), each tile calls into one compiled C function
+instead of per-instruction NumPy dispatch; otherwise the step falls back to
+the interpreted :class:`~repro.runtime.kernel.KernelTemplate`, making every
+program executable regardless of codegen coverage.
+
+Caching is three-layered:
+
+1. a backend-local LRU from structural kernel key → launchable (or ``None``
+   for forms that do not lower), so warm steps pay one dict lookup,
+2. the process-wide loaded-artifact memo in :mod:`repro.codegen.cache`
+   (content digest → ``CompiledKernel``), shared across backend instances,
+3. the on-disk ``.so`` store, shared across processes and sessions.
+
+Plans pre-compile their tiled map steps at plan time
+(:meth:`prepare_plan`), so a warm plan-cache flush performs **zero**
+lowering walks and zero compiler invocations.  Compile/cache outcomes are
+counted cumulatively on the backend and windowed into each execution's
+:class:`~repro.runtime.instrumentation.ExecutionStats`.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.bytecode.view import View
+from repro.codegen.cache import (
+    get_compiled_kernel,
+    memory_cache_size,
+    resolve_cache_dir,
+)
+from repro.codegen.compiler import CodegenError
+from repro.codegen.emit_c import emit_kernel_source
+from repro.codegen.loopir import LoopNest, LoweringError, lower_kernel
+from repro.runtime.kernel import prepare_kernel_launch
+from repro.runtime.memory import MemoryManager
+from repro.runtime.parallel import ParallelBackend
+from repro.runtime.tiling import TiledMapStep
+
+
+class NativeKernelLaunch:
+    """A compiled loop nest bound to its slot layout, launchable per tile.
+
+    The call signature matches :class:`~repro.runtime.kernel.KernelTemplate`
+    — ``(memory, views)`` with tile-sliced slot views — so the parallel
+    scaffolding treats both interchangeably.  Geometry is marshalled per
+    call (extents, byte strides, offset-folded base pointers); the foreign
+    call releases the GIL, so tiles overlap on worker threads.
+    """
+
+    __slots__ = (
+        "_fn",
+        "_rank",
+        "_itemsizes",
+        "_dims_type",
+        "_ptrs_type",
+        "_strides_type",
+        "elided_slots",
+    )
+
+    #: A compiled loop nest covers any geometry in one call, so the tiled
+    #: scaffolding may run a whole map step as a single launch when no
+    #: worker threads would consume the tiles (see ``_run_map``).
+    single_pass = True
+
+    def __init__(self, compiled, nest: LoopNest, slots: Sequence[View]) -> None:
+        self._fn = compiled.fn
+        self._rank = nest.rank
+        self._itemsizes = tuple(view.dtype.itemsize for view in slots)
+        #: Slots the compiled kernel keeps in registers: no storage is
+        #: allocated or passed for them (the scaffolding skips their
+        #: allocation too — see ``ParallelBackend._run_map``).
+        self.elided_slots = nest.elided_slots
+        num_slots = len(self._itemsizes)
+        self._dims_type = ctypes.c_int64 * nest.rank
+        self._ptrs_type = ctypes.c_void_p * num_slots
+        self._strides_type = ctypes.c_int64 * (num_slots * nest.rank)
+
+    def __call__(self, memory: MemoryManager, views: Sequence[View]) -> None:
+        rank = self._rank
+        dims = self._dims_type(*views[0].shape)
+        pointers = []
+        strides = []
+        for position, (view, itemsize) in enumerate(zip(views, self._itemsizes)):
+            if position in self.elided_slots:
+                pointers.append(0)
+                strides.extend((0,) * rank)
+                continue
+            storage = memory.allocate(view.base)
+            pointers.append(storage.ctypes.data + view.offset * itemsize)
+            for stride in view.strides:
+                strides.append(stride * itemsize)
+        self._fn(dims, self._ptrs_type(*pointers), self._strides_type(*strides))
+
+
+class NativeBackend(ParallelBackend):
+    """Tiled executor that compiles eligible kernel forms to native code."""
+
+    name = "native"
+
+    def __init__(
+        self,
+        num_threads: Optional[int] = None,
+        tile_elements: Optional[int] = None,
+    ) -> None:
+        super().__init__(num_threads=num_threads, tile_elements=tile_elements)
+        # Structural kernel key (+ codegen signature) → NativeKernelLaunch,
+        # or None for forms with no bitwise-safe lowering; LRU-bounded like
+        # the engine's plan cache.
+        self._native_cache: "OrderedDict[tuple, Optional[NativeKernelLaunch]]" = (
+            OrderedDict()
+        )
+        self._native_capacity = 256
+        self.native_compiles = 0
+        self.native_disk_hits = 0
+        self.native_memory_hits = 0
+        self.native_kernel_launches = 0
+        self.native_fallbacks = 0
+        self.native_cache_hits = 0
+        self.native_cache_misses = 0
+        # Open stats window: counters snapshot taken when the engine first
+        # touches the backend for a flush (prepare_plan), closed by
+        # execute/execute_plan so plan-stage compiles land in that flush's
+        # ExecutionStats.
+        self._window_start: Optional[tuple] = None
+
+    # ------------------------------------------------------------------ #
+    # Codegen resolution
+    # ------------------------------------------------------------------ #
+
+    def _codegen_signature(self, config) -> tuple:
+        return (
+            config.codegen_enabled,
+            resolve_cache_dir(config.codegen_cache_dir),
+            int(config.codegen_opt_level),
+            config.codegen_disk_cache_enabled,
+        )
+
+    def _native_launch(
+        self,
+        key: tuple,
+        slots: Sequence[View],
+        instructions,
+        local_slots: frozenset = frozenset(),
+    ) -> Optional[NativeKernelLaunch]:
+        """Resolve a kernel form to a compiled launchable, or ``None``.
+
+        ``None`` — cached as such — means the form has no native lowering
+        (or compilation failed); the caller uses the interpreted template.
+        ``local_slots`` (plan-time liveness, part of the cache key) names
+        slots whose stores the compiled kernel elides entirely.
+        """
+        config = self._effective_config()
+        if not config.codegen_enabled:
+            return None
+        signature = self._codegen_signature(config)
+        cache_key = (key, local_slots, signature)
+        if cache_key in self._native_cache:
+            self._native_cache.move_to_end(cache_key)
+            self.native_cache_hits += 1
+            return self._native_cache[cache_key]
+        self.native_cache_misses += 1
+        launch: Optional[NativeKernelLaunch] = None
+        try:
+            nest = lower_kernel(instructions, local_slots)
+            source = emit_kernel_source(nest)
+            compiled, outcome = get_compiled_kernel(
+                source,
+                opt_level=config.codegen_opt_level,
+                cache_dir=config.codegen_cache_dir,
+                use_disk=config.codegen_disk_cache_enabled,
+            )
+            if outcome == "compiled":
+                self.native_compiles += 1
+            elif outcome == "disk":
+                self.native_disk_hits += 1
+            else:
+                self.native_memory_hits += 1
+            launch = NativeKernelLaunch(compiled, nest, slots)
+        except (LoweringError, CodegenError):
+            # No lowering, no compiler, or a toolchain failure: degrade to
+            # the interpreted template — and remember, so the next launch
+            # of this form pays one dict lookup instead of re-diagnosing.
+            launch = None
+        self._native_cache[cache_key] = launch
+        while len(self._native_cache) > self._native_capacity:
+            self._native_cache.popitem(last=False)
+        return launch
+
+    # ------------------------------------------------------------------ #
+    # Parallel-backend seams
+    # ------------------------------------------------------------------ #
+
+    def _map_launcher(self, instructions, step=None):
+        key, slots, make_template = prepare_kernel_launch(instructions)
+        local_slots = getattr(step, "local_slots", frozenset())
+        launch = self._native_launch(key, slots, instructions, local_slots)
+        if launch is not None:
+            self.native_kernel_launches += 1
+            return slots, launch
+        self.native_fallbacks += 1
+        return slots, self._resolve_template(key, make_template)
+
+    def prepare_plan(self, plan) -> None:
+        """Tile (inherited) and pre-compile the plan's kernel forms.
+
+        Pre-compilation at plan time means a warm plan replay launches
+        straight into cached artifacts; the ``native_signature`` stamp
+        makes the warm path skip even the per-step slot walks.
+        """
+        if self._window_start is None:
+            self._window_start = self._counters_snapshot()
+        super().prepare_plan(plan)
+        config = self._effective_config()
+        if not config.codegen_enabled or plan.tiling is None:
+            plan.native_signature = None
+            return
+        signature = (self._codegen_signature(config), plan.tiling_signature)
+        if plan.native_signature == signature:
+            return
+        for step in plan.tiling.steps:
+            if not isinstance(step, TiledMapStep):
+                continue
+            instruction = plan.optimized[step.index]
+            instructions = (
+                instruction.kernel if instruction.is_fused() else (instruction,)
+            )
+            key, slots, _ = prepare_kernel_launch(instructions)
+            self._native_launch(key, slots, instructions, step.local_slots)
+        plan.native_signature = signature
+
+    # ------------------------------------------------------------------ #
+    # Per-execution stats windows
+    # ------------------------------------------------------------------ #
+
+    def _counters_snapshot(self) -> tuple:
+        return (
+            self.native_compiles,
+            self.native_disk_hits,
+            self.native_memory_hits,
+            self.native_kernel_launches,
+            self.native_fallbacks,
+        )
+
+    def _close_window(self, stats) -> None:
+        start = self._window_start
+        self._window_start = None
+        if start is None:
+            return
+        now = self._counters_snapshot()
+        stats.native_compiles += now[0] - start[0]
+        stats.native_disk_hits += now[1] - start[1]
+        stats.native_memory_hits += now[2] - start[2]
+        stats.native_kernel_launches += now[3] - start[3]
+        stats.native_fallbacks += now[4] - start[4]
+
+    def execute_plan(self, plan, program, memory=None):
+        if self._window_start is None:
+            self._window_start = self._counters_snapshot()
+        try:
+            result = super().execute_plan(plan, program, memory)
+        except BaseException:
+            self._window_start = None
+            raise
+        self._close_window(result.stats)
+        return result
+
+    def execute(self, program, memory=None):
+        if self._window_start is None:
+            self._window_start = self._counters_snapshot()
+        try:
+            result = super().execute(program, memory)
+        except BaseException:
+            self._window_start = None
+            raise
+        self._close_window(result.stats)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def cache_stats(self) -> Dict[str, int]:
+        stats = super().cache_stats()
+        stats.update(
+            {
+                "native_compiles": self.native_compiles,
+                "native_disk_hits": self.native_disk_hits,
+                "native_memory_hits": self.native_memory_hits,
+                "native_kernel_launches": self.native_kernel_launches,
+                "native_fallbacks": self.native_fallbacks,
+                "native_cache_hits": self.native_cache_hits,
+                "native_cache_misses": self.native_cache_misses,
+                "native_cache_size": len(self._native_cache),
+                "native_loaded_artifacts": memory_cache_size(),
+            }
+        )
+        return stats

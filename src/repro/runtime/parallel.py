@@ -302,9 +302,52 @@ class ParallelBackend(Backend):
         for inner in instructions:
             stats.record_instruction(inner.opcode)
             self._interpreter._account_traffic(inner, memory, stats)
-        # One canonical walk yields both the cache key and the launch
-        # views; compilation happens only on a key miss.
+        slots, launcher = self._map_launcher(instructions, step)
+        # Allocate every base up front: worker threads must never mutate
+        # the memory manager.  Slots the launcher elides (instruction-local
+        # temporaries a compiled kernel keeps in registers) never
+        # materialize at all.
+        elided = getattr(launcher, "elided_slots", ())
+        for position, view in enumerate(slots):
+            if position not in elided:
+                memory.allocate(view.base)
+        spans = step.spans
+        stats.tiled_instructions += len(instructions)
+        if threads <= 1 and len(spans) > 1 and getattr(launcher, "single_pass", False):
+            # A compiled loop nest tiles only to feed worker threads; with
+            # a single worker the whole step runs as one native call,
+            # skipping every per-tile view slice and marshalling round.
+            stats.tiles_executed += 1
+            launcher(memory, slots)
+            return
+        stats.tiles_executed += len(spans)
+
+        def tile_task(span: TileSpan):
+            views = tuple(slice_view(view, span) for view in slots)
+
+            def run() -> None:
+                launcher(memory, views)
+
+            return run
+
+        self._scatter([tile_task(span) for span in spans], threads)
+
+    def _map_launcher(self, instructions, step=None):
+        """Resolve one tiled map step to ``(slot views, launcher)``.
+
+        The launcher is called once per tile with the tile-sliced slot
+        views.  One canonical walk yields both the cache key and the
+        launch views; template compilation happens only on a key miss.
+        The native backend overrides this seam to substitute a compiled
+        loop nest when the kernel form lowers to C; ``step`` carries the
+        plan-time liveness that decides which slots such a kernel may keep
+        out of memory (unused by the interpreted templates).
+        """
         key, slots, make_template = prepare_kernel_launch(instructions)
+        return slots, self._resolve_template(key, make_template)
+
+    def _resolve_template(self, key, make_template) -> KernelTemplate:
+        """Interpreted-template cache lookup shared with subclasses."""
         template = self._template_cache.get(key)
         if template is not None:
             self.template_hits += 1
@@ -312,23 +355,7 @@ class ParallelBackend(Backend):
             self.template_misses += 1
             template = make_template()
             self._template_cache[key] = template
-        # Allocate every base up front: worker threads must never mutate
-        # the memory manager.
-        for view in slots:
-            memory.allocate(view.base)
-        spans = step.spans
-        stats.tiles_executed += len(spans)
-        stats.tiled_instructions += len(instructions)
-
-        def tile_task(span: TileSpan):
-            views = tuple(slice_view(view, span) for view in slots)
-
-            def run() -> None:
-                template(memory, views)
-
-            return run
-
-        self._scatter([tile_task(span) for span in spans], threads)
+        return template
 
     def _run_reduce(
         self,

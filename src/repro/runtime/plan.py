@@ -193,6 +193,14 @@ _CONFIG_SIGNATURE_FIELDS = (
     "memory_plan_enabled",
     "memory_pool_max_bytes",
     "memory_zero_policy",
+    # Codegen knobs: the native backend pre-compiles a plan's kernels at
+    # plan time, so a plan prepared with codegen off (all interpreted
+    # templates) or against a different artifact cache must not replay as
+    # if it were prepared under the current settings.
+    "codegen_enabled",
+    "codegen_cache_dir",
+    "codegen_opt_level",
+    "codegen_disk_cache_enabled",
 )
 
 
@@ -275,6 +283,10 @@ class ExecutionPlan:
     #: unchanged for every rebound flush; its clustering and byte-code
     #: order are already baked into ``optimized``.
     fusion_schedule: Optional[object] = None
+    #: Codegen settings (plus the tiling signature) the native backend last
+    #: pre-compiled this plan's kernels under; lets warm replays skip the
+    #: per-step kernel-form walks entirely.
+    native_signature: Optional[tuple] = None
     hits: int = 0
     _scratch_bases: Tuple[BaseArray, ...] = field(default_factory=tuple)
 

@@ -71,10 +71,18 @@ class TiledMapStep:
     Every view of the instruction is sliced with the same spans along its
     first axis; tiles touch disjoint rows of every written view, so they
     are independent.
+
+    ``local_slots`` names the kernel's template slots (see
+    :func:`repro.runtime.kernel.kernel_slot_views`) whose base arrays are
+    *instruction-local*: every access in the whole program happens inside
+    this one instruction, the base is freed and never synced.  Slot indices
+    are structural, so the set survives plan rebinding; backends that
+    compile kernels use it to keep such temporaries out of memory entirely.
     """
 
     index: int
     spans: Tuple[TileSpan, ...]
+    local_slots: frozenset = frozenset()
 
 
 @dataclass(frozen=True)
@@ -262,21 +270,57 @@ def _decompose_reduce(
     return TiledReduceStep(index=index, spans=spans, tile_axis=tile_axis, combine=False)
 
 
+def _local_slot_indices(index: int, instruction: Instruction, defuse) -> frozenset:
+    """Template slots of one map step whose bases are instruction-local.
+
+    A base qualifies when liveness sees *every* access to it at this one
+    program index, it is explicitly freed, and it is never synced: nothing
+    before, after, or outside the program can observe its contents, so a
+    compiled kernel may keep the value in registers and never materialize
+    the storage.
+    """
+    from repro.runtime.kernel import kernel_slot_views
+
+    instructions = instruction.kernel if instruction.is_fused() else (instruction,)
+    local = set()
+    for position, view in enumerate(kernel_slot_views(instructions)):
+        base_id = id(view.base)
+        if base_id in defuse.synced or base_id not in defuse.freed:
+            continue
+        accesses = defuse.accesses.get(base_id, ())
+        if accesses and all(access.index == index for access in accesses):
+            local.add(position)
+    return frozenset(local)
+
+
 def decompose(program: Program, config: Optional[Config] = None) -> TileDecomposition:
     """Compute the tile decomposition of ``program``.
 
     This is the plan-time analysis: one walk classifying every instruction
     as tiled or serial and fixing the tile spans.  The result applies to
     any program with the same canonical structural key (see module
-    docstring), so plans cache it across rebinds.
+    docstring), so plans cache it across rebinds — ``local_slots`` included,
+    because slot indices and liveness are structural, not identity-bound.
     """
+    from repro.core.analysis import DefUse
+
     config = config if config is not None else get_config()
+    defuse = None
     steps = []
     for index, instruction in enumerate(program):
         if instruction.is_system():
             steps.append(SerialStep(index=index, reason="system"))
         elif instruction.is_fused() or instruction.is_elementwise():
-            steps.append(_decompose_map(index, instruction, config))
+            step = _decompose_map(index, instruction, config)
+            if isinstance(step, TiledMapStep):
+                if defuse is None:
+                    defuse = DefUse.analyze(program)
+                step = TiledMapStep(
+                    index=step.index,
+                    spans=step.spans,
+                    local_slots=_local_slot_indices(index, instruction, defuse),
+                )
+            steps.append(step)
         elif instruction.is_reduction():
             steps.append(_decompose_reduce(index, instruction, config))
         elif instruction.is_extension():

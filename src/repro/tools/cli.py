@@ -381,6 +381,15 @@ def _execute_with_engine(program, pipeline, report, args, out) -> None:
             f"{cache.get('tile_template_size', 0)} template(s) cached",
             file=out,
         )
+    if "native_compiles" in cache:
+        print(
+            f"  native codegen: {cache['native_compiles']} compile(s), "
+            f"{cache['native_disk_hits']} disk hit(s), "
+            f"{cache['native_memory_hits']} memory hit(s), "
+            f"{cache['native_kernel_launches']} native launch(es), "
+            f"{cache['native_fallbacks']} fallback(s)",
+            file=out,
+        )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

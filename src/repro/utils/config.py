@@ -92,6 +92,26 @@ class Config:
         ``"always"`` zero-fills every allocation regardless (the
         pre-planning behaviour, useful when debugging a suspected
         planner unsoundness).
+    codegen_enabled:
+        Whether the native backend lowers eligible kernel forms to
+        compiled C loops.  When off (or when lowering/compilation fails)
+        every kernel runs through the interpreted templates, so the
+        backend degrades to the tiled parallel backend's behaviour.  Part
+        of the plan-cache signature.
+    codegen_cache_dir:
+        Directory of the on-disk compiled-artifact cache.  ``None`` (the
+        default) resolves to the ``REPRO_CODEGEN_CACHE`` environment
+        variable or ``~/.cache/repro-codegen``.  Part of the plan-cache
+        signature because plans pre-compile their kernels against one
+        concrete cache.
+    codegen_opt_level:
+        C compiler optimization level (0-3) for generated kernels.  Part
+        of the artifact content digest, so changing it can never reuse a
+        library built under different flags.
+    codegen_disk_cache_enabled:
+        Whether compiled artifacts persist on disk.  When off, kernels
+        compile into a process-private temporary directory and only the
+        in-process cache amortizes them.
     enabled_passes:
         Names of passes that the default pipeline should include.  ``None``
         means "all registered default passes".
@@ -117,6 +137,10 @@ class Config:
     memory_plan_enabled: bool = True
     memory_pool_max_bytes: int = 1 << 26  # 64 MiB
     memory_zero_policy: str = "auto"
+    codegen_enabled: bool = True
+    codegen_cache_dir: Optional[str] = None
+    codegen_opt_level: int = 3
+    codegen_disk_cache_enabled: bool = True
     enabled_passes: Optional[List[str]] = None
     random_seed: int = 0x5EED
 

@@ -1,0 +1,272 @@
+"""On-disk compiled-artifact cache: hygiene, corruption and concurrency.
+
+The cache directory is shared state — between backend instances, between
+processes, between CI runs restored from an artifact cache — so its failure
+contract matters more than its hit rate: **corruption may cost a compile,
+never correctness**.  Every test here damages the store in a specific way
+(truncation, bit rot, sidecar loss, schema drift, racing writers) and
+asserts the reader degrades to a clean recompile with a verifiable artifact
+left behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.codegen import artifact_digest, clear_memory_cache, find_c_compiler
+from repro.codegen.cache import (
+    ARTIFACT_SCHEMA,
+    _artifact_paths,
+    get_compiled_kernel,
+    memory_cache_size,
+)
+from repro.codegen.compiler import CompilerUnavailable
+
+requires_compiler = pytest.mark.skipif(
+    find_c_compiler() is None, reason="no C compiler on this host"
+)
+
+
+def _source(tag: str) -> str:
+    """A trivial but unique kernel source (unique digest per ``tag``)."""
+    return (
+        "#include <stdint.h>\n"
+        f"/* cache-test kernel: {tag} */\n"
+        "void repro_kernel(const int64_t *dims, char **ptrs,\n"
+        "                  const int64_t *strides) {\n"
+        "    (void)dims; (void)ptrs; (void)strides;\n"
+        "}\n"
+    )
+
+
+@pytest.fixture(autouse=True)
+def fresh_memory_cache():
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+def _compile(source, cache_dir, **kwargs):
+    return get_compiled_kernel(source, cache_dir=str(cache_dir), **kwargs)
+
+
+@requires_compiler
+class TestCacheLifecycle:
+    def test_outcome_sequence_compiled_memory_disk(self, tmp_path):
+        source = _source("lifecycle")
+        _, outcome = _compile(source, tmp_path)
+        assert outcome == "compiled"
+        _, outcome = _compile(source, tmp_path)
+        assert outcome == "memory"
+        clear_memory_cache()
+        _, outcome = _compile(source, tmp_path)
+        assert outcome == "disk"
+        assert memory_cache_size() == 1  # disk hit repopulates the memo
+
+    def test_artifact_triple_on_disk(self, tmp_path):
+        source = _source("triple")
+        _compile(source, tmp_path)
+        digest = artifact_digest(source, 2)
+        so_path, meta_path, c_path = _artifact_paths(str(tmp_path), digest)
+        assert os.path.isfile(so_path)
+        assert os.path.isfile(c_path)
+        meta = json.loads(open(meta_path).read())
+        assert meta["schema"] == ARTIFACT_SCHEMA
+        assert len(meta["sha256"]) == 64
+        # No temp files leaked by the atomic-rename publication.
+        assert not [name for name in os.listdir(tmp_path) if ".tmp" in name]
+
+    def test_opt_level_changes_the_digest(self):
+        source = _source("optlevel")
+        assert artifact_digest(source, 0) != artifact_digest(source, 2)
+
+    def test_disk_cache_disabled_writes_nothing(self, tmp_path):
+        _, outcome = _compile(_source("nodisk"), tmp_path, use_disk=False)
+        assert outcome == "compiled"
+        assert not os.path.exists(tmp_path) or not os.listdir(tmp_path)
+
+    def test_compiler_unavailable_raises(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.codegen.cache.find_c_compiler", lambda: None)
+        with pytest.raises(CompilerUnavailable):
+            _compile(_source("nocompiler"), tmp_path)
+
+
+@requires_compiler
+class TestCorruption:
+    """Each damage mode must be detected, discarded and recompiled.
+
+    The pristine artifact is produced by a *subprocess*: corruption on disk
+    is only ever observed by a process that has not already loaded that
+    artifact (a loaded one is served from the in-process memo and never
+    re-read), and a process must not ``dlopen`` a path, mutate the file in
+    place, and load the same path again — the dynamic loader dedups by
+    name and would hand back the stale mapping.
+    """
+
+    def _damaged_reload(self, tmp_path, tag, damage):
+        source = _source(tag)
+        _compile_in_subprocess(source, tmp_path)
+        digest = artifact_digest(source, 2)
+        paths = _artifact_paths(str(tmp_path), digest)
+        damage(*paths)
+        kernel, outcome = _compile(source, tmp_path)
+        assert outcome == "compiled", "damaged artifact must recompile, not load"
+        assert kernel.fn is not None
+        # The store healed: a cold reader now gets a verified disk hit.
+        clear_memory_cache()
+        _, outcome = _compile(source, tmp_path)
+        assert outcome == "disk"
+
+    def test_truncated_library(self, tmp_path):
+        def truncate(so_path, meta_path, c_path):
+            size = os.path.getsize(so_path)
+            with open(so_path, "r+b") as handle:
+                handle.truncate(size // 2)
+
+        self._damaged_reload(tmp_path, "truncated", truncate)
+
+    def test_emptied_library(self, tmp_path):
+        def empty(so_path, meta_path, c_path):
+            open(so_path, "wb").close()
+
+        self._damaged_reload(tmp_path, "emptied", empty)
+
+    def test_bit_rot_hash_mismatch(self, tmp_path):
+        def flip(so_path, meta_path, c_path):
+            with open(so_path, "r+b") as handle:
+                handle.seek(0, os.SEEK_END)
+                handle.write(b"\x00garbage")
+
+        self._damaged_reload(tmp_path, "bitrot", flip)
+
+    def test_garbage_library_with_matching_hash(self, tmp_path):
+        # The sidecar verifies, but the loader must still reject the blob:
+        # dlopen failure is the last line of defence.
+        import hashlib
+
+        def forge(so_path, meta_path, c_path):
+            blob = b"\x7fNOT-AN-ELF"
+            with open(so_path, "wb") as handle:
+                handle.write(blob)
+            meta = json.loads(open(meta_path).read())
+            meta["sha256"] = hashlib.sha256(blob).hexdigest()
+            with open(meta_path, "w") as handle:
+                json.dump(meta, handle)
+
+        self._damaged_reload(tmp_path, "forged", forge)
+
+    def test_missing_sidecar(self, tmp_path):
+        def drop(so_path, meta_path, c_path):
+            os.unlink(meta_path)
+
+        self._damaged_reload(tmp_path, "nosidecar", drop)
+
+    def test_unparseable_sidecar(self, tmp_path):
+        def scribble(so_path, meta_path, c_path):
+            with open(meta_path, "w") as handle:
+                handle.write("{not json")
+
+        self._damaged_reload(tmp_path, "badjson", scribble)
+
+    def test_schema_drift(self, tmp_path):
+        def bump(so_path, meta_path, c_path):
+            meta = json.loads(open(meta_path).read())
+            meta["schema"] = ARTIFACT_SCHEMA + 1
+            with open(meta_path, "w") as handle:
+                json.dump(meta, handle)
+
+        self._damaged_reload(tmp_path, "schema", bump)
+
+    def test_discarded_artifacts_are_removed(self, tmp_path):
+        source = _source("removal")
+        _compile(source, tmp_path)
+        digest = artifact_digest(source, 2)
+        so_path, meta_path, _ = _artifact_paths(str(tmp_path), digest)
+        clear_memory_cache()
+        with open(meta_path, "w") as handle:
+            handle.write("rotten")
+        _compile(source, tmp_path)  # recompiles and republishes
+        assert os.path.isfile(so_path)
+        assert json.loads(open(meta_path).read())["schema"] == ARTIFACT_SCHEMA
+
+
+#: Worker script: compile one kernel form into a shared cache dir and print
+#: the outcome.  Run as a subprocess so the worker is a genuinely cold
+#: process (empty in-process memo, no loaded artifacts), like a fresh
+#: service start.
+_RACER = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.codegen.cache import get_compiled_kernel
+source = open({source_path!r}).read()
+kernel, outcome = get_compiled_kernel(source, cache_dir={cache_dir!r})
+assert kernel.fn is not None
+print(outcome)
+"""
+
+_SRC_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+
+def _compile_in_subprocess(source: str, cache_dir, tmp_dir=None) -> str:
+    """Populate ``cache_dir`` with ``source``'s artifact from a cold process."""
+    tmp_dir = tmp_dir if tmp_dir is not None else cache_dir
+    source_path = os.path.join(str(tmp_dir), "kernel_source.c.txt")
+    os.makedirs(str(cache_dir), exist_ok=True)
+    with open(source_path, "w") as handle:
+        handle.write(source)
+    script = _RACER.format(
+        src=_SRC_ROOT, source_path=source_path, cache_dir=str(cache_dir)
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True, timeout=120
+    )
+    assert result.returncode == 0, result.stderr
+    os.unlink(source_path)
+    return result.stdout.strip()
+
+
+@requires_compiler
+class TestConcurrency:
+    def test_racing_processes_compile_the_same_form(self, tmp_path):
+        """Two cold processes, one kernel form, one shared cache directory.
+
+        Whatever the interleaving — both compile, or one wins the rename
+        race and the other reads it — both must end with a working kernel,
+        and the directory must end consistent (verified artifact, no temp
+        litter).
+        """
+        source_path = tmp_path / "kernel_source.c.txt"
+        source_path.write_text(_source("race"))
+        cache_dir = tmp_path / "cache"
+        script = _RACER.format(
+            src=_SRC_ROOT,
+            source_path=str(source_path),
+            cache_dir=str(cache_dir),
+        )
+        racers = [
+            subprocess.Popen(
+                [sys.executable, "-c", script],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        outcomes = []
+        for racer in racers:
+            stdout, stderr = racer.communicate(timeout=120)
+            assert racer.returncode == 0, stderr
+            outcomes.append(stdout.strip())
+        assert all(outcome in ("compiled", "disk") for outcome in outcomes)
+        # The surviving store is coherent: this process loads it verified.
+        clear_memory_cache()
+        _, outcome = _compile(source_path.read_text(), cache_dir)
+        assert outcome == "disk"
+        assert not [name for name in os.listdir(cache_dir) if ".tmp" in name]

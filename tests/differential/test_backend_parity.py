@@ -4,8 +4,14 @@ A second *real* execution backend multiplies the ways results can diverge:
 tiling can mis-slice a view, a rebound plan can alias the wrong base, an
 optimization pass can interact badly with a backend-specific execution
 strategy.  This harness pits every registered real backend — interpreter,
-fusing JIT, tiled parallel, simulated cluster — and both optimization
-levels against a single oracle on randomly generated programs.
+fusing JIT, tiled parallel, native codegen, simulated cluster — and both
+optimization levels against a single oracle on randomly generated programs.
+
+The native backend runs compiled C loop nests for every kernel form that
+lowers bitwise-safely and silently degrades to the parallel backend's
+interpreted templates otherwise (including on hosts with no C compiler),
+so its parity obligations are exactly the parallel backend's; a dedicated
+non-vacuity test pins that compiled kernels actually executed.
 
 The oracle is the unoptimized reference interpreter: it executes one
 byte-code per NumPy operation in program order, which *is* the NumPy
@@ -41,12 +47,13 @@ from repro.workloads.generators import random_elementwise_program, random_mixed_
 
 #: Every backend the harness checks.  All execute for real (the cluster
 #: backend computes via the interpreter and only *prices* in simulation).
-BACKENDS = ("interpreter", "jit", "parallel", "cluster")
+BACKENDS = ("interpreter", "jit", "parallel", "native", "cluster")
 
 #: Backends allowed to reassociate floating-point reductions (tree-combined
 #: tile partials); they get tolerance instead of bitwise comparison on
-#: programs containing full 1-D reductions.
-REASSOCIATING_BACKENDS = ("parallel",)
+#: programs containing full 1-D reductions.  The native backend inherits
+#: the parallel backend's reduction paths unchanged.
+REASSOCIATING_BACKENDS = ("parallel", "native")
 
 #: Tolerances matching the semantic verifier's defaults.
 RTOL, ATOL = 1e-6, 1e-8
@@ -121,7 +128,7 @@ def test_elementwise_program_parity(seed):
         _check_program(
             program,
             synced,
-            bitwise_backends=("jit", "parallel", "cluster"),
+            bitwise_backends=("jit", "parallel", "native", "cluster"),
             close_backends=(),
         )
 
@@ -218,6 +225,35 @@ def test_fusion_scheduler_exercises_non_adjacent_clustering():
         )
     assert reordered > 0, "no seed made the DAG scheduler reorder anything"
     assert clustered_non_adjacent > 0, "no non-adjacent cluster was formed"
+
+
+def test_native_backend_actually_compiles_kernels():
+    """The native parity axis must not pass vacuously via fallbacks.
+
+    With a C compiler present, the element-wise seeds must drive a
+    substantial number of launches through compiled loop nests; a harness
+    where every step fell back to interpreted templates would reduce the
+    native column to a re-run of the parallel one.
+    """
+    from repro.codegen import find_c_compiler
+
+    if find_c_compiler() is None:
+        pytest.skip("no C compiler on this host; native backend runs fallbacks only")
+    native_launches = 0
+    fallbacks = 0
+    for seed in ELEMENTWISE_SEEDS[:8]:
+        program, synced = random_elementwise_program(
+            seed, num_instructions=12, vector_length=24
+        )
+        with config_override(**TINY_TILES):
+            _, stats = _execute(program, synced, "native", optimize=True)
+        native_launches += stats.native_kernel_launches
+        fallbacks += stats.native_fallbacks
+    assert native_launches > 0, "no kernel ever executed through compiled code"
+    assert native_launches >= fallbacks, (
+        f"compiled launches ({native_launches}) swamped by fallbacks ({fallbacks}); "
+        "the lowering coverage regressed"
+    )
 
 
 def test_optimization_levels_agree_per_backend():

@@ -1,0 +1,348 @@
+"""Unit tests for the native codegen backend.
+
+The differential harness establishes *parity*; these tests pin the
+backend's mechanics: fallback behaviour with codegen off or no compiler,
+compile/cache counter windows, plan-time pre-compilation, the single-pass
+whole-step launch, and instruction-local slot elision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.codegen import clear_memory_cache, find_c_compiler
+from repro.runtime.backend import get_backend
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.native import NativeBackend
+from repro.runtime.tiling import TiledMapStep
+from repro.utils.config import config_override
+
+requires_compiler = pytest.mark.skipif(
+    find_c_compiler() is None, reason="no C compiler on this host"
+)
+
+#: Small vectors but guaranteed multi-tile decomposition.
+TINY_TILES = dict(parallel_tile_elements=16, parallel_serial_threshold=4)
+LENGTH = 64
+
+
+@pytest.fixture(autouse=True)
+def fresh_memory_cache():
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "codegen-cache")
+
+
+def build_chain(length=LENGTH, ops=6):
+    builder = ProgramBuilder()
+    a = builder.new_vector(length)
+    b = builder.new_vector(length)
+    builder.identity(a, 0.5)
+    builder.identity(b, 1.5)
+    for i in range(ops):
+        if i % 2 == 0:
+            builder.multiply(a, a, b)
+        else:
+            builder.add(b, b, a)
+    builder.sync(a)
+    builder.sync(b)
+    return builder.build(), a, b
+
+
+def _oracle(program, views):
+    result = ExecutionEngine(backend="interpreter", optimize=False).execute(program)
+    return [result.value(view) for view in views]
+
+
+def test_registered_in_backend_registry():
+    backend = get_backend("native")
+    assert isinstance(backend, NativeBackend)
+    assert backend.name == "native"
+
+
+class TestFallbacks:
+    def test_codegen_disabled_runs_interpreted_templates(self, cache_dir):
+        program, a, b = build_chain()
+        expected = _oracle(program, (a, b))
+        with config_override(
+            **TINY_TILES, codegen_enabled=False, codegen_cache_dir=cache_dir
+        ):
+            engine = ExecutionEngine(backend="native", optimize=True)
+            result = engine.execute(program)
+        assert np.array_equal(result.value(a), expected[0])
+        assert np.array_equal(result.value(b), expected[1])
+        assert result.stats.native_kernel_launches == 0
+        assert result.stats.native_compiles == 0
+        # With codegen off the backend is the parallel backend: it still
+        # tiles, it just never resolves a compiled launchable.
+        assert result.stats.tiles_executed > 0
+
+    def test_no_compiler_degrades_to_fallbacks(self, cache_dir, monkeypatch):
+        # A host without cc: lowering succeeds but compilation raises
+        # CompilerUnavailable, which the backend caches as "no native form".
+        monkeypatch.setattr("repro.codegen.cache.find_c_compiler", lambda: None)
+        program, a, b = build_chain()
+        expected = _oracle(program, (a, b))
+        with config_override(**TINY_TILES, codegen_cache_dir=cache_dir):
+            engine = ExecutionEngine(backend="native", optimize=True)
+            first = engine.execute(program)
+            second = engine.execute(program)
+        for result in (first, second):
+            assert np.array_equal(result.value(a), expected[0])
+            assert np.array_equal(result.value(b), expected[1])
+            assert result.stats.native_kernel_launches == 0
+            assert result.stats.native_compiles == 0
+        assert first.stats.native_fallbacks > 0
+        # The failure is cached: the warm flush re-diagnoses nothing.
+        cache = engine.backend.cache_stats()
+        assert cache["native_cache_hits"] > 0
+
+    def test_non_lowerable_steps_fall_back(self, cache_dir):
+        # A reduction-only tiled program never touches the map launcher;
+        # a serial generator step runs the interpreter.  Everything still
+        # matches the oracle.
+        builder = ProgramBuilder()
+        matrix = builder.new_matrix(32, 16)
+        out = builder.new_vector(32)
+        builder.random(matrix, seed=7)
+        builder.add_reduce(out, matrix, axis=1)
+        builder.sync(out)
+        program = builder.build()
+        expected = _oracle(program, (out,))
+        with config_override(**TINY_TILES, codegen_cache_dir=cache_dir):
+            result = ExecutionEngine(backend="native", optimize=True).execute(program)
+        assert np.allclose(result.value(out), expected[0])
+        assert result.stats.native_compiles == 0
+
+
+@requires_compiler
+class TestCompileCounters:
+    def test_cold_then_warm_flush_counters(self, cache_dir):
+        program, a, b = build_chain()
+        with config_override(**TINY_TILES, codegen_cache_dir=cache_dir):
+            engine = ExecutionEngine(backend="native", optimize=True)
+            cold = engine.execute(program)
+            warm = engine.execute(program)
+        assert cold.stats.native_compiles >= 1
+        assert cold.stats.native_disk_hits == 0
+        assert cold.stats.native_kernel_launches > 0
+        assert cold.stats.native_fallbacks == 0
+        # Warm replay: plan hit, launch cache hit, zero compiler work.
+        assert warm.stats.plan_cache_hits == 1
+        assert warm.stats.native_compiles == 0
+        assert warm.stats.native_disk_hits == 0
+        assert warm.stats.native_memory_hits == 0
+        assert warm.stats.native_kernel_launches > 0
+
+    def test_fresh_backend_restores_from_disk(self, cache_dir):
+        program, a, b = build_chain()
+        with config_override(**TINY_TILES, codegen_cache_dir=cache_dir):
+            first = ExecutionEngine(backend="native", optimize=True)
+            cold = first.execute(program)
+            clear_memory_cache()
+            second = ExecutionEngine(backend="native", optimize=True)
+            restored = second.execute(program)
+        assert restored.stats.native_compiles == 0
+        assert restored.stats.native_disk_hits == cold.stats.native_compiles
+        assert np.array_equal(restored.value(a), cold.value(a))
+
+    def test_fresh_backend_same_process_hits_artifact_memo(self, cache_dir):
+        program, a, b = build_chain()
+        with config_override(**TINY_TILES, codegen_cache_dir=cache_dir):
+            ExecutionEngine(backend="native", optimize=True).execute(program)
+            result = ExecutionEngine(backend="native", optimize=True).execute(program)
+        assert result.stats.native_compiles == 0
+        assert result.stats.native_memory_hits >= 1
+
+    def test_disk_cache_disabled_compiles_in_memory(self, cache_dir, tmp_path):
+        import os
+
+        program, a, b = build_chain()
+        with config_override(
+            **TINY_TILES,
+            codegen_cache_dir=cache_dir,
+            codegen_disk_cache_enabled=False,
+        ):
+            result = ExecutionEngine(backend="native", optimize=True).execute(program)
+        assert result.stats.native_compiles >= 1
+        assert result.stats.native_kernel_launches > 0
+        assert not os.path.exists(cache_dir) or not os.listdir(cache_dir)
+
+    def test_direct_execute_without_engine_windows_stats(self, cache_dir):
+        # Backend.execute without the engine's prepare_plan stage must
+        # still open and close its own counter window.
+        program, a, b = build_chain()
+        with config_override(**TINY_TILES, codegen_cache_dir=cache_dir):
+            backend = get_backend("native")
+            result = backend.execute(program)
+        assert result.stats.native_compiles >= 1
+        assert result.stats.native_kernel_launches > 0
+
+    def test_cache_stats_reports_all_counters(self, cache_dir):
+        program, a, b = build_chain()
+        with config_override(**TINY_TILES, codegen_cache_dir=cache_dir):
+            engine = ExecutionEngine(backend="native", optimize=True)
+            engine.execute(program)
+        cache = engine.backend.cache_stats()
+        for key in (
+            "native_compiles",
+            "native_disk_hits",
+            "native_memory_hits",
+            "native_kernel_launches",
+            "native_fallbacks",
+            "native_cache_hits",
+            "native_cache_misses",
+            "native_cache_size",
+            "native_loaded_artifacts",
+        ):
+            assert key in cache, key
+        assert cache["native_cache_size"] >= 1
+        assert cache["native_loaded_artifacts"] >= 1
+
+
+@requires_compiler
+class TestExecutionStrategies:
+    def test_single_pass_launch_when_serial(self, cache_dir):
+        """With one worker thread, a multi-tile map step runs as ONE launch.
+
+        A compiled loop nest covers any geometry in a single call, so
+        per-tile slicing only buys thread-level parallelism; with no
+        threads to feed, the backend skips it entirely.
+        """
+        program, a, b = build_chain()
+        with config_override(
+            **TINY_TILES, parallel_num_threads=1, codegen_cache_dir=cache_dir
+        ):
+            native = ExecutionEngine(backend="native", optimize=True)
+            parallel = ExecutionEngine(backend="parallel", optimize=True)
+            native_result = native.execute(program)
+            parallel_result = parallel.execute(program)
+        plan = native.last_plan
+        step = next(
+            s for s in plan.tiling.steps if isinstance(s, TiledMapStep)
+        )
+        assert len(step.spans) > 1  # the decomposition did tile
+        assert parallel_result.stats.tiles_executed == len(step.spans)
+        assert native_result.stats.tiles_executed == 1  # ...but one launch ran
+        assert native_result.stats.native_kernel_launches == 1
+        assert np.array_equal(native_result.value(a), parallel_result.value(a))
+
+    def test_multi_thread_keeps_per_tile_launches(self, cache_dir):
+        program, a, b = build_chain()
+        with config_override(
+            **TINY_TILES, parallel_num_threads=2, codegen_cache_dir=cache_dir
+        ):
+            native = ExecutionEngine(backend="native", optimize=True)
+            result = native.execute(program)
+        step = next(
+            s for s in native.last_plan.tiling.steps if isinstance(s, TiledMapStep)
+        )
+        assert result.stats.tiles_executed == len(step.spans)
+        assert result.stats.native_kernel_launches == 1  # one resolved launchable
+        expected = _oracle(program, (a, b))
+        assert np.array_equal(result.value(a), expected[0])
+
+    def test_instruction_local_temporaries_are_elided(self, cache_dir):
+        """A freed, never-synced temp inside one fused kernel stays virtual.
+
+        The tiling analysis marks its slot instruction-local; the compiled
+        kernel receives no pointer for it and its stores never reach
+        memory — results must be identical anyway.
+        """
+        builder = ProgramBuilder()
+        a = builder.new_vector(LENGTH)
+        t = builder.new_vector(LENGTH)
+        out = builder.new_vector(LENGTH)
+        builder.identity(a, 2.0)
+        builder.multiply(t, a, 3.0)
+        builder.add(out, t, 1.0)
+        builder.free(t)
+        builder.sync(out)
+        program = builder.build()
+        expected = _oracle(program, (out,))
+        with config_override(**TINY_TILES, codegen_cache_dir=cache_dir):
+            engine = ExecutionEngine(backend="native", optimize=True)
+            result = engine.execute(program)
+        local = [
+            step.local_slots
+            for step in engine.last_plan.tiling.steps
+            if isinstance(step, TiledMapStep) and step.local_slots
+        ]
+        assert local, "no tiled step marked the temporary instruction-local"
+        assert result.stats.native_kernel_launches > 0
+        assert np.array_equal(result.value(out), expected[0])
+
+    def test_synced_temporaries_are_not_elided(self, cache_dir):
+        """Syncing the intermediate makes it observable: no elision."""
+        builder = ProgramBuilder()
+        a = builder.new_vector(LENGTH)
+        t = builder.new_vector(LENGTH)
+        out = builder.new_vector(LENGTH)
+        builder.identity(a, 2.0)
+        builder.multiply(t, a, 3.0)
+        builder.add(out, t, 1.0)
+        builder.sync(t)
+        builder.sync(out)
+        program = builder.build()
+        expected = _oracle(program, (t, out))
+        with config_override(**TINY_TILES, codegen_cache_dir=cache_dir):
+            engine = ExecutionEngine(backend="native", optimize=True)
+            result = engine.execute(program)
+        for step in engine.last_plan.tiling.steps:
+            if isinstance(step, TiledMapStep):
+                assert not step.local_slots
+        assert np.array_equal(result.value(t), expected[0])
+        assert np.array_equal(result.value(out), expected[1])
+
+
+@requires_compiler
+class TestPlanInteraction:
+    def test_prepare_plan_precompiles_and_is_idempotent(self, cache_dir):
+        program, a, b = build_chain()
+        with config_override(**TINY_TILES, codegen_cache_dir=cache_dir):
+            engine = ExecutionEngine(backend="native", optimize=True)
+            result = engine.execute(program)
+            backend = engine.backend
+            plan = engine.last_plan
+            # The plan carries its codegen stamp: every kernel form was
+            # resolved at plan time, so execution itself compiled nothing
+            # beyond what prepare_plan already did.
+            assert plan.native_signature is not None
+            assert result.stats.native_compiles == backend.native_compiles
+            # Re-preparing the same plan under the same signature is a
+            # no-op: zero new lookups, zero new compiles.
+            misses = backend.native_cache_misses
+            compiles = backend.native_compiles
+            backend.prepare_plan(plan)
+        assert backend.native_cache_misses == misses
+        assert backend.native_compiles == compiles
+
+    def test_codegen_toggle_misses_the_plan_cache(self, cache_dir):
+        # codegen_enabled is in the config signature: flipping it must
+        # compile a fresh plan, not replay one prepared under the other
+        # setting.
+        program, a, b = build_chain()
+        with config_override(**TINY_TILES, codegen_cache_dir=cache_dir):
+            engine = ExecutionEngine(backend="native", optimize=True)
+            engine.execute(program)
+            with config_override(codegen_enabled=False):
+                toggled = engine.execute(program)
+        assert toggled.stats.plan_cache_hits == 0
+        assert toggled.stats.native_kernel_launches == 0
+
+    def test_failed_execution_resets_the_stats_window(self, cache_dir):
+        program, a, b = build_chain()
+        with config_override(**TINY_TILES, codegen_cache_dir=cache_dir):
+            backend = get_backend("native")
+            with pytest.raises(Exception):
+                backend.execute_plan(object(), program)  # malformed plan
+            assert backend._window_start is None
+            result = backend.execute(program)  # subsequent runs still window
+        assert result.stats.native_kernel_launches > 0

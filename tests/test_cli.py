@@ -47,6 +47,18 @@ def listing_file(tmp_path):
     return str(path)
 
 
+#: Same shape as Listing 2, but large enough to clear the parallel
+#: backend's serial threshold so tiled (and native-compiled) paths run.
+LARGE_LISTING = LISTING_2.replace("[0:10:1]", "[0:16384:1]")
+
+
+@pytest.fixture
+def large_listing_file(tmp_path):
+    path = tmp_path / "large_listing.bh"
+    path.write_text(LARGE_LISTING)
+    return str(path)
+
+
 def run_cli(args_list):
     """Run the tool with a string-capturing stdout; returns (exit code, output)."""
     parser = build_parser()
@@ -170,6 +182,35 @@ class TestBackendExecution:
         assert "pool hit(s)" in output
         assert "memory plan:" in output
 
+    def test_native_backend_reports_codegen_counters(self, large_listing_file, tmp_path):
+        from repro.codegen import clear_memory_cache
+        from repro.utils.config import config_override
+
+        clear_memory_cache()
+        with config_override(codegen_cache_dir=str(tmp_path / "cache")):
+            code, output = run_cli(
+                [large_listing_file, "--backend", "native", "--repeat", "2"]
+            )
+        assert code == 0
+        assert "native codegen:" in output
+        assert "compile(s)" in output
+        assert "fallback(s)" in output
+
+    def test_native_backend_executes_compiled_kernels(self, large_listing_file, tmp_path):
+        import re
+
+        from repro.codegen import clear_memory_cache, find_c_compiler
+        from repro.utils.config import config_override
+
+        if find_c_compiler() is None:
+            pytest.skip("no C compiler on this host")
+        clear_memory_cache()
+        with config_override(codegen_cache_dir=str(tmp_path / "cache")):
+            code, output = run_cli([large_listing_file, "--backend", "native"])
+        assert code == 0
+        match = re.search(r"(\d+) native launch\(es\)", output)
+        assert match and int(match.group(1)) > 0
+
 
 class TestStatsJson:
     def test_emits_parseable_document(self, listing_file):
@@ -208,6 +249,26 @@ class TestStatsJson:
         code, output = run_cli([listing_file, "--stats-json", "--verify"])
         assert code == 0
         assert json.loads(output)["verified"] is True
+
+    def test_native_counters_in_stats_json(self, large_listing_file, tmp_path):
+        import json
+
+        from repro.codegen import clear_memory_cache
+        from repro.utils.config import config_override
+
+        clear_memory_cache()
+        with config_override(codegen_cache_dir=str(tmp_path / "cache")):
+            code, output = run_cli(
+                [large_listing_file, "--stats-json", "--backend", "native", "--repeat", "2"]
+            )
+        assert code == 0
+        payload = json.loads(output)
+        execution = payload["execution"]
+        for key in ("native_compiles", "native_disk_hits", "native_kernel_launches"):
+            assert key in execution["cache"], key
+        for run_stats in execution["per_run"]:
+            assert "native_kernel_launches" in run_stats
+            assert "native_fallbacks" in run_stats
 
     def test_fusion_scheduler_section(self, interleaved_file):
         import json
