@@ -8,7 +8,11 @@ the same architecture without coherence protocols:
 * **In-process**: ``digest → CompiledKernel`` in a lock-protected module
   dict.  Every backend instance in the process shares it, so the
   differential harness's fresh-engine-per-execution pattern compiles each
-  kernel form once.
+  kernel form once.  Concurrent resolvers of the *same* digest dedupe to
+  one compile through a per-digest in-flight latch (losers wait, then read
+  the published kernel from the memo); resolvers of *distinct* digests
+  compile fully in parallel, because the module lock is only ever held for
+  dict surgery — never across disk IO or a compiler invocation.
 * **On disk**: ``<digest>.so`` plus ``<digest>.c`` (for debugging) and a
   ``<digest>.json`` sidecar holding the SHA-256 of the shared library.
   Writers compile to a process-unique temp name and ``os.replace`` into
@@ -50,6 +54,8 @@ ARTIFACT_SCHEMA = 1
 
 _memory_cache: Dict[str, CompiledKernel] = {}
 _lock = threading.Lock()
+#: Per-digest latches for compiles currently in flight; guarded by _lock.
+_inflight: Dict[str, threading.Event] = {}
 _temp_counter = itertools.count()
 
 
@@ -229,20 +235,40 @@ def get_compiled_kernel(
     """
     digest = artifact_digest(source, opt_level)
     directory = resolve_cache_dir(cache_dir)
-    with _lock:
-        kernel = _memory_cache.get(digest)
-        if kernel is not None:
-            return kernel, "memory"
+    # Claim the builder role for this digest, or wait behind whoever holds
+    # it.  A waiter that wakes re-checks the memo: served means outcome
+    # "memory" (exactly one thread ever reports "compiled" per digest); an
+    # empty memo means the builder failed, and the waiter competes to
+    # build — a failed compile can therefore never wedge the digest.
+    while True:
+        with _lock:
+            kernel = _memory_cache.get(digest)
+            if kernel is not None:
+                return kernel, "memory"
+            waiting_on = _inflight.get(digest)
+            if waiting_on is None:
+                latch = threading.Event()
+                _inflight[digest] = latch
+                break
+        waiting_on.wait()
+    try:
+        kernel = None
+        outcome = "compiled"
         if use_disk:
             kernel = _load_from_disk(directory, digest)
             if kernel is not None:
-                _memory_cache[digest] = kernel
-                return kernel, "disk"
-        if find_c_compiler() is None:
-            raise CompilerUnavailable("no C compiler (cc/gcc/clang) found on PATH")
-        if use_disk:
-            kernel = _compile_to_disk(directory, digest, source, opt_level)
-        else:
-            kernel = _compile_in_memory(source, opt_level)
-        _memory_cache[digest] = kernel
-        return kernel, "compiled"
+                outcome = "disk"
+        if kernel is None:
+            if find_c_compiler() is None:
+                raise CompilerUnavailable("no C compiler (cc/gcc/clang) found on PATH")
+            if use_disk:
+                kernel = _compile_to_disk(directory, digest, source, opt_level)
+            else:
+                kernel = _compile_in_memory(source, opt_level)
+        with _lock:
+            _memory_cache[digest] = kernel
+        return kernel, outcome
+    finally:
+        with _lock:
+            _inflight.pop(digest, None)
+        latch.set()

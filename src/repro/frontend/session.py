@@ -37,6 +37,8 @@ class Session:
         backend: Optional[object] = None,
         optimize: Optional[bool] = None,
         pipeline=None,
+        engine: Optional[ExecutionEngine] = None,
+        memory: Optional[MemoryManager] = None,
     ) -> None:
         """
         Parameters
@@ -53,10 +55,32 @@ class Session:
         pipeline:
             Custom :class:`~repro.core.pipeline.Pipeline`; defaults to the
             canonical pipeline.
+        engine:
+            An existing (possibly shared) :class:`ExecutionEngine` to flush
+            through instead of constructing a private one.  This is how the
+            multi-tenant :class:`~repro.service.ArrayService` multiplexes
+            many sessions onto one thread-safe plan/kernel cache; when
+            given, ``backend``/``optimize``/``pipeline`` must be ``None``
+            (they describe an engine this session would otherwise build).
+        memory:
+            An existing :class:`MemoryManager` holding this session's base
+            arrays — the service passes one whose buffer pool is a
+            per-tenant view over the shared pool.  Defaults to a private
+            manager.
         """
         config = get_config()
-        self.engine = ExecutionEngine(backend=backend, optimize=optimize, pipeline=pipeline)
-        self.memory = MemoryManager()
+        if engine is not None:
+            if backend is not None or optimize is not None or pipeline is not None:
+                raise ValueError(
+                    "pass either a shared engine or backend/optimize/pipeline "
+                    "settings for a private one, not both"
+                )
+            self.engine = engine
+        else:
+            self.engine = ExecutionEngine(
+                backend=backend, optimize=optimize, pipeline=pipeline
+            )
+        self.memory = memory if memory is not None else MemoryManager()
         self.pending = Program()
         self.flush_count = 0
         self.stats_history: List[ExecutionStats] = []

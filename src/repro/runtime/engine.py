@@ -28,6 +28,7 @@ carries the plan-cache hit/miss outcome and the middleware overhead
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Optional
 
@@ -85,6 +86,21 @@ class ExecutionEngine:
         self.optimize_enabled = optimize if optimize is not None else config.optimize
         self._pipeline = pipeline
         self.plan_cache = PlanCache(plan_cache_size)
+        #: Per-cache-key build latches: when several sessions first-flush
+        #: the same fingerprint concurrently, exactly one runs the
+        #: optimizer; the rest wait on its latch and replay the published
+        #: plan.  Without this, concurrent first-flushes double-optimize
+        #: and double-insert, skewing eviction order and the counters.
+        self._inflight: Dict[tuple, threading.Event] = {}
+        self._inflight_lock = threading.Lock()
+        self._backend_lock = threading.Lock()
+        #: Cross-session dedup counters: plans actually compiled by this
+        #: engine, and flushes that waited behind a concurrent compile.
+        self.plans_built = 0
+        self.plan_waits = 0
+        # Observability of the most recent flush; under concurrent
+        # sessions these reflect *some* recent flush (reads are atomic
+        # object reads, never torn), which is all reporting needs.
         self.last_report = None
         self.last_plan: Optional[ExecutionPlan] = None
 
@@ -98,11 +114,18 @@ class ExecutionEngine:
 
         Keeping the instance is load-bearing: backend-local caches such as
         the fusing JIT's compiled-kernel cache only amortize anything if the
-        same backend object serves every flush.
+        same backend object serves every flush.  Resolution is
+        double-checked under a lock so concurrent first flushes share one
+        instance instead of racing two into existence (and leaking one
+        backend's worker pool).
         """
-        if self._backend_instance is None:
-            self._backend_instance = get_backend(self._backend_spec)
-        return self._backend_instance
+        instance = self._backend_instance
+        if instance is None:
+            with self._backend_lock:
+                if self._backend_instance is None:
+                    self._backend_instance = get_backend(self._backend_spec)
+                instance = self._backend_instance
+        return instance
 
     @property
     def backend_spec(self):
@@ -164,8 +187,7 @@ class ExecutionEngine:
             self.last_plan = None
             executable = report.optimized
         else:
-            executable, hit, miss = self._plan(program, backend)
-            plan = self.last_plan
+            executable, plan, hit, miss = self._plan(program, backend)
         plan_seconds = time.perf_counter() - plan_started
 
         pool_before = memory.pool_counters() if memory is not None else None
@@ -208,7 +230,16 @@ class ExecutionEngine:
             stats.planned_peak_bytes = memory_plan.planned_peak_bytes
 
     def _plan(self, program: Program, backend: Backend):
-        """Stage 2: resolve an execution plan for ``program``."""
+        """Stage 2: resolve an execution plan for ``program``.
+
+        Returns ``(executable program, plan, hit, miss)``.  Lookup-or-build
+        is guarded by a per-cache-key in-flight latch: the first flush of a
+        fingerprint claims the builder role, every concurrent flush of the
+        same key waits on its latch and then replays the published plan (a
+        cross-session hit).  If the builder fails, waiters wake, find no
+        plan, and compete to build it themselves — the latch can therefore
+        never deadlock a fingerprint on one failed compile.
+        """
         key, bases = canonical_program_key(program)
         fingerprint = fingerprint_of_key(key)
         cache_key = (
@@ -217,29 +248,48 @@ class ExecutionEngine:
             self._pipeline_signature(),
             config_signature(),
         )
-        plan = self.plan_cache.get(cache_key)
-        if plan is not None:
-            self.last_plan = plan
-            report = plan.report
-            self.last_report = report.replayed() if report is not None else None
-            return plan.bind(bases), True, False
-        report = self._build_pipeline().run(program)
-        report.fingerprint = fingerprint
-        plan = ExecutionPlan(
-            fingerprint=fingerprint,
-            backend_name=backend.name,
-            source_bases=bases,
-            optimized=report.optimized,
-            report=report,
-            fusion_schedule=_fusion_schedule_of(report),
-        )
-        # Plan-time backend preparation (e.g. tile decomposition): paid on
-        # the miss, replayed for free on every hit.
-        backend.prepare_plan(plan)
-        self.plan_cache.put(cache_key, plan)
+        while True:
+            plan = self.plan_cache.get(cache_key)
+            if plan is not None:
+                self.last_plan = plan
+                report = plan.report
+                self.last_report = report.replayed() if report is not None else None
+                return plan.bind(bases), plan, True, False
+            with self._inflight_lock:
+                waiting_on = self._inflight.get(cache_key)
+                if waiting_on is None:
+                    # A builder may have published between the (miss-counted)
+                    # lookup and here; peek so the re-check stays silent.
+                    if self.plan_cache.peek(cache_key) is not None:
+                        continue
+                    latch = threading.Event()
+                    self._inflight[cache_key] = latch
+                    break
+            self.plan_waits += 1
+            waiting_on.wait()
+        try:
+            report = self._build_pipeline().run(program)
+            report.fingerprint = fingerprint
+            plan = ExecutionPlan(
+                fingerprint=fingerprint,
+                backend_name=backend.name,
+                source_bases=bases,
+                optimized=report.optimized,
+                report=report,
+                fusion_schedule=_fusion_schedule_of(report),
+            )
+            # Plan-time backend preparation (e.g. tile decomposition): paid
+            # on the miss, replayed for free on every hit.
+            backend.prepare_plan(plan)
+            self.plan_cache.put(cache_key, plan)
+            self.plans_built += 1
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(cache_key, None)
+            latch.set()
         self.last_plan = plan
         self.last_report = report
-        return report.optimized, False, True
+        return report.optimized, plan, False, True
 
     def prime(self, program: Program, report) -> ExecutionPlan:
         """Seed the plan cache with an already-computed optimization report.
@@ -270,6 +320,7 @@ class ExecutionEngine:
             config_signature(),
         )
         self.plan_cache.put(cache_key, plan)
+        self.plans_built += 1
         return plan
 
     # ------------------------------------------------------------------ #
@@ -279,5 +330,7 @@ class ExecutionEngine:
     def cache_stats(self) -> Dict[str, int]:
         """Plan-cache counters plus whatever the backend's caches report."""
         stats = dict(self.plan_cache.stats())
+        stats["plan_builds"] = self.plans_built
+        stats["plan_waits"] = self.plan_waits
         stats.update(self.backend.cache_stats())
         return stats

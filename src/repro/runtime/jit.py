@@ -31,6 +31,7 @@ from repro.runtime.interpreter import NumPyInterpreter
 from repro.runtime.kernel import Kernel, KernelTemplate
 from repro.runtime.memory import MemoryManager
 from repro.utils.config import get_config
+from repro.utils.locking import ContendedLock
 
 
 class FusingJIT(Backend):
@@ -46,6 +47,9 @@ class FusingJIT(Backend):
         )
         self._interpreter = NumPyInterpreter()
         self._kernel_cache: Dict[tuple, KernelTemplate] = {}
+        # Covers both backend-local caches and their counters: concurrent
+        # sessions sharing one engine share this instance too.
+        self._cache_lock = ContendedLock()
         self.cache_hits = 0
         self.cache_misses = 0
         # Fusion schedules keyed by (fingerprint, schedule-relevant config):
@@ -57,16 +61,19 @@ class FusingJIT(Backend):
 
     def _template(self, kernel: Kernel) -> KernelTemplate:
         key = kernel.structural_key()
-        cached = self._kernel_cache.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            return cached
-        self.cache_misses += 1
+        with self._cache_lock:
+            cached = self._kernel_cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
         from repro.runtime.kernel import compile_kernel_template
 
+        # Compiled outside the lock; a concurrent miss of the same form
+        # loses the setdefault race and adopts the winner's template.
         template = compile_kernel_template(kernel.instructions)
-        self._kernel_cache[key] = template
-        return template
+        with self._cache_lock:
+            return self._kernel_cache.setdefault(key, template)
 
     def cache_stats(self) -> Dict[str, int]:
         """Cumulative compiled-kernel cache counters for this backend."""
@@ -74,6 +81,7 @@ class FusingJIT(Backend):
             "kernel_cache_hits": self.cache_hits,
             "kernel_cache_misses": self.cache_misses,
             "kernel_cache_size": len(self._kernel_cache),
+            "backend_lock_contentions": self._cache_lock.contentions,
         }
 
     def _partition(self, program: Program) -> List[object]:
@@ -92,14 +100,16 @@ class FusingJIT(Backend):
             config.fusion_cost_threshold,
             self.max_kernel_size,
         )
-        schedule = self._schedule_cache.get(key)
-        if schedule is not None:
-            self._schedule_cache.move_to_end(key)
-        else:
+        with self._cache_lock:
+            schedule = self._schedule_cache.get(key)
+            if schedule is not None:
+                self._schedule_cache.move_to_end(key)
+        if schedule is None:
             schedule = compute_schedule(program, max_kernel_size=self.max_kernel_size)
-            self._schedule_cache[key] = schedule
-            while len(self._schedule_cache) > self._schedule_capacity:
-                self._schedule_cache.popitem(last=False)
+            with self._cache_lock:
+                schedule = self._schedule_cache.setdefault(key, schedule)
+                while len(self._schedule_cache) > self._schedule_capacity:
+                    self._schedule_cache.popitem(last=False)
         return schedule.partition(program)
 
     def execute(

@@ -23,7 +23,7 @@ Two layers of storage reuse sit below the manager:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.bytecode.base import BaseArray
 from repro.bytecode.view import View
 from repro.utils.config import get_config
 from repro.utils.errors import AllocationError
+from repro.utils.locking import ContendedLock
 
 #: Smallest size class the pool hands out; tiny buffers are not worth
 #: recycling individually and round up to this.
@@ -66,18 +67,96 @@ class BufferPool:
     a later allocation of the same size class pops one back out.  The pool
     is bounded: once ``max_bytes`` worth of buffers are parked, further
     releases fall through to the host allocator's free.
+
+    The pool is thread-safe: the size-class bins and every counter mutate
+    only under one internal lock, so sessions sharing a pool (the
+    multi-tenant service) can never double-hand-out a recycled buffer or
+    lose counter updates to interleaved ``acquire``/``release`` calls.
+    Host allocation itself happens outside the lock — only bin surgery is
+    serialized.
+
+    Parked buffers optionally carry the *owner* (tenant) that released
+    them, which enables two things: per-tenant parked-bytes accounting,
+    and the ``"fair"`` fairness policy, under which one tenant may park at
+    most an equal share (``max_bytes / registered owners``) of the pool —
+    a burst of large frees from one tenant then falls through to the host
+    instead of monopolizing the recycling budget.  Ownership never
+    restricts *acquisition*: any tenant may reuse any parked buffer,
+    which is the point of sharing the pool.
     """
 
-    def __init__(self, max_bytes: Optional[int] = None) -> None:
+    def __init__(
+        self, max_bytes: Optional[int] = None, fairness: str = "shared"
+    ) -> None:
+        if fairness not in ("shared", "fair"):
+            raise ValueError(f"unknown fairness policy {fairness!r}")
         self.max_bytes = (
             max_bytes if max_bytes is not None else get_config().memory_pool_max_bytes
         )
-        self._bins: Dict[int, List[np.ndarray]] = {}
+        self.fairness = fairness
+        self._bins: Dict[int, List[Tuple[Optional[object], np.ndarray]]] = {}
+        self._parked_by_owner: Dict[object, int] = {}
+        self._owners: set = set()
+        self._lock = ContendedLock()
         self.bytes_held = 0
+        self.peak_bytes_held = 0
         self.hits = 0
         self.misses = 0
         self.bytes_reused = 0
         self.discards = 0
+
+    # ------------------------------------------------------------------ #
+    # Tenant registration (fair-share accounting)
+    # ------------------------------------------------------------------ #
+
+    def register_owner(self, owner: object) -> None:
+        """Enroll a tenant for fair-share accounting (idempotent)."""
+        with self._lock:
+            self._owners.add(owner)
+
+    def unregister_owner(self, owner: object) -> None:
+        """Drop a tenant; its still-parked buffers stay reusable by others."""
+        with self._lock:
+            self._owners.discard(owner)
+            self._parked_by_owner.pop(owner, None)
+
+    def fair_share_bytes(self) -> int:
+        """The per-tenant parked-bytes cap under the ``"fair"`` policy."""
+        with self._lock:
+            if not self._owners:
+                return self.max_bytes
+            return self.max_bytes // len(self._owners)
+
+    def parked_bytes_of(self, owner: object) -> int:
+        """Bytes currently parked that ``owner`` released."""
+        with self._lock:
+            return self._parked_by_owner.get(owner, 0)
+
+    # ------------------------------------------------------------------ #
+    # Acquire / release
+    # ------------------------------------------------------------------ #
+
+    def _acquire(
+        self, nbytes: int, owner: Optional[object] = None
+    ) -> Tuple[np.ndarray, bool]:
+        """Acquire plus a ``reused`` flag (per-tenant views need to know)."""
+        cls = size_class(nbytes)
+        with self._lock:
+            bin_ = self._bins.get(cls)
+            if bin_:
+                parked_owner, buffer = bin_.pop()
+                self.bytes_held -= cls
+                if parked_owner is not None:
+                    remaining = self._parked_by_owner.get(parked_owner, cls) - cls
+                    self._parked_by_owner[parked_owner] = max(0, remaining)
+                self.hits += 1
+                self.bytes_reused += int(nbytes)
+                return buffer, True
+            self.misses += 1
+        try:
+            return np.empty(cls, dtype=np.uint8), False
+        except MemoryError as exc:  # pragma: no cover - depends on host
+            raise AllocationError(f"cannot allocate {cls} bytes") from exc
 
     def acquire(self, nbytes: int) -> np.ndarray:
         """A raw ``uint8`` buffer of ``size_class(nbytes)`` bytes, recycled if possible.
@@ -85,42 +164,110 @@ class BufferPool:
         The contents of a recycled buffer are whatever its previous owner
         left there — the caller decides whether a zero fill is needed.
         """
-        cls = size_class(nbytes)
-        bin_ = self._bins.get(cls)
-        if bin_:
-            buffer = bin_.pop()
-            self.bytes_held -= cls
-            self.hits += 1
-            self.bytes_reused += int(nbytes)
-            return buffer
-        self.misses += 1
-        try:
-            return np.empty(cls, dtype=np.uint8)
-        except MemoryError as exc:  # pragma: no cover - depends on host
-            raise AllocationError(f"cannot allocate {cls} bytes") from exc
+        return self._acquire(nbytes)[0]
+
+    def _release(self, buffer: np.ndarray, owner: Optional[object] = None) -> bool:
+        """Park ``buffer`` (returns True) or drop it (cap or fairness)."""
+        cls = buffer.nbytes
+        with self._lock:
+            if self.bytes_held + cls > self.max_bytes:
+                self.discards += 1
+                return False
+            if self.fairness == "fair" and owner is not None and self._owners:
+                share = self.max_bytes // len(self._owners)
+                if self._parked_by_owner.get(owner, 0) + cls > share:
+                    self.discards += 1
+                    return False
+            self._bins.setdefault(cls, []).append((owner, buffer))
+            self.bytes_held += cls
+            self.peak_bytes_held = max(self.peak_bytes_held, self.bytes_held)
+            if owner is not None:
+                self._parked_by_owner[owner] = (
+                    self._parked_by_owner.get(owner, 0) + cls
+                )
+            return True
 
     def release(self, buffer: np.ndarray) -> None:
         """Park ``buffer`` for reuse, or drop it when the pool is full."""
-        cls = buffer.nbytes
-        if self.bytes_held + cls > self.max_bytes:
-            self.discards += 1
-            return
-        self._bins.setdefault(cls, []).append(buffer)
-        self.bytes_held += cls
+        self._release(buffer)
 
     def clear(self) -> None:
         """Drop every parked buffer (counters are preserved)."""
-        self._bins.clear()
-        self.bytes_held = 0
+        with self._lock:
+            self._bins.clear()
+            self._parked_by_owner.clear()
+            self.bytes_held = 0
 
     def stats(self) -> Dict[str, int]:
         """Counters for reporting: hits, misses, reused and held bytes."""
+        with self._lock:
+            return {
+                "pool_hits": self.hits,
+                "pool_misses": self.misses,
+                "pool_bytes_reused": self.bytes_reused,
+                "pool_bytes_held": self.bytes_held,
+                "pool_peak_bytes_held": self.peak_bytes_held,
+                "pool_discards": self.discards,
+                "pool_lock_contentions": self._lock.contentions,
+            }
+
+
+class TenantPoolView:
+    """A per-tenant window onto a shared :class:`BufferPool`.
+
+    A :class:`MemoryManager` built over this view recycles through the
+    *shared* pool (any tenant's freed buffer serves any tenant's next
+    allocation) while its ``pool_counters()`` stay tenant-local — so the
+    engine's per-flush counter deltas report this tenant's hits and
+    misses, not the whole service's.  The view also tags every release
+    with the tenant, which is what the pool's fairness policy and
+    per-tenant parked-bytes accounting key on.
+    """
+
+    def __init__(self, pool: BufferPool, owner: object) -> None:
+        self.shared = pool
+        self.owner = owner
+        self.hits = 0
+        self.misses = 0
+        self.bytes_reused = 0
+        self.discards = 0
+        pool.register_owner(owner)
+
+    @property
+    def max_bytes(self) -> int:
+        return self.shared.max_bytes
+
+    @property
+    def bytes_held(self) -> int:
+        return self.shared.bytes_held
+
+    def acquire(self, nbytes: int) -> np.ndarray:
+        buffer, reused = self.shared._acquire(nbytes, owner=self.owner)
+        if reused:
+            self.hits += 1
+            self.bytes_reused += int(nbytes)
+        else:
+            self.misses += 1
+        return buffer
+
+    def release(self, buffer: np.ndarray) -> None:
+        if not self.shared._release(buffer, owner=self.owner):
+            self.discards += 1
+
+    def clear(self) -> None:
+        """Clearing through a tenant view clears the shared pool."""
+        self.shared.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Tenant-local counters plus the shared pool's occupancy."""
         return {
             "pool_hits": self.hits,
             "pool_misses": self.misses,
             "pool_bytes_reused": self.bytes_reused,
-            "pool_bytes_held": self.bytes_held,
+            "pool_bytes_held": self.shared.bytes_held,
+            "pool_peak_bytes_held": self.shared.peak_bytes_held,
             "pool_discards": self.discards,
+            "pool_lock_contentions": self.shared._lock.contentions,
         }
 
 
@@ -146,7 +293,9 @@ class MemoryManager:
         self._plan_epoch = 0
         #: The pool is always present; disabling pooling means a zero byte
         #: cap (every release falls through to the host), which keeps the
-        #: allocation path single and the miss counter authoritative.
+        #: allocation path single and the miss counter authoritative.  A
+        #: service-owned session passes a :class:`TenantPoolView` here, so
+        #: recycling is shared while the counters stay tenant-local.
         self.pool: BufferPool = pool if pool is not None else BufferPool()
         self.bytes_allocated = 0
         self.peak_bytes = 0

@@ -257,13 +257,17 @@ def attach_memory_plan(plan, config: Optional[Config] = None) -> None:
     """
     config = config if config is not None else get_config()
     signature = memory_plan_signature(config)
-    if plan.memory_signature == signature:
-        return
-    if config.memory_plan_enabled:
-        plan.memory_plan = MemoryPlan.plan(plan.optimized, config)
-    else:
-        plan.memory_plan = None
-    plan.memory_signature = signature
+    # Shared-plan safety: concurrent replays of one cached plan may both
+    # notice a stale signature; the plan lock makes the (check, compute,
+    # store) sequence atomic so no replay observes a half-swapped plan.
+    with plan.lock:
+        if plan.memory_signature == signature:
+            return
+        if config.memory_plan_enabled:
+            plan.memory_plan = MemoryPlan.plan(plan.optimized, config)
+        else:
+            plan.memory_plan = None
+        plan.memory_signature = signature
 
 
 def bind_memory_plan(plan, program: Program, memory: MemoryManager) -> None:

@@ -28,6 +28,7 @@ counted cumulatively on the backend and windowed into each execution's
 from __future__ import annotations
 
 import ctypes
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -129,8 +130,18 @@ class NativeBackend(ParallelBackend):
         # Open stats window: counters snapshot taken when the engine first
         # touches the backend for a flush (prepare_plan), closed by
         # execute/execute_plan so plan-stage compiles land in that flush's
-        # ExecutionStats.
-        self._window_start: Optional[tuple] = None
+        # ExecutionStats.  Thread-local, because a service multiplexes many
+        # concurrent flushes over this one instance and each flush's window
+        # opens and closes on its own thread — a shared slot would tear.
+        self._windows = threading.local()
+
+    @property
+    def _window_start(self) -> Optional[tuple]:
+        return getattr(self._windows, "start", None)
+
+    @_window_start.setter
+    def _window_start(self, value: Optional[tuple]) -> None:
+        self._windows.start = value
 
     # ------------------------------------------------------------------ #
     # Codegen resolution
@@ -163,12 +174,17 @@ class NativeBackend(ParallelBackend):
             return None
         signature = self._codegen_signature(config)
         cache_key = (key, local_slots, signature)
-        if cache_key in self._native_cache:
-            self._native_cache.move_to_end(cache_key)
-            self.native_cache_hits += 1
-            return self._native_cache[cache_key]
-        self.native_cache_misses += 1
+        with self._cache_lock:
+            if cache_key in self._native_cache:
+                self._native_cache.move_to_end(cache_key)
+                self.native_cache_hits += 1
+                return self._native_cache[cache_key]
+            self.native_cache_misses += 1
+        # Lowering and compilation run outside the lock; concurrent misses
+        # of one form may both walk here, but the process-wide digest memo
+        # latches the actual compile to exactly one of them.
         launch: Optional[NativeKernelLaunch] = None
+        outcome = None
         try:
             nest = lower_kernel(instructions, local_slots)
             source = emit_kernel_source(nest)
@@ -178,22 +194,24 @@ class NativeBackend(ParallelBackend):
                 cache_dir=config.codegen_cache_dir,
                 use_disk=config.codegen_disk_cache_enabled,
             )
-            if outcome == "compiled":
-                self.native_compiles += 1
-            elif outcome == "disk":
-                self.native_disk_hits += 1
-            else:
-                self.native_memory_hits += 1
             launch = NativeKernelLaunch(compiled, nest, slots)
         except (LoweringError, CodegenError):
             # No lowering, no compiler, or a toolchain failure: degrade to
             # the interpreted template — and remember, so the next launch
             # of this form pays one dict lookup instead of re-diagnosing.
             launch = None
-        self._native_cache[cache_key] = launch
-        while len(self._native_cache) > self._native_capacity:
-            self._native_cache.popitem(last=False)
-        return launch
+        with self._cache_lock:
+            if outcome == "compiled":
+                self.native_compiles += 1
+            elif outcome == "disk":
+                self.native_disk_hits += 1
+            elif outcome == "memory":
+                self.native_memory_hits += 1
+            if cache_key not in self._native_cache:
+                self._native_cache[cache_key] = launch
+                while len(self._native_cache) > self._native_capacity:
+                    self._native_cache.popitem(last=False)
+            return self._native_cache[cache_key]
 
     # ------------------------------------------------------------------ #
     # Parallel-backend seams
@@ -204,9 +222,11 @@ class NativeBackend(ParallelBackend):
         local_slots = getattr(step, "local_slots", frozenset())
         launch = self._native_launch(key, slots, instructions, local_slots)
         if launch is not None:
-            self.native_kernel_launches += 1
+            with self._cache_lock:
+                self.native_kernel_launches += 1
             return slots, launch
-        self.native_fallbacks += 1
+        with self._cache_lock:
+            self.native_fallbacks += 1
         return slots, self._resolve_template(key, make_template)
 
     def prepare_plan(self, plan) -> None:
@@ -220,22 +240,23 @@ class NativeBackend(ParallelBackend):
             self._window_start = self._counters_snapshot()
         super().prepare_plan(plan)
         config = self._effective_config()
-        if not config.codegen_enabled or plan.tiling is None:
-            plan.native_signature = None
-            return
-        signature = (self._codegen_signature(config), plan.tiling_signature)
-        if plan.native_signature == signature:
-            return
-        for step in plan.tiling.steps:
-            if not isinstance(step, TiledMapStep):
-                continue
-            instruction = plan.optimized[step.index]
-            instructions = (
-                instruction.kernel if instruction.is_fused() else (instruction,)
-            )
-            key, slots, _ = prepare_kernel_launch(instructions)
-            self._native_launch(key, slots, instructions, step.local_slots)
-        plan.native_signature = signature
+        with plan.lock:
+            if not config.codegen_enabled or plan.tiling is None:
+                plan.native_signature = None
+                return
+            signature = (self._codegen_signature(config), plan.tiling_signature)
+            if plan.native_signature == signature:
+                return
+            for step in plan.tiling.steps:
+                if not isinstance(step, TiledMapStep):
+                    continue
+                instruction = plan.optimized[step.index]
+                instructions = (
+                    instruction.kernel if instruction.is_fused() else (instruction,)
+                )
+                key, slots, _ = prepare_kernel_launch(instructions)
+                self._native_launch(key, slots, instructions, step.local_slots)
+            plan.native_signature = signature
 
     # ------------------------------------------------------------------ #
     # Per-execution stats windows

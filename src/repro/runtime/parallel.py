@@ -62,6 +62,7 @@ from repro.runtime.tiling import (
     slice_view,
 )
 from repro.utils.config import get_config
+from repro.utils.locking import ContendedLock
 
 
 class ParallelBackend(Backend):
@@ -101,6 +102,12 @@ class ParallelBackend(Backend):
         self._tiling_capacity = max(1, get_config().plan_cache_size)
         self.tiling_hits = 0
         self.tiling_misses = 0
+        # One lock covers the backend-local caches (templates, tilings,
+        # their counters) and pool construction: concurrent sessions
+        # sharing this instance mutate them only under it.  Template and
+        # schedule *construction* happens outside the lock; a rare
+        # duplicate build is benign, a corrupted LRU is not.
+        self._cache_lock = ContendedLock()
 
     # ------------------------------------------------------------------ #
     # Thread pool
@@ -114,21 +121,22 @@ class ParallelBackend(Backend):
 
     def _executor(self, threads: int) -> ThreadPoolExecutor:
         """The persistent pool, rebuilt only when the thread count changes."""
-        if self._pool is None or self._pool_size != threads:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-            self._pool = ThreadPoolExecutor(
-                max_workers=threads, thread_name_prefix="repro-tile"
-            )
-            self._pool_size = threads
-        return self._pool
+        with self._cache_lock:
+            if self._pool is None or self._pool_size != threads:
+                if self._pool is not None:
+                    self._pool.shutdown(wait=True)
+                self._pool = ThreadPoolExecutor(
+                    max_workers=threads, thread_name_prefix="repro-tile"
+                )
+                self._pool_size = threads
+            return self._pool
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent; a new one is made on demand)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            self._pool_size = 0
+        with self._cache_lock:
+            pool, self._pool, self._pool_size = self._pool, None, 0
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     # ------------------------------------------------------------------ #
     # Plan integration
@@ -169,12 +177,13 @@ class ParallelBackend(Backend):
         """
         super().prepare_plan(plan)  # liveness-driven memory plan
         signature = self._tiling_signature()
-        if (
-            getattr(plan, "tiling", None) is None
-            or plan.tiling_signature != signature
-        ):
-            plan.tiling = self._decompose(plan.optimized)
-            plan.tiling_signature = signature
+        with plan.lock:
+            if (
+                getattr(plan, "tiling", None) is None
+                or plan.tiling_signature != signature
+            ):
+                plan.tiling = self._decompose(plan.optimized)
+                plan.tiling_signature = signature
 
     def execute_plan(
         self, plan, program: Program, memory: Optional[MemoryManager] = None
@@ -205,20 +214,26 @@ class ParallelBackend(Backend):
             + self._tiling_signature()
             + schedule_signature(config)
         )
-        cached = self._tiling_cache.get(key)
+        with self._cache_lock:
+            cached = self._tiling_cache.get(key)
+            if cached is not None:
+                self._tiling_cache.move_to_end(key)
+                self.tiling_hits += 1
+            else:
+                self.tiling_misses += 1
         if cached is not None:
-            self._tiling_cache.move_to_end(key)
-            self.tiling_hits += 1
             schedule, tiling = cached
             executable = schedule.materialize(program)
         else:
-            self.tiling_misses += 1
+            # Analysis runs outside the lock: concurrent first executions
+            # of one fingerprint may both pay it, but the insert is atomic.
             schedule = compute_schedule(program, config)
             executable = schedule.materialize(program)
             tiling = decompose(executable, config)
-            self._tiling_cache[key] = (schedule, tiling)
-            while len(self._tiling_cache) > self._tiling_capacity:
-                self._tiling_cache.popitem(last=False)
+            with self._cache_lock:
+                self._tiling_cache[key] = (schedule, tiling)
+                while len(self._tiling_cache) > self._tiling_capacity:
+                    self._tiling_cache.popitem(last=False)
         return self._run(executable, tiling, memory)
 
     def cache_stats(self) -> Dict[str, int]:
@@ -230,6 +245,7 @@ class ParallelBackend(Backend):
             "tiling_cache_hits": self.tiling_hits,
             "tiling_cache_misses": self.tiling_misses,
             "tiling_cache_size": len(self._tiling_cache),
+            "backend_lock_contentions": self._cache_lock.contentions,
         }
 
     # ------------------------------------------------------------------ #
@@ -348,14 +364,17 @@ class ParallelBackend(Backend):
 
     def _resolve_template(self, key, make_template) -> KernelTemplate:
         """Interpreted-template cache lookup shared with subclasses."""
-        template = self._template_cache.get(key)
-        if template is not None:
-            self.template_hits += 1
-        else:
+        with self._cache_lock:
+            template = self._template_cache.get(key)
+            if template is not None:
+                self.template_hits += 1
+                return template
             self.template_misses += 1
-            template = make_template()
-            self._template_cache[key] = template
-        return template
+        template = make_template()
+        with self._cache_lock:
+            # A concurrent miss may have published first; keep one winner
+            # so every future launch shares a single template object.
+            return self._template_cache.setdefault(key, template)
 
     def _run_reduce(
         self,

@@ -29,6 +29,7 @@ get to see" is a planning decision.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -41,6 +42,7 @@ from repro.bytecode.program import Program
 from repro.bytecode.view import View
 from repro.utils.config import Config, get_config
 from repro.utils.errors import ExecutionError
+from repro.utils.locking import ContendedLock
 
 
 # --------------------------------------------------------------------------- #
@@ -288,6 +290,15 @@ class ExecutionPlan:
     #: per-step kernel-form walks entirely.
     native_signature: Optional[tuple] = None
     hits: int = 0
+    #: Serializes backend re-preparation of a *shared* plan: concurrent
+    #: flushes replaying one cached plan may both notice a stale tiling or
+    #: codegen signature and re-attach artifacts; the lock makes each
+    #: (signature check, artifact store) pair atomic so a replay can never
+    #: observe a decomposition mid-swap.  Reentrant, because backends
+    #: chain ``super().prepare_plan`` under it.
+    lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
     _scratch_bases: Tuple[BaseArray, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -377,6 +388,12 @@ class PlanCache:
     Keys are whatever the engine derives them from (program fingerprint plus
     backend name, pipeline signature and configuration signature); the cache
     itself only requires them to be hashable.
+
+    The cache is thread-safe: lookup (with its LRU reordering), insertion,
+    eviction and the counters all mutate under one internal lock, so many
+    sessions sharing one engine — the multi-tenant service — can never
+    corrupt the recency order or lose hit/miss updates.  Contended
+    acquisitions are counted and surfaced in :meth:`stats`.
     """
 
     def __init__(self, max_plans: Optional[int] = None) -> None:
@@ -386,46 +403,63 @@ class PlanCache:
         if self.max_plans < 1:
             raise ValueError(f"plan cache needs room for at least one plan, got {self.max_plans}")
         self._plans: "OrderedDict[tuple, ExecutionPlan]" = OrderedDict()
+        self._lock = ContendedLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def get(self, key) -> Optional[ExecutionPlan]:
         """Look up a plan, counting the hit/miss and refreshing recency."""
-        plan = self._plans.get(key)
-        if plan is None:
-            self.misses += 1
-            return None
-        self._plans.move_to_end(key)
-        self.hits += 1
-        plan.hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            plan.hits += 1
+            return plan
+
+    def peek(self, key) -> Optional[ExecutionPlan]:
+        """Look up a plan without touching recency or the counters.
+
+        The engine's in-flight latch re-checks the cache after waiting for
+        a concurrent builder; that second look must not inflate the hit
+        statistics the stress suite asserts on.
+        """
+        with self._lock:
+            return self._plans.get(key)
 
     def put(self, key, plan: ExecutionPlan) -> None:
         """Insert a plan, evicting the least recently used entry if full."""
-        if key in self._plans:
-            self._plans.move_to_end(key)
-        self._plans[key] = plan
-        while len(self._plans) > self.max_plans:
-            self._plans.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._plans:
+                self._plans.move_to_end(key)
+            self._plans[key] = plan
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every cached plan (counters are preserved)."""
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
 
     def stats(self) -> Dict[str, int]:
         """Counters for reporting: hits, misses, evictions, current size."""
-        return {
-            "plan_cache_hits": self.hits,
-            "plan_cache_misses": self.misses,
-            "plan_cache_evictions": self.evictions,
-            "plan_cache_size": len(self._plans),
-            "plan_cache_capacity": self.max_plans,
-        }
+        with self._lock:
+            return {
+                "plan_cache_hits": self.hits,
+                "plan_cache_misses": self.misses,
+                "plan_cache_evictions": self.evictions,
+                "plan_cache_size": len(self._plans),
+                "plan_cache_capacity": self.max_plans,
+                "plan_cache_contentions": self._lock.contentions,
+            }
 
 
 # --------------------------------------------------------------------------- #

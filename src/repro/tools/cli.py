@@ -109,6 +109,17 @@ def build_parser() -> argparse.ArgumentParser:
         "parallel backend (default: the configuration, then the CPU count)",
     )
     parser.add_argument(
+        "--serve-stress",
+        nargs="?",
+        const="4x8x3",
+        default=None,
+        metavar="TxSxR",
+        help="run the listing through the multi-tenant array service: T "
+        "driver threads x S tenant sessions x R repeats per session "
+        "(default 4x8x3), comparing every result bitwise against a serial "
+        "reference; exit code 3 on any mismatch or worker error",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="print only the optimized listing (no report, no cost table)",
@@ -174,6 +185,9 @@ def run(args, out=None) -> int:
 
     print(format_program(report.optimized), file=out)
     if args.quiet:
+        # --quiet silences the report, not the stress harness's verdict.
+        if args.serve_stress is not None:
+            return _serve_stress(program, args, out)
         return 0
 
     print(file=out)
@@ -212,6 +226,8 @@ def run(args, out=None) -> int:
 
     if args.backend is not None:
         _execute_with_engine(program, pipeline, report, args, out)
+    if args.serve_stress is not None:
+        return _serve_stress(program, args, out)
     return 0
 
 
@@ -240,6 +256,95 @@ def _engine_trajectory(program, pipeline, report, args):
         with config_override(parallel_num_threads=args.threads):
             return execute()
     return execute()
+
+
+def _parse_stress_spec(spec: str):
+    """Parse a ``TxSxR`` stress spec into (threads, sessions, repeats)."""
+    parts = spec.lower().split("x")
+    try:
+        threads, sessions, repeats = (int(part) for part in parts)
+    except ValueError:
+        raise ReproError(
+            f"--serve-stress expects THREADSxSESSIONSxREPEATS (e.g. 4x8x3), got {spec!r}"
+        )
+    if min(threads, sessions, repeats) < 1:
+        raise ReproError(
+            f"--serve-stress values must all be at least 1, got {spec!r}"
+        )
+    return threads, sessions, repeats
+
+
+def _stress_report(program, args):
+    """Run the multi-tenant stress harness with the CLI's flag handling."""
+    from repro.service import run_service_stress
+
+    threads, sessions, repeats = _parse_stress_spec(args.serve_stress)
+
+    def execute():
+        return run_service_stress(
+            program,
+            threads=threads,
+            sessions=sessions,
+            repeats=repeats,
+            backend=args.backend,
+        )
+
+    if args.threads is not None:
+        with config_override(parallel_num_threads=args.threads):
+            return execute()
+    return execute()
+
+
+def _serve_stress(program, args, out) -> int:
+    """Human-readable output for ``--serve-stress``; exit code 3 on failure."""
+    report = _stress_report(program, args)
+    admission = report["stats"]["admission"]
+    pool = report["stats"]["pool"]
+    cache = report["stats"]["cache"]
+    print(file=out)
+    print(
+        f"service stress ({report['backend']} backend, "
+        f"{report['threads']} thread(s) x {report['sessions']} session(s) "
+        f"x {report['repeats']} repeat(s)):",
+        file=out,
+    )
+    print(
+        f"  {report['executed']} flush(es) executed, "
+        f"{report['rejections']} rejection(s), "
+        f"{report['mismatches']} mismatch(es)",
+        file=out,
+    )
+    print(
+        f"  plan cache: {report['plan_builds']} build(s), "
+        f"{report['plan_cache_hits']} cross-session hit(s), "
+        f"{cache['plan_waits']} build wait(s)",
+        file=out,
+    )
+    print(
+        f"  admission: peak {admission['peak_inflight']} in flight "
+        f"(cap {admission['max_inflight']}), "
+        f"{admission['waits']} backpressure wait(s), "
+        f"{admission['rejected_timeout']} timeout(s)",
+        file=out,
+    )
+    print(
+        f"  pool: peak {pool['pool_peak_bytes_held']} byte(s) parked "
+        f"(cap {report['pool_max_bytes']}), "
+        f"{pool['pool_discards']} discard(s), "
+        f"{pool['pool_lock_contentions']} lock contention(s)",
+        file=out,
+    )
+    if report["ok"]:
+        print("  result: bitwise-identical to the serial reference", file=out)
+        return 0
+    print(
+        f"  result: STRESS FAILED ({report['mismatches']} mismatch(es), "
+        f"{len(report['errors'])} worker error(s))",
+        file=out,
+    )
+    for error in report["errors"]:
+        print(f"    {error}", file=out)
+    return 3
 
 
 def _format_schedule(schedule) -> str:
@@ -306,6 +411,11 @@ def _run_stats_json(program, pipeline, report, args, out) -> int:
         if plan_schedule is not None:
             execution["fusion_scheduler"] = plan_schedule.stats()
         payload["execution"] = execution
+    if args.serve_stress is not None:
+        report = _stress_report(program, args)
+        payload["service"] = report
+        if not report["ok"] and exit_code == 0:
+            exit_code = 3
     json.dump(payload, out, indent=2)
     print(file=out)
     return exit_code

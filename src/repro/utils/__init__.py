@@ -7,8 +7,11 @@ from repro.utils.errors import (
     RewriteError,
     FrontendError,
     AllocationError,
+    ConcurrencyError,
+    ServiceOverloadError,
 )
 from repro.utils.config import Config, get_config, set_config, config_override
+from repro.utils.locking import ContendedLock, SingleOwner
 from repro.utils.timing import Timer, StopWatch
 
 __all__ = [
@@ -18,10 +21,14 @@ __all__ = [
     "RewriteError",
     "FrontendError",
     "AllocationError",
+    "ConcurrencyError",
+    "ServiceOverloadError",
     "Config",
     "get_config",
     "set_config",
     "config_override",
+    "ContendedLock",
+    "SingleOwner",
     "Timer",
     "StopWatch",
 ]

@@ -112,6 +112,28 @@ class Config:
         Whether compiled artifacts persist on disk.  When off, kernels
         compile into a process-private temporary directory and only the
         in-process cache amortizes them.
+    service_max_inflight:
+        Global cap on concurrently executing flushes inside an
+        :class:`~repro.service.ArrayService`.  Arrivals beyond the cap
+        queue (with backpressure) until a slot frees or the admission
+        timeout expires.
+    service_tenant_max_inflight:
+        Per-tenant cap on queued-plus-executing flushes; one tenant
+        hammering the service cannot starve the others past this depth.
+    service_admission_timeout_seconds:
+        How long an over-cap flush waits for admission before it is
+        cleanly rejected with
+        :class:`~repro.utils.errors.ServiceOverloadError`.
+    service_pool_max_bytes:
+        Byte cap of the *shared* buffer pool an ``ArrayService`` hands to
+        every tenant session (tenant-agnostic recycling, per-tenant
+        accounting).  Independent of ``memory_pool_max_bytes``, which caps
+        the private pool of a stand-alone session.
+    service_fairness:
+        ``"shared"`` lets any tenant park freed buffers until the global
+        cap; ``"fair"`` additionally caps each tenant's parked bytes at an
+        equal share of the pool, so one tenant's burst of large frees
+        cannot monopolize the recycling budget.
     enabled_passes:
         Names of passes that the default pipeline should include.  ``None``
         means "all registered default passes".
@@ -141,6 +163,11 @@ class Config:
     codegen_cache_dir: Optional[str] = None
     codegen_opt_level: int = 3
     codegen_disk_cache_enabled: bool = True
+    service_max_inflight: int = 16
+    service_tenant_max_inflight: int = 4
+    service_admission_timeout_seconds: float = 5.0
+    service_pool_max_bytes: int = 1 << 28  # 256 MiB
+    service_fairness: str = "shared"
     enabled_passes: Optional[List[str]] = None
     random_seed: int = 0x5EED
 

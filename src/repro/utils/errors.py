@@ -50,3 +50,22 @@ class CostModelError(ReproError):
 
 class ClusterError(ReproError):
     """The simulated cluster executor hit an invalid configuration."""
+
+
+class ConcurrencyError(ReproError):
+    """A single-owner structure was entered by two threads concurrently.
+
+    Raised by :class:`repro.utils.locking.SingleOwner` — the deterministic
+    diagnosis for what would otherwise be a silent data race (two threads
+    driving one tenant session at once).
+    """
+
+
+class ServiceOverloadError(ReproError):
+    """The array service rejected a flush under admission control.
+
+    Raised when the in-flight cap (global or per-tenant) stays saturated
+    past the admission timeout.  The rejection is clean: nothing was
+    recorded as executed and the session remains usable — callers retry or
+    shed load.
+    """

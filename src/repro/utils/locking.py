@@ -1,0 +1,106 @@
+"""Lock-discipline helpers shared by every thread-safe runtime structure.
+
+The multi-tenant service multiplexes many concurrent sessions onto one
+shared engine, so every cache the engine touches (plan LRU, buffer pool,
+codegen digest memo, backend-local template LRUs) needs a lock — and the
+service's observability story needs to know how hot those locks run.  Two
+small primitives keep that discipline uniform instead of ad-hoc:
+
+* :class:`ContendedLock` — a reentrant lock that counts how many acquires
+  had to block behind another thread.  Structures expose the counter in
+  their ``stats()`` dicts, so cross-session contention shows up in
+  ``repro-opt --stats-json`` next to the hit/miss counters it explains.
+* :class:`SingleOwner` — a guard for structures that are *not* locked but
+  are contractually touched by one thread at a time (a tenant's session,
+  a memory manager between flushes).  Violations raise immediately with
+  both thread names instead of corrupting state silently.
+
+Lock hierarchy (documented in ``docs/architecture.md`` §9): the engine's
+plan latch may be held while taking the plan-cache lock, the buffer-pool
+lock or the codegen memo lock; none of those are ever held while taking a
+lock above them, and they never nest among themselves.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.utils.errors import ConcurrencyError
+
+
+class ContendedLock:
+    """A reentrant lock that counts contended acquisitions.
+
+    An acquire that succeeds immediately is free; one that has to block
+    behind another thread increments :attr:`contentions`.  The counter is
+    monotonic and read without the lock (a torn read of an int is benign
+    in CPython), so surfacing it in ``stats()`` never adds contention of
+    its own.
+    """
+
+    __slots__ = ("_lock", "contentions", "acquisitions")
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self.contentions = 0
+        self.acquisitions = 0
+
+    def acquire(self) -> None:
+        if not self._lock.acquire(blocking=False):
+            self._lock.acquire()
+            self.contentions += 1
+        self.acquisitions += 1
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> "ContendedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class SingleOwner:
+    """Asserts that a code region is entered by one thread at a time.
+
+    This is the *discipline* half of the thread-safety layer: structures
+    that are deliberately lock-free (a tenant's session, its memory
+    manager) declare their contract with a ``SingleOwner`` guard, and a
+    second thread entering concurrently gets a :class:`ConcurrencyError`
+    naming both threads — a deterministic diagnosis instead of a latent
+    race.  Re-entry by the owning thread is permitted (flushes recurse
+    through the front-end).
+    """
+
+    __slots__ = ("_label", "_lock", "_owner", "_depth", "violations")
+
+    def __init__(self, label: str = "structure") -> None:
+        self._label = label
+        self._lock = threading.Lock()
+        self._owner: Optional[threading.Thread] = None
+        self._depth = 0
+        self.violations = 0
+
+    def __enter__(self) -> "SingleOwner":
+        me = threading.current_thread()
+        with self._lock:
+            if self._owner is None or self._owner is me:
+                self._owner = me
+                self._depth += 1
+                return self
+            self.violations += 1
+            other = self._owner.name
+        raise ConcurrencyError(
+            f"{self._label} is owned by thread {other!r} but was entered "
+            f"concurrently by {me.name!r}; each tenant session must be "
+            "driven by one thread at a time"
+        )
+
+    def __exit__(self, *exc_info) -> None:
+        with self._lock:
+            self._depth -= 1
+            if self._depth == 0:
+                self._owner = None

@@ -38,6 +38,15 @@ EXEMPT_FIELDS = {
     # changes *whether* plans are cached, never what a cached plan contains.
     "plan_cache_enabled",
     "plan_cache_size",
+    # Service-layer admission and pooling knobs: they gate *when* a flush
+    # is allowed to run and how freed buffers recycle between tenants,
+    # never what the optimizer, tiler, memory planner or codegen produce —
+    # a plan compiled under any value replays identically under another.
+    "service_max_inflight",
+    "service_tenant_max_inflight",
+    "service_admission_timeout_seconds",
+    "service_pool_max_bytes",
+    "service_fairness",
 }
 
 

@@ -1,0 +1,62 @@
+"""Fixtures for the concurrency suite: deadlock watchdog and workloads.
+
+The stress tests exercise real threads against shared locks, so a bug can
+manifest as a hang rather than a failure.  ``pytest-timeout`` is not part
+of the environment, so every test in this directory runs under a
+``SIGALRM`` watchdog: if a test exceeds the budget, the handler dumps all
+thread stacks (``faulthandler``) and raises in the main thread, turning a
+silent deadlock into a diagnosable failure.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import signal
+
+import pytest
+
+from repro.bytecode.builder import ProgramBuilder
+
+#: Generous per-test budget: the suite's slowest test takes a few seconds,
+#: so anything hitting this is wedged, not slow.
+WATCHDOG_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def deadlock_watchdog():
+    """Fail (with all thread stacks) instead of hanging forever."""
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX hosts
+        yield
+        return
+
+    def fire(signum, frame):
+        faulthandler.dump_traceback()
+        raise RuntimeError(
+            f"service test exceeded the {WATCHDOG_SECONDS}s deadlock watchdog"
+        )
+
+    previous = signal.signal(signal.SIGALRM, fire)
+    signal.setitimer(signal.ITIMER_REAL, WATCHDOG_SECONDS)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def chain_program(size=32, adds=3):
+    """A fresh identity→add→multiply chain; new base arrays every call."""
+    builder = ProgramBuilder()
+    vector = builder.new_vector(size)
+    result = builder.new_vector(size)
+    builder.identity(vector, 0)
+    for _ in range(adds):
+        builder.add(vector, vector, 1)
+    builder.multiply(result, vector, vector)
+    builder.sync(result)
+    return builder.build()
+
+
+@pytest.fixture
+def program():
+    return chain_program()

@@ -1,0 +1,156 @@
+"""Regression tests for the plan-cache double-optimize race (shared engine).
+
+Before the per-fingerprint in-flight latch, two sessions first-flushing the
+same structural program through one shared engine would *both* miss the
+cache, *both* run the full optimization pipeline, and *both* insert —
+wasting an optimizer run, skewing the LRU order and making the
+plan-build counters lie.  These tests pin the latch behaviour: exactly one
+build per fingerprint no matter how many threads race the first flush, and
+a failed builder never wedges the fingerprint.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import default_pipeline
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.memory import MemoryManager
+from repro.utils.errors import RewriteError
+
+from tests.service.conftest import chain_program
+
+
+class CountingPipeline:
+    """Wraps the default pipeline; counts runs and can dawdle or fail."""
+
+    def __init__(self, delay=0.0, fail_first=False):
+        self._inner = default_pipeline()
+        self._count_lock = threading.Lock()
+        self.runs = 0
+        self.delay = delay
+        self._fail_first = fail_first
+
+    def run(self, program):
+        with self._count_lock:
+            self.runs += 1
+            should_fail = self._fail_first
+            self._fail_first = False
+        if self.delay:
+            time.sleep(self.delay)
+        if should_fail:
+            raise RewriteError("injected optimizer failure")
+        return self._inner.run(program)
+
+    def signature(self):
+        return ("counting-test-pipeline",)
+
+
+class TestDoubleOptimizeRace:
+    def test_concurrent_first_flushes_optimize_exactly_once(self, program):
+        pipeline = CountingPipeline(delay=0.3)
+        engine = ExecutionEngine(backend="interpreter", optimize=True, pipeline=pipeline)
+        results = {}
+        errors = []
+
+        def flush(name, start_delay):
+            try:
+                time.sleep(start_delay)
+                result = engine.execute(program, MemoryManager())
+                bases = [b for b in result.memory.live_bases()]
+                results[name] = {
+                    id(b): np.array(result.memory.allocate(b), copy=True) for b in bases
+                }
+            except Exception as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        # The first thread claims the builder role and dawdles inside the
+        # pipeline; the second arrives mid-build and must wait on the
+        # latch instead of building a second plan.
+        first = threading.Thread(target=flush, args=("first", 0.0))
+        second = threading.Thread(target=flush, args=("second", 0.1))
+        first.start()
+        second.start()
+        first.join()
+        second.join()
+
+        assert errors == []
+        assert pipeline.runs == 1, "both threads ran the optimizer (double-optimize race)"
+        assert engine.plans_built == 1
+        assert engine.plan_waits >= 1, "the second flush never waited on the latch"
+        stats = engine.plan_cache.stats()
+        assert stats["plan_cache_size"] == 1
+        # The waiter replays the published plan: its flush counts as a hit.
+        assert stats["plan_cache_hits"] >= 1
+        # Both executions produced values (same program, fresh memory each).
+        assert set(results) == {"first", "second"}
+        first_values = sorted(v.tobytes() for v in results["first"].values())
+        second_values = sorted(v.tobytes() for v in results["second"].values())
+        assert first_values == second_values
+
+    def test_failed_builder_does_not_wedge_the_fingerprint(self, program):
+        pipeline = CountingPipeline(delay=0.2, fail_first=True)
+        engine = ExecutionEngine(backend="interpreter", optimize=True, pipeline=pipeline)
+        outcomes = {}
+
+        def flush(name, start_delay):
+            time.sleep(start_delay)
+            try:
+                engine.execute(program, MemoryManager())
+                outcomes[name] = "ok"
+            except RewriteError:
+                outcomes[name] = "failed"
+
+        first = threading.Thread(target=flush, args=("first", 0.0))
+        second = threading.Thread(target=flush, args=("second", 0.05))
+        first.start()
+        second.start()
+        first.join()
+        second.join()
+
+        # The builder fails and releases the latch; the waiter wakes, finds
+        # no plan, claims the builder role itself and succeeds.
+        assert outcomes["first"] == "failed"
+        assert outcomes["second"] == "ok"
+        assert pipeline.runs == 2
+        assert engine.plans_built == 1
+        # The fingerprint is healthy: a third flush is a plain cache hit.
+        engine.execute(program, MemoryManager())
+        assert engine.plans_built == 1
+
+    def test_sequential_flushes_unaffected_by_the_latch(self, program):
+        pipeline = CountingPipeline()
+        engine = ExecutionEngine(backend="interpreter", optimize=True, pipeline=pipeline)
+        engine.execute(program, MemoryManager())
+        engine.execute(program, MemoryManager())
+        engine.execute(program, MemoryManager())
+        assert pipeline.runs == 1
+        assert engine.plans_built == 1
+        assert engine.plan_waits == 0
+        assert engine.plan_cache.stats()["plan_cache_hits"] == 2
+
+    def test_distinct_fingerprints_build_independently(self):
+        pipeline = CountingPipeline(delay=0.15)
+        engine = ExecutionEngine(backend="interpreter", optimize=True, pipeline=pipeline)
+        small = chain_program(size=16, adds=2)
+        large = chain_program(size=64, adds=5)
+        errors = []
+
+        def flush(prog):
+            try:
+                engine.execute(prog, MemoryManager())
+            except Exception as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        threads = [threading.Thread(target=flush, args=(p,)) for p in (small, large)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # Two different fingerprints: two builds, and neither waited on the
+        # other's latch (the latch is per cache key, not global).
+        assert engine.plans_built == 2
+        assert engine.plan_waits == 0

@@ -1,0 +1,129 @@
+"""Tests for the lock-discipline primitives in ``repro.utils.locking``."""
+
+import threading
+
+import pytest
+
+from repro.utils.errors import ConcurrencyError
+from repro.utils.locking import ContendedLock, SingleOwner
+
+
+class TestContendedLock:
+    def test_uncontended_acquire_counts_no_contention(self):
+        lock = ContendedLock()
+        with lock:
+            pass
+        with lock:
+            pass
+        assert lock.acquisitions == 2
+        assert lock.contentions == 0
+
+    def test_reentrant(self):
+        lock = ContendedLock()
+        with lock:
+            with lock:
+                pass
+        assert lock.contentions == 0
+
+    def test_contended_acquire_is_counted(self):
+        lock = ContendedLock()
+        inside = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lock:
+                inside.set()
+                release.wait()
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        inside.wait()
+        # The holder owns the lock: this acquire must block, and blocking
+        # is exactly what the contention counter records.
+        release_timer = threading.Timer(0.05, release.set)
+        release_timer.start()
+        with lock:
+            pass
+        thread.join()
+        release_timer.join()
+        assert lock.contentions == 1
+        assert lock.acquisitions == 2
+
+
+class TestSingleOwner:
+    def test_same_thread_reentry_is_allowed(self):
+        guard = SingleOwner("test structure")
+        with guard:
+            with guard:
+                pass
+        # Fully released: another thread may now enter.
+        with guard:
+            pass
+        assert guard.violations == 0
+
+    def test_concurrent_entry_raises_naming_both_threads(self):
+        guard = SingleOwner("tenant session")
+        entered = threading.Event()
+        release = threading.Event()
+        failure = []
+
+        def second():
+            entered.wait()
+            try:
+                with guard:
+                    pass
+            except ConcurrencyError as exc:
+                failure.append(str(exc))
+            finally:
+                release.set()
+
+        thread = threading.Thread(target=second, name="intruder")
+        thread.start()
+        with guard:
+            entered.set()
+            release.wait()
+        thread.join()
+        assert len(failure) == 1
+        assert "tenant session" in failure[0]
+        assert "intruder" in failure[0]
+        assert guard.violations == 1
+
+    def test_ownership_clears_after_exit(self):
+        guard = SingleOwner()
+        with guard:
+            pass
+        errors = []
+
+        def enter():
+            try:
+                with guard:
+                    pass
+            except ConcurrencyError as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        thread = threading.Thread(target=enter)
+        thread.start()
+        thread.join()
+        assert errors == []
+
+    def test_violation_does_not_poison_the_guard(self):
+        guard = SingleOwner()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with guard:
+                entered.set()
+                release.wait()
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        entered.wait()
+        with pytest.raises(ConcurrencyError):
+            with guard:
+                pass
+        release.set()
+        thread.join()
+        # The failed entry must not have corrupted the depth accounting.
+        with guard:
+            pass
