@@ -22,6 +22,8 @@ experiment across PRs — machine-readable, no dashboard required.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import re
 from pathlib import Path
 
@@ -35,7 +37,22 @@ from repro.utils.config import Config, set_config
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Bump when the trajectory file layout changes shape.
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
+
+
+def _host_block() -> dict:
+    """Hardware/platform stamp for ``BENCH_*.json``.
+
+    Wall-clock trajectories are only comparable on like hardware; without
+    this block a committed number from a 2-core CI runner and one from a
+    32-core workstation were indistinguishable.
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+    }
 
 
 @pytest.fixture(autouse=True)
@@ -146,6 +163,7 @@ def pytest_sessionfinish(session, exitstatus):
         payload = {
             "schema": BENCH_SCHEMA,
             "experiment": experiment,
+            "host": _host_block(),
             "benchmarks": sorted(entries, key=lambda item: item["test"]),
         }
         path = REPO_ROOT / f"BENCH_{experiment}.json"

@@ -50,7 +50,10 @@ from repro.codegen.compiler import (
 
 #: Bump to invalidate every cached artifact when the ABI of generated
 #: kernels changes (argument layout, symbol name, helper semantics).
-ARTIFACT_SCHEMA = 1
+#: Schema 2: every artifact additionally exports ``repro_kernel_mt`` (the
+#: chunked entry point with a runtime ``nthreads`` argument) and may embed
+#: a persistent pthread worker pool; reduction artifacts join the store.
+ARTIFACT_SCHEMA = 2
 
 _memory_cache: Dict[str, CompiledKernel] = {}
 _lock = threading.Lock()
@@ -69,13 +72,16 @@ def resolve_cache_dir(configured: Optional[str] = None) -> str:
     return os.path.join(os.path.expanduser("~"), ".cache", "repro-codegen")
 
 
-def artifact_digest(source: str, opt_level: int) -> str:
+def artifact_digest(source: str, opt_level: int, mt_mode: str = "serial") -> str:
     """Content digest identifying one compiled artifact.
 
-    Covers the generated source, the compiler flags and the host ABI
-    (platform + machine + pointer width), so a shared cache directory can
-    never serve an artifact compiled for a different target or under
-    different semantics-relevant flags.
+    Covers the generated source, the compiler flags (including the
+    threading mode's ``-pthread``/``-fopenmp``) and the host ABI (platform
+    + machine + pointer width), so a shared cache directory can never serve
+    an artifact compiled for a different target or under different
+    semantics-relevant flags.  The runtime thread *count* is deliberately
+    absent: ``nthreads`` is an argument of ``repro_kernel_mt``, so one
+    artifact serves every thread count.
     """
     hasher = hashlib.blake2b(digest_size=20)
     abi = (
@@ -83,7 +89,7 @@ def artifact_digest(source: str, opt_level: int) -> str:
         sys.platform,
         platform.machine(),
         64 if sys.maxsize > 2**32 else 32,
-        compile_flags(opt_level),
+        compile_flags(opt_level, mt_mode),
     )
     hasher.update(repr(abi).encode("utf-8"))
     hasher.update(source.encode("utf-8"))
@@ -165,7 +171,7 @@ def _atomic_write(path: str, data: bytes, temp_tag: str) -> None:
 
 
 def _compile_to_disk(
-    cache_dir: str, digest: str, source: str, opt_level: int
+    cache_dir: str, digest: str, source: str, opt_level: int, mt_mode: str = "serial"
 ) -> CompiledKernel:
     os.makedirs(cache_dir, exist_ok=True)
     so_path, meta_path, c_path = _artifact_paths(cache_dir, digest)
@@ -175,7 +181,7 @@ def _compile_to_disk(
     try:
         with open(temp_c, "w", encoding="utf-8") as handle:
             handle.write(source)
-        compile_shared_library(temp_c, temp_so, opt_level)
+        compile_shared_library(temp_c, temp_so, opt_level, mt_mode=mt_mode)
         sha = _sha256_file(temp_so)
         # Publication order matters for racing readers: the library first,
         # its checksum last — a reader that sees a sidecar always sees a
@@ -199,7 +205,9 @@ def _compile_to_disk(
     return CompiledKernel(so_path)
 
 
-def _compile_in_memory(source: str, opt_level: int) -> CompiledKernel:
+def _compile_in_memory(
+    source: str, opt_level: int, mt_mode: str = "serial"
+) -> CompiledKernel:
     """Compile without touching the cache dir (``codegen_disk_cache_enabled=False``)."""
     workdir = tempfile.mkdtemp(prefix="repro-codegen-")
     try:
@@ -207,7 +215,7 @@ def _compile_in_memory(source: str, opt_level: int) -> CompiledKernel:
         so_path = os.path.join(workdir, "kernel.so")
         with open(c_path, "w", encoding="utf-8") as handle:
             handle.write(source)
-        compile_shared_library(c_path, so_path, opt_level)
+        compile_shared_library(c_path, so_path, opt_level, mt_mode=mt_mode)
         return CompiledKernel(so_path)
     finally:
         # The dynamic loader keeps the mapping alive after unlink (POSIX),
@@ -220,6 +228,7 @@ def get_compiled_kernel(
     opt_level: int = 2,
     cache_dir: Optional[str] = None,
     use_disk: bool = True,
+    mt_mode: str = "serial",
 ) -> Tuple[CompiledKernel, str]:
     """Resolve source to a loaded kernel: memory → disk → compile.
 
@@ -233,7 +242,7 @@ def get_compiled_kernel(
     CodegenError
         When the compiler rejects the generated source.
     """
-    digest = artifact_digest(source, opt_level)
+    digest = artifact_digest(source, opt_level, mt_mode)
     directory = resolve_cache_dir(cache_dir)
     # Claim the builder role for this digest, or wait behind whoever holds
     # it.  A waiter that wakes re-checks the memo: served means outcome
@@ -262,9 +271,9 @@ def get_compiled_kernel(
             if find_c_compiler() is None:
                 raise CompilerUnavailable("no C compiler (cc/gcc/clang) found on PATH")
             if use_disk:
-                kernel = _compile_to_disk(directory, digest, source, opt_level)
+                kernel = _compile_to_disk(directory, digest, source, opt_level, mt_mode)
             else:
-                kernel = _compile_in_memory(source, opt_level)
+                kernel = _compile_in_memory(source, opt_level, mt_mode)
         with _lock:
             _memory_cache[digest] = kernel
         return kernel, outcome

@@ -17,9 +17,10 @@ import ctypes
 import os
 import shutil
 import subprocess
+import tempfile
 from typing import Optional, Tuple
 
-from repro.codegen.emit_c import KERNEL_SYMBOL
+from repro.codegen.emit_c import KERNEL_SYMBOL, MT_KERNEL_SYMBOL
 
 
 class CodegenError(Exception):
@@ -55,7 +56,20 @@ def find_c_compiler() -> Optional[str]:
     return _compiler_cache[1]
 
 
-def compile_flags(opt_level: int) -> Tuple[str, ...]:
+#: Extra compiler/linker flags per in-kernel threading mode.  ``pthread``
+#: compiles the artifact's persistent worker pool; ``openmp`` is the
+#: fallback for toolchains without ``-pthread``; ``serial`` threads nothing
+#: (the mt entry point still exists and runs the whole nest on the caller).
+_MT_FLAGS = {
+    "pthread": ("-pthread",),
+    "openmp": ("-fopenmp",),
+    "serial": (),
+}
+
+MT_MODES = tuple(_MT_FLAGS)
+
+
+def compile_flags(opt_level: int, mt_mode: str = "serial") -> Tuple[str, ...]:
     """The compiler flags for one artifact; part of the artifact digest."""
     level = min(3, max(0, int(opt_level)))
     return (
@@ -64,11 +78,82 @@ def compile_flags(opt_level: int) -> Tuple[str, ...]:
         "-fPIC",
         "-fwrapv",
         "-fno-strict-aliasing",
-    )
+    ) + _MT_FLAGS[mt_mode]
+
+
+#: Minimal probe sources: compiling (and linking) one of these as a shared
+#: library is exactly the toolchain contract the matching emission mode
+#: relies on, so a successful probe cannot produce an uncompilable kernel.
+_MT_PROBE_SOURCE = {
+    "pthread": (
+        "#include <pthread.h>\n"
+        "static void *probe_worker(void *arg) { return arg; }\n"
+        "int repro_probe(void) {\n"
+        "    pthread_t tid;\n"
+        "    if (pthread_create(&tid, 0, probe_worker, 0)) return 1;\n"
+        "    pthread_join(tid, 0);\n"
+        "    return 0;\n"
+        "}\n"
+    ),
+    "openmp": (
+        "int repro_probe(void) {\n"
+        "    int total = 0;\n"
+        "    int index;\n"
+        "#pragma omp parallel for reduction(+:total)\n"
+        "    for (index = 0; index < 4; ++index) total += index;\n"
+        "    return total;\n"
+        "}\n"
+    ),
+}
+
+_mt_mode_cache: Optional[str] = None
+
+
+def _probe_mt_mode(compiler: str, mode: str) -> bool:
+    workdir = tempfile.mkdtemp(prefix="repro-mt-probe-")
+    try:
+        c_path = os.path.join(workdir, "probe.c")
+        so_path = os.path.join(workdir, "probe.so")
+        with open(c_path, "w", encoding="utf-8") as handle:
+            handle.write(_MT_PROBE_SOURCE[mode])
+        try:
+            compile_shared_library(c_path, so_path, 0, compiler, mt_mode=mode)
+        except CodegenError:
+            return False
+        return True
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def select_mt_mode() -> str:
+    """The best in-kernel threading mode this host's toolchain supports.
+
+    ``pthread`` when ``-pthread`` compiles and links, else ``openmp`` when
+    ``-fopenmp`` does, else ``serial``.  Probed once per process (toolchains
+    do not change mid-run); the result changes the emitted source and the
+    compile flags, both of which join the artifact digest.
+    """
+    global _mt_mode_cache
+    if _mt_mode_cache is None:
+        compiler = find_c_compiler()
+        if compiler is None:
+            _mt_mode_cache = "serial"
+        else:
+            for mode in ("pthread", "openmp"):
+                if _probe_mt_mode(compiler, mode):
+                    _mt_mode_cache = mode
+                    break
+            else:
+                _mt_mode_cache = "serial"
+    return _mt_mode_cache
 
 
 def compile_shared_library(
-    source_path: str, output_path: str, opt_level: int, compiler: Optional[str] = None
+    source_path: str,
+    output_path: str,
+    opt_level: int,
+    compiler: Optional[str] = None,
+    mt_mode: str = "serial",
 ) -> None:
     """Compile one generated C file into a shared library.
 
@@ -82,7 +167,14 @@ def compile_shared_library(
     compiler = compiler if compiler is not None else find_c_compiler()
     if compiler is None:
         raise CompilerUnavailable("no C compiler (cc/gcc/clang) found on PATH")
-    command = [compiler, *compile_flags(opt_level), "-o", output_path, source_path, "-lm"]
+    command = [
+        compiler,
+        *compile_flags(opt_level, mt_mode),
+        "-o",
+        output_path,
+        source_path,
+        "-lm",
+    ]
     proc = subprocess.run(
         command, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
     )
@@ -100,7 +192,7 @@ class CompiledKernel:
     kernels from worker threads.
     """
 
-    __slots__ = ("path", "_library", "fn")
+    __slots__ = ("path", "_library", "fn", "fn_mt")
 
     def __init__(self, path: str) -> None:
         self.path = path
@@ -115,3 +207,15 @@ class CompiledKernel:
             ctypes.POINTER(ctypes.c_int64),
         )
         self.fn.restype = None
+        # Every schema-2 artifact exports the chunked entry point; hand-fed
+        # sources (tests, probes) may not, so its absence merely disables
+        # the one-call multi-thread launch path for this kernel.
+        self.fn_mt = getattr(self._library, MT_KERNEL_SYMBOL, None)
+        if self.fn_mt is not None:
+            self.fn_mt.argtypes = (
+                ctypes.POINTER(ctypes.c_int64),
+                ctypes.POINTER(ctypes.c_void_p),
+                ctypes.POINTER(ctypes.c_int64),
+                ctypes.c_int32,
+            )
+            self.fn_mt.restype = None

@@ -1,17 +1,32 @@
 """C99 emission from the loop-nest IR.
 
 One :class:`~repro.codegen.loopir.LoopNest` becomes one C translation unit
-exporting a single symbol::
+exporting two symbols::
 
     void repro_kernel(const int64_t *dims,   /* rank extents          */
                       char **ptrs,          /* one base ptr per slot  */
                       const int64_t *strides /* slot-major, in bytes  */)
+
+    void repro_kernel_mt(const int64_t *dims, char **ptrs,
+                         const int64_t *strides, int32_t nthreads)
 
 Geometry is entirely runtime: the artifact is compiled once per canonical
 kernel *form* and launched with whatever extents, pointers and strides the
 current tile supplies.  ``ptrs[i]`` already includes the view's element
 offset; ``strides[i * rank + d]`` is slot ``i``'s byte stride along loop
 dimension ``d``.
+
+``repro_kernel_mt`` is the chunked entry point: it block-partitions the
+outermost loop into up to ``nthreads`` row ranges and runs them on a
+persistent in-artifact pthread pool (``mt_mode="pthread"``), an OpenMP
+parallel-for (``"openmp"``), or serially on the caller (``"serial"``).
+``nthreads`` is a *runtime* argument — it never enters the artifact digest,
+so one compiled artifact serves every thread count.  The emission mode
+changes the source text (and the compile flags), so it does.
+:class:`~repro.codegen.loopir.ReduceNest` forms get their own translation
+unit via :func:`emit_reduce_source` with the same two-symbol ABI; threaded
+reductions collect per-chunk partials and tree-combine them pairwise in the
+tiled parallel backend's fixed order.
 
 Two emission decisions carry the performance win:
 
@@ -42,10 +57,19 @@ from typing import Dict, List
 import numpy as np
 
 from repro.bytecode import dtypes
-from repro.codegen.loopir import Cast, Literal, Load, LoopNest, Op, Store
+from repro.codegen.loopir import Cast, Literal, Load, LoopNest, Op, ReduceNest, Store
 
 #: Exported symbol name of every generated kernel.
 KERNEL_SYMBOL = "repro_kernel"
+
+#: Exported chunked entry point: same geometry arguments plus a runtime
+#: thread count.  One call covers the whole step; the artifact partitions
+#: the outermost splittable loop internally (pthread pool, OpenMP, or a
+#: straight serial call, depending on the emission mode).
+MT_KERNEL_SYMBOL = "repro_kernel_mt"
+
+#: Hard cap on in-kernel chunks; bounds the pool and the partial arrays.
+MT_MAX_PARTS = 64
 
 _CTYPE = {
     "BH_BOOL": "unsigned char",
@@ -243,11 +267,18 @@ class _BodyEmitter:
             return f"(({ctype} *){base})[{index}]"
         return f"(*({ctype} *)({base} + {index} * s{slot}_{rank - 1}))"
 
+    def _loop_header(self, depth: int) -> str:
+        # Depth 0 runs over the caller-supplied row range so the same body
+        # serves both the serial entry (0..dims[0]) and one mt chunk.
+        low = "row_start" if depth == 0 else "0"
+        high = "row_stop" if depth == 0 else f"n{depth}"
+        return f"for (int64_t i{depth} = {low}; i{depth} < {high}; ++i{depth}) {{"
+
     def emit(self) -> List[str]:
         rank = self.nest.rank
         num_slots = self.nest.num_slots
         for depth in range(rank - 1):
-            self.line(depth, f"for (int64_t i{depth} = 0; i{depth} < n{depth}; ++i{depth}) {{")
+            self.line(depth, self._loop_header(depth))
             for slot in range(num_slots):
                 if slot in self.nest.elided_slots:
                     continue
@@ -257,7 +288,7 @@ class _BodyEmitter:
                     f"char *b{slot}_{depth} = {prev} + i{depth} * s{slot}_{depth};",
                 )
         depth = rank - 1
-        self.line(depth, f"for (int64_t i{depth} = 0; i{depth} < n{depth}; ++i{depth}) {{")
+        self.line(depth, self._loop_header(depth))
         self._emit_statements(depth + 1)
         self.line(depth, "}")
         for depth in range(rank - 2, -1, -1):
@@ -290,7 +321,190 @@ class _BodyEmitter:
                 self.line(depth, f"{self._element(out_slot)} = v{out_slot};")
 
 
-def emit_kernel_source(nest: LoopNest) -> str:
+# ---------------------------------------------------------------------------
+# In-kernel threading scaffolding
+# ---------------------------------------------------------------------------
+
+_MT_DEFINE = f"#define REPRO_MT_MAX_PARTS {MT_MAX_PARTS}"
+
+#: Persistent worker pool compiled into every pthread-mode artifact.  The
+#: pool's threads are detached and live for the process: launches after the
+#: first pay no thread start-up.  ``repro_mt_launch_mu`` serializes whole
+#: launches, so concurrent callers of one artifact queue up rather than
+#: interleave task generations; the inner mutex + generation counter is the
+#: arm/ack handshake with the workers.
+_MT_POOL = """\
+#include <pthread.h>
+
+typedef struct {
+    const int64_t *dims;
+    char **ptrs;
+    const int64_t *strides;
+    int64_t start;
+    int64_t stop;
+    void *scratch;
+} repro_mt_task;
+
+static void repro_mt_run(const repro_mt_task *task);
+
+static pthread_mutex_t repro_mt_launch_mu = PTHREAD_MUTEX_INITIALIZER;
+static pthread_mutex_t repro_mt_mu = PTHREAD_MUTEX_INITIALIZER;
+static pthread_cond_t repro_mt_wake = PTHREAD_COND_INITIALIZER;
+static pthread_cond_t repro_mt_done = PTHREAD_COND_INITIALIZER;
+static repro_mt_task repro_mt_tasks[REPRO_MT_MAX_PARTS];
+static unsigned long repro_mt_generation = 0;
+static int repro_mt_workers = 0;
+static int repro_mt_armed = 0;
+static int repro_mt_pending = 0;
+
+static void *repro_mt_worker(void *arg)
+{
+    const int slot = (int)(intptr_t)arg;
+    unsigned long seen = 0;
+    for (;;) {
+        repro_mt_task task;
+        int armed;
+        pthread_mutex_lock(&repro_mt_mu);
+        while (repro_mt_generation == seen)
+            pthread_cond_wait(&repro_mt_wake, &repro_mt_mu);
+        seen = repro_mt_generation;
+        armed = slot < repro_mt_armed;
+        if (armed)
+            task = repro_mt_tasks[slot];
+        pthread_mutex_unlock(&repro_mt_mu);
+        if (!armed)
+            continue;
+        repro_mt_run(&task);
+        pthread_mutex_lock(&repro_mt_mu);
+        if (--repro_mt_pending == 0)
+            pthread_cond_signal(&repro_mt_done);
+        pthread_mutex_unlock(&repro_mt_mu);
+    }
+    return 0;
+}
+
+/* Block-partition rows [0, rows) into `parts` chunks -- the first
+ * rows % parts chunks get one extra row, matching the middleware's
+ * partition_length -- then run chunk 0 on the calling thread and the rest
+ * on pool workers.  When scratch is non-null, chunk i receives the address
+ * scratch + i * scratch_stride (how reductions collect partials).  Returns
+ * the number of chunks actually run: thread creation can fall short on a
+ * constrained host, in which case the split shrinks to what exists. */
+static int repro_mt_launch(const int64_t *dims, char **ptrs,
+                           const int64_t *strides, int64_t rows, int parts,
+                           void *scratch, int64_t scratch_stride)
+{
+    repro_mt_task own;
+    int64_t chunk, extra, cursor;
+    int index;
+    pthread_mutex_lock(&repro_mt_launch_mu);
+    pthread_mutex_lock(&repro_mt_mu);
+    while (repro_mt_workers < parts - 1) {
+        pthread_t tid;
+        pthread_attr_t attr;
+        if (pthread_attr_init(&attr) != 0)
+            break;
+        pthread_attr_setdetachstate(&attr, PTHREAD_CREATE_DETACHED);
+        if (pthread_create(&tid, &attr, repro_mt_worker,
+                           (void *)(intptr_t)repro_mt_workers) != 0) {
+            pthread_attr_destroy(&attr);
+            break;
+        }
+        pthread_attr_destroy(&attr);
+        repro_mt_workers++;
+    }
+    if (parts - 1 > repro_mt_workers)
+        parts = repro_mt_workers + 1;
+    chunk = rows / parts;
+    extra = rows % parts;
+    cursor = 0;
+    for (index = 0; index < parts; ++index) {
+        const int64_t count = chunk + (index < extra ? 1 : 0);
+        repro_mt_task *task = index == 0 ? &own : &repro_mt_tasks[index - 1];
+        task->dims = dims;
+        task->ptrs = ptrs;
+        task->strides = strides;
+        task->start = cursor;
+        task->stop = cursor + count;
+        task->scratch =
+            scratch == 0 ? 0 : (char *)scratch + (int64_t)index * scratch_stride;
+        cursor += count;
+    }
+    repro_mt_armed = parts - 1;
+    repro_mt_pending = parts - 1;
+    repro_mt_generation++;
+    pthread_cond_broadcast(&repro_mt_wake);
+    pthread_mutex_unlock(&repro_mt_mu);
+    repro_mt_run(&own);
+    pthread_mutex_lock(&repro_mt_mu);
+    while (repro_mt_pending != 0)
+        pthread_cond_wait(&repro_mt_done, &repro_mt_mu);
+    pthread_mutex_unlock(&repro_mt_mu);
+    pthread_mutex_unlock(&repro_mt_launch_mu);
+    return parts;
+}
+"""
+
+
+def _mt_clamp_lines(part_dim: int) -> List[str]:
+    return [
+        f"    const int64_t rows = dims[{part_dim}];",
+        "    int parts = (int)nthreads;",
+        "    if (parts > REPRO_MT_MAX_PARTS) parts = REPRO_MT_MAX_PARTS;",
+        "    if ((int64_t)parts > rows) parts = (int)rows;",
+    ]
+
+
+def _mt_body_entry(mt_mode: str, part_dim: int) -> List[str]:
+    """The chunked entry point for a body-style kernel (maps and axis
+    reductions): splits ``dims[part_dim]`` into row ranges and hands each to
+    ``repro_kernel_body``."""
+    head = [
+        f"void {MT_KERNEL_SYMBOL}(const int64_t *dims, char **ptrs, const int64_t *strides, int32_t nthreads)",
+        "{",
+    ]
+    if mt_mode == "serial":
+        return head + [
+            "    (void)nthreads;",
+            f"    repro_kernel_body(dims, ptrs, strides, 0, dims[{part_dim}]);",
+            "}",
+        ]
+    clamp = _mt_clamp_lines(part_dim) + [
+        "    if (parts <= 1) {",
+        "        repro_kernel_body(dims, ptrs, strides, 0, rows);",
+        "        return;",
+        "    }",
+    ]
+    if mt_mode == "pthread":
+        return [
+            "static void repro_mt_run(const repro_mt_task *task)",
+            "{",
+            "    repro_kernel_body(task->dims, task->ptrs, task->strides, task->start, task->stop);",
+            "}",
+            "",
+        ] + head + clamp + [
+            "    repro_mt_launch(dims, ptrs, strides, rows, parts, 0, 0);",
+            "}",
+        ]
+    return head + clamp + [
+        "    {",
+        "        const int64_t chunk = rows / parts;",
+        "        const int64_t extra = rows % parts;",
+        "        int index;",
+        "#if defined(_OPENMP)",
+        "#pragma omp parallel for schedule(static) num_threads(parts)",
+        "#endif",
+        "        for (index = 0; index < parts; ++index) {",
+        "            const int64_t start = (int64_t)index * chunk + (index < extra ? index : extra);",
+        "            const int64_t stop = start + chunk + (index < extra ? 1 : 0);",
+        "            repro_kernel_body(dims, ptrs, strides, start, stop);",
+        "        }",
+        "    }",
+        "}",
+    ]
+
+
+def emit_kernel_source(nest: LoopNest, mt_mode: str = "serial") -> str:
     """Emit the complete, deterministic C source for one loop nest."""
     rank = nest.rank
     num_slots = nest.num_slots
@@ -298,10 +512,18 @@ def emit_kernel_source(nest: LoopNest) -> str:
     lines = [
         "/* Generated by repro.codegen; one artifact per canonical kernel form. */",
         _PREAMBLE,
-        f"void {KERNEL_SYMBOL}(const int64_t *dims, char **ptrs, const int64_t *strides)",
+        _MT_DEFINE,
+        "",
+    ]
+    if mt_mode == "pthread":
+        lines.append(_MT_POOL)
+    lines += [
+        "static void repro_kernel_body(const int64_t *dims, char **ptrs, const int64_t *strides, int64_t row_start, int64_t row_stop)",
         "{",
     ]
-    for depth in range(rank):
+    if rank == 1:
+        lines.append("    (void)dims;")
+    for depth in range(1, rank):
         lines.append(f"    const int64_t n{depth} = dims[{depth}];")
     for slot in range(num_slots):
         if slot in nest.elided_slots:
@@ -322,4 +544,221 @@ def emit_kernel_source(nest: LoopNest) -> str:
     lines.extend("    " + text for text in _BodyEmitter(nest, contiguous=False).emit())
     lines.append("    }")
     lines.append("}")
+    lines += [
+        "",
+        f"void {KERNEL_SYMBOL}(const int64_t *dims, char **ptrs, const int64_t *strides)",
+        "{",
+        "    repro_kernel_body(dims, ptrs, strides, 0, dims[0]);",
+        "}",
+        "",
+    ]
+    lines += _mt_body_entry(mt_mode, 0)
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Reduction emission
+# ---------------------------------------------------------------------------
+
+
+def _combine_c(kind: str, dtype_name: str, a: str, b: str) -> str:
+    """One scalar combine step; mirrors the element-wise emission exactly so
+    compiled reductions and compiled maps agree on every operator corner."""
+    if kind == "add":
+        return f"(({a}) + ({b}))"
+    if kind == "mul":
+        return f"(({a}) * ({b}))"
+    helper = _MINMAX_HELPER.get((kind, dtype_name))
+    if helper is not None:
+        return f"{helper}({a}, {b})"
+    symbol = ">" if kind == "max" else "<"
+    return f"((({a}) {symbol} ({b})) ? ({a}) : ({b}))"
+
+
+_TREE_COMBINE_COMMENT = (
+    "        /* Pairwise tree combine in the tiled backend's fixed order:\n"
+    "         * adjacent pairs, halving, odd tail carried -- so a threaded\n"
+    "         * native reduction lands inside the exact relaxation contract\n"
+    "         * the parallel backend already established. */"
+)
+
+
+def _tree_combine_lines(nest: "ReduceNest") -> List[str]:
+    step = _combine_c(nest.kind, nest.acc_dtype, "partials[i]", "partials[i + 1]")
+    return [
+        _TREE_COMBINE_COMMENT,
+        "        while (count > 1) {",
+        "            int merged = 0;",
+        "            int i;",
+        "            for (i = 0; i + 1 < count; i += 2)",
+        f"                partials[merged++] = {step};",
+        "            if (count % 2)",
+        "                partials[merged++] = partials[count - 1];",
+        "            count = merged;",
+        "        }",
+        "        repro_kernel_store(ptrs, partials[0]);",
+    ]
+
+
+def _acc_load(nest: "ReduceNest", address: str) -> str:
+    src = _CTYPE[nest.source_dtype]
+    load = f"(*({src} *)({address}))"
+    if nest.acc_dtype != nest.source_dtype:
+        return f"({_CTYPE[nest.acc_dtype]}){load}"
+    return load
+
+
+def _emit_reduce_combine(nest: "ReduceNest", mt_mode: str) -> List[str]:
+    """A rank-1 full reduction: serial fold + partials-combining mt entry."""
+    acc = _CTYPE[nest.acc_dtype]
+    fold_step = _combine_c(
+        nest.kind, nest.acc_dtype, "acc", _acc_load(nest, "p0 + i * s0")
+    )
+    lines = [
+        f"static {acc} repro_kernel_fold(const int64_t *dims, char **ptrs, const int64_t *strides, int64_t row_start, int64_t row_stop)",
+        "{",
+        "    char * const p0 = ptrs[0];",
+        "    const int64_t s0 = strides[0];",
+        f"    {acc} acc = {_acc_load(nest, 'p0 + row_start * s0')};",
+        "    int64_t i;",
+        "    (void)dims;",
+        "    for (i = row_start + 1; i < row_stop; ++i)",
+        f"        acc = {fold_step};",
+        "    return acc;",
+        "}",
+        "",
+        f"static void repro_kernel_store(char **ptrs, {acc} value)",
+        "{",
+        f"    *({_CTYPE[nest.out_dtype]} *)ptrs[1] = {_cast_c('value', nest.out_dtype)};",
+        "}",
+        "",
+        f"void {KERNEL_SYMBOL}(const int64_t *dims, char **ptrs, const int64_t *strides)",
+        "{",
+        "    repro_kernel_store(ptrs, repro_kernel_fold(dims, ptrs, strides, 0, dims[0]));",
+        "}",
+        "",
+    ]
+    if mt_mode == "pthread":
+        lines += [
+            "static void repro_mt_run(const repro_mt_task *task)",
+            "{",
+            f"    *({acc} *)task->scratch = repro_kernel_fold(task->dims, task->ptrs, task->strides, task->start, task->stop);",
+            "}",
+            "",
+        ]
+    head = [
+        f"void {MT_KERNEL_SYMBOL}(const int64_t *dims, char **ptrs, const int64_t *strides, int32_t nthreads)",
+        "{",
+    ] + _mt_clamp_lines(0) + [
+        "    if (parts <= 1) {",
+        f"        {KERNEL_SYMBOL}(dims, ptrs, strides);",
+        "        return;",
+        "    }",
+        "    {",
+        f"        {acc} partials[REPRO_MT_MAX_PARTS];",
+        "        int count;",
+    ]
+    if mt_mode == "pthread":
+        body = [
+            f"        count = repro_mt_launch(dims, ptrs, strides, rows, parts, partials, (int64_t)sizeof({acc}));",
+        ]
+    else:
+        body = [
+            "        const int64_t chunk = rows / parts;",
+            "        const int64_t extra = rows % parts;",
+            "        int index;",
+        ]
+        if mt_mode == "openmp":
+            body += [
+                "#if defined(_OPENMP)",
+                "#pragma omp parallel for schedule(static) num_threads(parts)",
+                "#endif",
+            ]
+        body += [
+            "        for (index = 0; index < parts; ++index) {",
+            "            const int64_t start = (int64_t)index * chunk + (index < extra ? index : extra);",
+            "            const int64_t stop = start + chunk + (index < extra ? 1 : 0);",
+            "            partials[index] = repro_kernel_fold(dims, ptrs, strides, start, stop);",
+            "        }",
+            "        count = parts;",
+        ]
+    return lines + head + body + _tree_combine_lines(nest) + ["    }", "}"]
+
+
+def _emit_reduce_body(nest: "ReduceNest") -> List[str]:
+    """The n-D axis-reduction body: partition axis outermost (row-ranged),
+    remaining kept axes ascending, reduced-axis fold innermost."""
+    rank, axis, part = nest.rank, nest.axis, nest.part_axis
+    acc = _CTYPE[nest.acc_dtype]
+    loop_axes = [part] + [d for d in range(rank) if d not in (part, axis)]
+    lines = [
+        "static void repro_kernel_body(const int64_t *dims, char **ptrs, const int64_t *strides, int64_t row_start, int64_t row_stop)",
+        "{",
+    ]
+    for d in sorted(set(loop_axes[1:] + [axis])):
+        lines.append(f"    const int64_t n{d} = dims[{d}];")
+    lines.append("    char * const p0 = ptrs[0];")
+    lines.append("    char * const p1 = ptrs[1];")
+    for d in range(rank):
+        lines.append(f"    const int64_t s0_{d} = strides[{d}];")
+    for d in range(rank):
+        if d == axis:
+            continue  # the reduced axis has no output lane
+        lines.append(f"    const int64_t s1_{d} = strides[{rank + d}];")
+    indent = "    "
+    src_base, out_base = "p0", "p1"
+    for position, d in enumerate(loop_axes):
+        low = "row_start" if position == 0 else "0"
+        high = "row_stop" if position == 0 else f"n{d}"
+        lines.append(f"{indent}for (int64_t i{d} = {low}; i{d} < {high}; ++i{d}) {{")
+        indent += "    "
+        lines.append(f"{indent}char * const q0_{d} = {src_base} + i{d} * s0_{d};")
+        lines.append(f"{indent}char * const q1_{d} = {out_base} + i{d} * s1_{d};")
+        src_base, out_base = f"q0_{d}", f"q1_{d}"
+    fold_step = _combine_c(
+        nest.kind, nest.acc_dtype, "acc",
+        _acc_load(nest, f"{src_base} + i{axis} * s0_{axis}"),
+    )
+    lines += [
+        f"{indent}{acc} acc = {_acc_load(nest, src_base)};",
+        f"{indent}for (int64_t i{axis} = 1; i{axis} < n{axis}; ++i{axis})",
+        f"{indent}    acc = {fold_step};",
+        f"{indent}*({_CTYPE[nest.out_dtype]} *){out_base} = {_cast_c('acc', nest.out_dtype)};",
+    ]
+    for _ in loop_axes:
+        indent = indent[:-4]
+        lines.append(f"{indent}}}")
+    lines.append("}")
+    return lines
+
+
+def emit_reduce_source(nest: ReduceNest, mt_mode: str = "serial") -> str:
+    """Emit the complete, deterministic C source for one reduction nest.
+
+    ABI: ``dims`` holds the *source* extents (``nest.rank`` entries);
+    ``ptrs`` is ``[source, output]``; ``strides`` holds the source's byte
+    strides (``rank`` entries) followed by the output's byte strides aligned
+    to source axes, with a zero in the reduced axis's lane.
+    """
+    lines = [
+        "/* Generated by repro.codegen; one artifact per canonical reduction form. */",
+        _PREAMBLE,
+        _MT_DEFINE,
+        "",
+    ]
+    if mt_mode == "pthread":
+        lines.append(_MT_POOL)
+    if nest.combine:
+        lines += _emit_reduce_combine(nest, mt_mode)
+    else:
+        lines += _emit_reduce_body(nest)
+        lines += [
+            "",
+            f"void {KERNEL_SYMBOL}(const int64_t *dims, char **ptrs, const int64_t *strides)",
+            "{",
+            f"    repro_kernel_body(dims, ptrs, strides, 0, dims[{nest.part_axis}]);",
+            "}",
+            "",
+        ]
+        lines += _mt_body_entry(mt_mode, nest.part_axis)
     return "\n".join(lines) + "\n"

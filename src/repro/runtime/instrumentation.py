@@ -55,6 +55,20 @@ class ExecutionStats:
         Tiled map steps that fell back to interpreted kernel templates
         (unsupported op-codes/dtypes, aliasing hazards, compile failure or
         codegen disabled).
+    native_mt_launches:
+        Map steps (and compiled reductions) that ran as ONE
+        ``repro_kernel_mt`` call, with the thread split performed inside
+        the compiled artifact instead of by per-tile Python launches.
+    native_reductions_compiled:
+        Tiled reductions that executed through a compiled reduction
+        kernel.
+    native_reduction_fallbacks:
+        Tiled reductions that ran on the interpreted tiled paths instead
+        (no lowering for the form, compile failure, or
+        ``codegen_reductions_enabled`` off).
+    native_slots_elided:
+        Kernel-local slots whose storage compiled launches elided
+        entirely this execution (counted per launched step).
     tiles_executed:
         Number of tiles launched by the tiled parallel backend.
     tiled_instructions:
@@ -102,6 +116,10 @@ class ExecutionStats:
     native_memory_hits: int = 0
     native_kernel_launches: int = 0
     native_fallbacks: int = 0
+    native_mt_launches: int = 0
+    native_reductions_compiled: int = 0
+    native_reduction_fallbacks: int = 0
+    native_slots_elided: int = 0
     tiles_executed: int = 0
     tiled_instructions: int = 0
     serial_fallbacks: int = 0
@@ -137,6 +155,10 @@ class ExecutionStats:
         self.native_memory_hits += other.native_memory_hits
         self.native_kernel_launches += other.native_kernel_launches
         self.native_fallbacks += other.native_fallbacks
+        self.native_mt_launches += other.native_mt_launches
+        self.native_reductions_compiled += other.native_reductions_compiled
+        self.native_reduction_fallbacks += other.native_reduction_fallbacks
+        self.native_slots_elided += other.native_slots_elided
         self.tiles_executed += other.tiles_executed
         self.tiled_instructions += other.tiled_instructions
         self.serial_fallbacks += other.serial_fallbacks
@@ -175,6 +197,10 @@ class ExecutionStats:
             "native_memory_hits": self.native_memory_hits,
             "native_kernel_launches": self.native_kernel_launches,
             "native_fallbacks": self.native_fallbacks,
+            "native_mt_launches": self.native_mt_launches,
+            "native_reductions_compiled": self.native_reductions_compiled,
+            "native_reduction_fallbacks": self.native_reduction_fallbacks,
+            "native_slots_elided": self.native_slots_elided,
             "tiles_executed": self.tiles_executed,
             "tiled_instructions": self.tiled_instructions,
             "serial_fallbacks": self.serial_fallbacks,

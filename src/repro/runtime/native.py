@@ -28,6 +28,7 @@ counted cumulatively on the backend and windowed into each execution's
 from __future__ import annotations
 
 import ctypes
+import os
 import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Sequence, Tuple
@@ -38,13 +39,19 @@ from repro.codegen.cache import (
     memory_cache_size,
     resolve_cache_dir,
 )
-from repro.codegen.compiler import CodegenError
-from repro.codegen.emit_c import emit_kernel_source
-from repro.codegen.loopir import LoopNest, LoweringError, lower_kernel
+from repro.codegen.compiler import CodegenError, select_mt_mode
+from repro.codegen.emit_c import emit_kernel_source, emit_reduce_source
+from repro.codegen.loopir import (
+    LoopNest,
+    LoweringError,
+    ReduceNest,
+    lower_kernel,
+    lower_reduction,
+)
 from repro.runtime.kernel import prepare_kernel_launch
 from repro.runtime.memory import MemoryManager
 from repro.runtime.parallel import ParallelBackend
-from repro.runtime.tiling import TiledMapStep
+from repro.runtime.tiling import TiledMapStep, TiledReduceStep
 
 
 class NativeKernelLaunch:
@@ -59,6 +66,7 @@ class NativeKernelLaunch:
 
     __slots__ = (
         "_fn",
+        "_fn_mt",
         "_rank",
         "_itemsizes",
         "_dims_type",
@@ -72,8 +80,18 @@ class NativeKernelLaunch:
     #: worker threads would consume the tiles (see ``_run_map``).
     single_pass = True
 
-    def __init__(self, compiled, nest: LoopNest, slots: Sequence[View]) -> None:
+    def __init__(
+        self,
+        compiled,
+        nest: LoopNest,
+        slots: Sequence[View],
+        mt_mode: str = "serial",
+    ) -> None:
         self._fn = compiled.fn
+        # The chunked entry point threads inside the artifact only in
+        # pthread/openmp emission; a serial-mode artifact's mt symbol is a
+        # plain forward, so multi-thread launches keep the per-tile path.
+        self._fn_mt = compiled.fn_mt if mt_mode != "serial" else None
         self._rank = nest.rank
         self._itemsizes = tuple(view.dtype.itemsize for view in slots)
         #: Slots the compiled kernel keeps in registers: no storage is
@@ -85,7 +103,12 @@ class NativeKernelLaunch:
         self._ptrs_type = ctypes.c_void_p * num_slots
         self._strides_type = ctypes.c_int64 * (num_slots * nest.rank)
 
-    def __call__(self, memory: MemoryManager, views: Sequence[View]) -> None:
+    @property
+    def supports_mt(self) -> bool:
+        """Whether one call can split the outer loop across in-kernel threads."""
+        return self._fn_mt is not None
+
+    def _marshal(self, memory: MemoryManager, views: Sequence[View]):
         rank = self._rank
         dims = self._dims_type(*views[0].shape)
         pointers = []
@@ -99,7 +122,76 @@ class NativeKernelLaunch:
             pointers.append(storage.ctypes.data + view.offset * itemsize)
             for stride in view.strides:
                 strides.append(stride * itemsize)
-        self._fn(dims, self._ptrs_type(*pointers), self._strides_type(*strides))
+        return dims, self._ptrs_type(*pointers), self._strides_type(*strides)
+
+    def __call__(self, memory: MemoryManager, views: Sequence[View]) -> None:
+        dims, pointers, strides = self._marshal(memory, views)
+        self._fn(dims, pointers, strides)
+
+    def launch_mt(
+        self, memory: MemoryManager, views: Sequence[View], nthreads: int
+    ) -> None:
+        """Run the whole step as ONE foreign call; the artifact splits the
+        outermost loop across its persistent worker pool."""
+        dims, pointers, strides = self._marshal(memory, views)
+        self._fn_mt(dims, pointers, strides, ctypes.c_int32(nthreads))
+
+
+class NativeReduceLaunch:
+    """A compiled reduction kernel bound to its geometry mapping.
+
+    ABI (see :func:`repro.codegen.emit_c.emit_reduce_source`): ``dims`` are
+    the *source* extents, ``ptrs`` is ``[source, output]``, and ``strides``
+    carries the source byte strides followed by the output byte strides
+    aligned to source axes with a zero lane at the reduced axis.
+    """
+
+    __slots__ = ("_fn", "_fn_mt", "_rank", "_axis", "_dims_type", "_ptrs_type", "_strides_type")
+
+    def __init__(self, compiled, nest: ReduceNest, mt_mode: str = "serial") -> None:
+        self._fn = compiled.fn
+        self._fn_mt = compiled.fn_mt if mt_mode != "serial" else None
+        self._rank = nest.rank
+        self._axis = nest.axis
+        self._dims_type = ctypes.c_int64 * nest.rank
+        self._ptrs_type = ctypes.c_void_p * 2
+        self._strides_type = ctypes.c_int64 * (2 * nest.rank)
+
+    @property
+    def supports_mt(self) -> bool:
+        return self._fn_mt is not None
+
+    def __call__(
+        self,
+        memory: MemoryManager,
+        source_view: View,
+        out_view: View,
+        nthreads: int,
+    ) -> bool:
+        """Run the reduction; returns True when the chunked entry fired."""
+        src_item = source_view.dtype.itemsize
+        out_item = out_view.dtype.itemsize
+        dims = self._dims_type(*source_view.shape)
+        src_storage = memory.allocate(source_view.base)
+        out_storage = memory.allocate(out_view.base)
+        pointers = self._ptrs_type(
+            src_storage.ctypes.data + source_view.offset * src_item,
+            out_storage.ctypes.data + out_view.offset * out_item,
+        )
+        strides = [stride * src_item for stride in source_view.strides]
+        out_position = 0
+        for dim in range(self._rank):
+            if dim == self._axis:
+                strides.append(0)
+            else:
+                strides.append(out_view.strides[out_position] * out_item)
+                out_position += 1
+        packed = self._strides_type(*strides)
+        if self._fn_mt is not None and nthreads > 1:
+            self._fn_mt(dims, pointers, packed, ctypes.c_int32(nthreads))
+            return True
+        self._fn(dims, pointers, packed)
+        return False
 
 
 class NativeBackend(ParallelBackend):
@@ -125,6 +217,10 @@ class NativeBackend(ParallelBackend):
         self.native_memory_hits = 0
         self.native_kernel_launches = 0
         self.native_fallbacks = 0
+        self.native_mt_launches = 0
+        self.native_reductions_compiled = 0
+        self.native_reduction_fallbacks = 0
+        self.native_slots_elided = 0
         self.native_cache_hits = 0
         self.native_cache_misses = 0
         # Open stats window: counters snapshot taken when the engine first
@@ -148,12 +244,36 @@ class NativeBackend(ParallelBackend):
     # ------------------------------------------------------------------ #
 
     def _codegen_signature(self, config) -> tuple:
+        # The threading *mode* changes the emitted source and flags, so it
+        # is part of the signature; the thread *count* is a runtime
+        # argument of the artifact and deliberately is not.
         return (
             config.codegen_enabled,
             resolve_cache_dir(config.codegen_cache_dir),
             int(config.codegen_opt_level),
             config.codegen_disk_cache_enabled,
+            select_mt_mode() if config.codegen_enabled else "serial",
+            config.codegen_reductions_enabled,
         )
+
+    def _resolve_codegen_threads(self, config, fallback: int) -> int:
+        """The thread count handed to ``repro_kernel_mt`` launches.
+
+        ``codegen_threads`` > ``REPRO_CODEGEN_THREADS`` env var > the
+        parallel worker count.  Purely runtime: changing it never touches
+        plan tilings or compiled artifacts.
+        """
+        threads = config.codegen_threads
+        if threads is None:
+            env = os.environ.get("REPRO_CODEGEN_THREADS")
+            if env:
+                try:
+                    threads = int(env)
+                except ValueError:
+                    threads = None
+        if threads is None:
+            threads = fallback
+        return max(1, int(threads))
 
     def _native_launch(
         self,
@@ -187,18 +307,83 @@ class NativeBackend(ParallelBackend):
         outcome = None
         try:
             nest = lower_kernel(instructions, local_slots)
-            source = emit_kernel_source(nest)
+            mt_mode = select_mt_mode()
+            source = emit_kernel_source(nest, mt_mode=mt_mode)
             compiled, outcome = get_compiled_kernel(
                 source,
                 opt_level=config.codegen_opt_level,
                 cache_dir=config.codegen_cache_dir,
                 use_disk=config.codegen_disk_cache_enabled,
+                mt_mode=mt_mode,
             )
-            launch = NativeKernelLaunch(compiled, nest, slots)
+            launch = NativeKernelLaunch(compiled, nest, slots, mt_mode)
         except (LoweringError, CodegenError):
             # No lowering, no compiler, or a toolchain failure: degrade to
             # the interpreted template — and remember, so the next launch
             # of this form pays one dict lookup instead of re-diagnosing.
+            launch = None
+        with self._cache_lock:
+            if outcome == "compiled":
+                self.native_compiles += 1
+            elif outcome == "disk":
+                self.native_disk_hits += 1
+            elif outcome == "memory":
+                self.native_memory_hits += 1
+            if cache_key not in self._native_cache:
+                self._native_cache[cache_key] = launch
+                while len(self._native_cache) > self._native_capacity:
+                    self._native_cache.popitem(last=False)
+            return self._native_cache[cache_key]
+
+    def _native_reduce_launch(
+        self, instruction, step: TiledReduceStep
+    ) -> Optional[NativeReduceLaunch]:
+        """Resolve a tiled reduction to a compiled launchable, or ``None``.
+
+        Shares the backend LRU with map forms; the key is structural
+        (opcode, dtypes, rank, axis, tiling shape), so one artifact serves
+        every rebind and every array size of the same canonical reduction.
+        """
+        config = self._effective_config()
+        if not (config.codegen_enabled and config.codegen_reductions_enabled):
+            return None
+        source = instruction.inputs[0]
+        out = instruction.out
+        if out is None:
+            return None
+        signature = self._codegen_signature(config)
+        key = (
+            "reduce",
+            instruction.opcode,
+            source.dtype.name,
+            out.dtype.name,
+            len(source.shape),
+            int(instruction.constants[0].value),
+            step.combine,
+            step.tile_axis,
+        )
+        cache_key = (key, frozenset(), signature)
+        with self._cache_lock:
+            if cache_key in self._native_cache:
+                self._native_cache.move_to_end(cache_key)
+                self.native_cache_hits += 1
+                return self._native_cache[cache_key]
+            self.native_cache_misses += 1
+        launch: Optional[NativeReduceLaunch] = None
+        outcome = None
+        try:
+            nest = lower_reduction(instruction, step.combine, step.tile_axis)
+            mt_mode = select_mt_mode()
+            source_c = emit_reduce_source(nest, mt_mode=mt_mode)
+            compiled, outcome = get_compiled_kernel(
+                source_c,
+                opt_level=config.codegen_opt_level,
+                cache_dir=config.codegen_cache_dir,
+                use_disk=config.codegen_disk_cache_enabled,
+                mt_mode=mt_mode,
+            )
+            launch = NativeReduceLaunch(compiled, nest, mt_mode)
+        except (LoweringError, CodegenError):
             launch = None
         with self._cache_lock:
             if outcome == "compiled":
@@ -224,10 +409,62 @@ class NativeBackend(ParallelBackend):
         if launch is not None:
             with self._cache_lock:
                 self.native_kernel_launches += 1
+                self.native_slots_elided += len(launch.elided_slots)
             return slots, launch
         with self._cache_lock:
             self.native_fallbacks += 1
         return slots, self._resolve_template(key, make_template)
+
+    def _launch_map(self, launcher, slots, step, memory, stats, threads) -> None:
+        """Collapse a multi-thread launch of a chunk-capable compiled
+        kernel into ONE ``repro_kernel_mt`` call.
+
+        The artifact block-partitions the outermost loop over its
+        persistent in-kernel pool, so the whole fused step costs a single
+        ctypes round (which releases the GIL) regardless of thread count.
+        Hazard analysis already happened at plan time: only splittable
+        nests become :class:`TiledMapStep`s, and serial-hazard nests never
+        reach this seam.  Interpreted templates, serial-mode artifacts and
+        single-thread launches keep the inherited per-tile machinery.
+        """
+        if isinstance(launcher, NativeKernelLaunch) and launcher.supports_mt:
+            nthreads = self._resolve_codegen_threads(self._effective_config(), threads)
+            if nthreads > 1:
+                stats.tiles_executed += 1
+                launcher.launch_mt(memory, slots, nthreads)
+                with self._cache_lock:
+                    self.native_mt_launches += 1
+                return
+        super()._launch_map(launcher, slots, step, memory, stats, threads)
+
+    def _run_reduce(self, instruction, step, memory, stats, threads) -> None:
+        """Run a tiled reduction through a compiled kernel when one exists.
+
+        The compiled path is one foreign call: n-D forms chunk the
+        partition axis into disjoint output slices; rank-1 combine forms
+        collect per-chunk partials and tree-combine them inside the
+        artifact in the tiled backend's fixed order.  Forms that do not
+        lower (or with reductions disabled) fall back to the inherited
+        interpreted tiled paths, counted as reduction fallbacks.
+        """
+        launch = self._native_reduce_launch(instruction, step)
+        source_view = instruction.inputs[0]
+        if launch is not None and 0 not in source_view.shape:
+            stats.kernel_launches += 1
+            stats.record_instruction(instruction.opcode)
+            self._interpreter._account_traffic(instruction, memory, stats)
+            stats.tiled_instructions += 1
+            stats.tiles_executed += 1
+            nthreads = self._resolve_codegen_threads(self._effective_config(), threads)
+            used_mt = launch(memory, source_view, instruction.out, nthreads)
+            with self._cache_lock:
+                self.native_reductions_compiled += 1
+                if used_mt:
+                    self.native_mt_launches += 1
+            return
+        with self._cache_lock:
+            self.native_reduction_fallbacks += 1
+        super()._run_reduce(instruction, step, memory, stats, threads)
 
     def prepare_plan(self, plan) -> None:
         """Tile (inherited) and pre-compile the plan's kernel forms.
@@ -248,6 +485,9 @@ class NativeBackend(ParallelBackend):
             if plan.native_signature == signature:
                 return
             for step in plan.tiling.steps:
+                if isinstance(step, TiledReduceStep):
+                    self._native_reduce_launch(plan.optimized[step.index], step)
+                    continue
                 if not isinstance(step, TiledMapStep):
                     continue
                 instruction = plan.optimized[step.index]
@@ -269,6 +509,10 @@ class NativeBackend(ParallelBackend):
             self.native_memory_hits,
             self.native_kernel_launches,
             self.native_fallbacks,
+            self.native_mt_launches,
+            self.native_reductions_compiled,
+            self.native_reduction_fallbacks,
+            self.native_slots_elided,
         )
 
     def _close_window(self, stats) -> None:
@@ -282,6 +526,10 @@ class NativeBackend(ParallelBackend):
         stats.native_memory_hits += now[2] - start[2]
         stats.native_kernel_launches += now[3] - start[3]
         stats.native_fallbacks += now[4] - start[4]
+        stats.native_mt_launches += now[5] - start[5]
+        stats.native_reductions_compiled += now[6] - start[6]
+        stats.native_reduction_fallbacks += now[7] - start[7]
+        stats.native_slots_elided += now[8] - start[8]
 
     def execute_plan(self, plan, program, memory=None):
         if self._window_start is None:
@@ -318,6 +566,10 @@ class NativeBackend(ParallelBackend):
                 "native_memory_hits": self.native_memory_hits,
                 "native_kernel_launches": self.native_kernel_launches,
                 "native_fallbacks": self.native_fallbacks,
+                "native_mt_launches": self.native_mt_launches,
+                "native_reductions_compiled": self.native_reductions_compiled,
+                "native_reduction_fallbacks": self.native_reduction_fallbacks,
+                "native_slots_elided": self.native_slots_elided,
                 "native_cache_hits": self.native_cache_hits,
                 "native_cache_misses": self.native_cache_misses,
                 "native_cache_size": len(self._native_cache),

@@ -35,7 +35,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -320,15 +320,32 @@ class ParallelBackend(Backend):
             self._interpreter._account_traffic(inner, memory, stats)
         slots, launcher = self._map_launcher(instructions, step)
         # Allocate every base up front: worker threads must never mutate
-        # the memory manager.  Slots the launcher elides (instruction-local
+        # the memory manager.  Slots the launcher elides (kernel-local
         # temporaries a compiled kernel keeps in registers) never
         # materialize at all.
         elided = getattr(launcher, "elided_slots", ())
         for position, view in enumerate(slots):
             if position not in elided:
                 memory.allocate(view.base)
-        spans = step.spans
         stats.tiled_instructions += len(instructions)
+        self._launch_map(launcher, slots, step, memory, stats, threads)
+
+    def _launch_map(
+        self,
+        launcher,
+        slots: Sequence[View],
+        step: TiledMapStep,
+        memory: MemoryManager,
+        stats: ExecutionStats,
+        threads: int,
+    ) -> None:
+        """Run one resolved map step over its tile spans (the launch seam).
+
+        All bases are already allocated.  The native backend overrides this
+        to collapse a multi-thread launch of a chunk-capable compiled
+        kernel into a single in-kernel-threaded call.
+        """
+        spans = step.spans
         if threads <= 1 and len(spans) > 1 and getattr(launcher, "single_pass", False):
             # A compiled loop nest tiles only to feed worker threads; with
             # a single worker the whole step runs as one native call,

@@ -203,6 +203,14 @@ _CONFIG_SIGNATURE_FIELDS = (
     "codegen_cache_dir",
     "codegen_opt_level",
     "codegen_disk_cache_enabled",
+    # codegen_threads is a *runtime* argument of compiled artifacts (the
+    # chunked entry point takes it per call), but plans pre-resolve their
+    # launchables and stamp the resolution signature, so the thread knob is
+    # signed here to keep "which plan ran with which knobs" auditable;
+    # reductions-enabled flips steps between compiled and interpreted
+    # execution paths at prepare time.
+    "codegen_threads",
+    "codegen_reductions_enabled",
 )
 
 

@@ -74,10 +74,14 @@ class TiledMapStep:
 
     ``local_slots`` names the kernel's template slots (see
     :func:`repro.runtime.kernel.kernel_slot_views`) whose base arrays are
-    *instruction-local*: every access in the whole program happens inside
-    this one instruction, the base is freed and never synced.  Slot indices
-    are structural, so the set survives plan rebinding; backends that
-    compile kernels use it to keep such temporaries out of memory entirely.
+    *kernel-local*: the base's lifetime **ends** inside this instruction —
+    its last access in the whole program happens here, it is freed and
+    never synced.  Earlier accesses at other program indices are allowed
+    (they are dead defs this kernel overwrites); within-kernel soundness
+    (the first reference here must be a store) is re-checked by
+    :func:`repro.codegen.loopir._elidable_slots`.  Slot indices are
+    structural, so the set survives plan rebinding; backends that compile
+    kernels use it to keep such temporaries out of memory entirely.
     """
 
     index: int
@@ -271,13 +275,17 @@ def _decompose_reduce(
 
 
 def _local_slot_indices(index: int, instruction: Instruction, defuse) -> frozenset:
-    """Template slots of one map step whose bases are instruction-local.
+    """Template slots of one map step whose bases are kernel-local.
 
-    A base qualifies when liveness sees *every* access to it at this one
-    program index, it is explicitly freed, and it is never synced: nothing
-    before, after, or outside the program can observe its contents, so a
-    compiled kernel may keep the value in registers and never materialize
-    the storage.
+    A base qualifies when its *last* access in the whole program happens at
+    this program index, it is explicitly freed, and it is never synced:
+    nothing after or outside the program can observe what this kernel
+    writes, so a compiled kernel may keep the value in registers and never
+    materialize the storage.  Accesses at earlier indices are permitted —
+    they are dead defs (or reads of them) this kernel's first store
+    overwrites; a kernel that instead *reads* the base before storing keeps
+    its memory lane (:func:`repro.codegen.loopir._elidable_slots` rejects
+    load-before-store slots), so earlier-produced values are never lost.
     """
     from repro.runtime.kernel import kernel_slot_views
 
@@ -288,7 +296,7 @@ def _local_slot_indices(index: int, instruction: Instruction, defuse) -> frozens
         if base_id in defuse.synced or base_id not in defuse.freed:
             continue
         accesses = defuse.accesses.get(base_id, ())
-        if accesses and all(access.index == index for access in accesses):
+        if accesses and max(access.index for access in accesses) == index:
             local.add(position)
     return frozenset(local)
 

@@ -334,6 +334,14 @@ def _serve_stress(program, args, out) -> int:
         f"{pool['pool_lock_contentions']} lock contention(s)",
         file=out,
     )
+    if "native_mt_launches" in cache:
+        print(
+            f"  native: {cache['native_mt_launches']} in-kernel mt "
+            f"launch(es), {cache['native_reductions_compiled']} compiled "
+            f"reduction(s), {cache['native_reduction_fallbacks']} reduction "
+            f"fallback(s), {cache['native_slots_elided']} slot(s) elided",
+            file=out,
+        )
     if report["ok"]:
         print("  result: bitwise-identical to the serial reference", file=out)
         return 0
@@ -345,6 +353,25 @@ def _serve_stress(program, args, out) -> int:
     for error in report["errors"]:
         print(f"    {error}", file=out)
     return 3
+
+
+def _codegen_block(cache: dict) -> Optional[dict]:
+    """The ``codegen`` summary of ``--stats-json``: how the native tier ran.
+
+    ``None`` for backends without native counters, so the block's presence
+    itself says "this execution had a compiled tier".
+    """
+    if "native_mt_launches" not in cache:
+        return None
+    return {
+        "mt_launches": cache["native_mt_launches"],
+        "reductions_compiled": cache["native_reductions_compiled"],
+        "reduction_fallbacks": cache["native_reduction_fallbacks"],
+        "slots_elided": cache["native_slots_elided"],
+        "compiles": cache["native_compiles"],
+        "kernel_launches": cache["native_kernel_launches"],
+        "fallbacks": cache["native_fallbacks"],
+    }
 
 
 def _format_schedule(schedule) -> str:
@@ -397,12 +424,16 @@ def _run_stats_json(program, pipeline, report, args, out) -> int:
             exit_code = 2
     if args.backend is not None:
         engine, trajectory = _engine_trajectory(program, pipeline, report, args)
+        cache_stats = engine.cache_stats()
         execution = {
             "backend": engine.backend.name,
             "runs": args.repeat,
             "per_run": [stats.as_dict() for stats in trajectory],
-            "cache": engine.cache_stats(),
+            "cache": cache_stats,
         }
+        codegen = _codegen_block(cache_stats)
+        if codegen is not None:
+            execution["codegen"] = codegen
         plan = engine.last_plan
         memory_plan = plan.memory_plan if plan is not None else None
         if memory_plan is not None:
@@ -498,6 +529,14 @@ def _execute_with_engine(program, pipeline, report, args, out) -> None:
             f"{cache['native_memory_hits']} memory hit(s), "
             f"{cache['native_kernel_launches']} native launch(es), "
             f"{cache['native_fallbacks']} fallback(s)",
+            file=out,
+        )
+    if "native_mt_launches" in cache:
+        print(
+            f"  native threading: {cache['native_mt_launches']} in-kernel "
+            f"mt launch(es), {cache['native_reductions_compiled']} compiled "
+            f"reduction(s), {cache['native_reduction_fallbacks']} reduction "
+            f"fallback(s), {cache['native_slots_elided']} slot(s) elided",
             file=out,
         )
 

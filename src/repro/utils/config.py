@@ -112,6 +112,18 @@ class Config:
         Whether compiled artifacts persist on disk.  When off, kernels
         compile into a process-private temporary directory and only the
         in-process cache amortizes them.
+    codegen_threads:
+        Thread count passed to compiled kernels' ``repro_kernel_mt`` entry
+        point (in-kernel chunking across the artifact's persistent worker
+        pool).  ``None`` defers to the ``REPRO_CODEGEN_THREADS``
+        environment variable and then to the parallel worker count.  This
+        is a *runtime* argument of the artifact — changing it never
+        recompiles or invalidates cached kernels.
+    codegen_reductions_enabled:
+        Whether tiled reductions lower to compiled C kernels.  When off
+        (or when a reduction form has no lowering) reductions run on the
+        tiled interpreted paths, counted as
+        ``native_reduction_fallbacks``.
     service_max_inflight:
         Global cap on concurrently executing flushes inside an
         :class:`~repro.service.ArrayService`.  Arrivals beyond the cap
@@ -163,6 +175,8 @@ class Config:
     codegen_cache_dir: Optional[str] = None
     codegen_opt_level: int = 3
     codegen_disk_cache_enabled: bool = True
+    codegen_threads: Optional[int] = None
+    codegen_reductions_enabled: bool = True
     service_max_inflight: int = 16
     service_tenant_max_inflight: int = 4
     service_admission_timeout_seconds: float = 5.0

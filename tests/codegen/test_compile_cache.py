@@ -85,6 +85,41 @@ class TestCacheLifecycle:
         source = _source("optlevel")
         assert artifact_digest(source, 0) != artifact_digest(source, 2)
 
+    def test_mt_mode_changes_the_digest(self):
+        # The threading mode changes the compile flags (-pthread/-fopenmp),
+        # so artifacts built under different modes may never alias; the
+        # thread *count* is a runtime argument and has no digest input.
+        source = _source("mtmode")
+        digests = {
+            mode: artifact_digest(source, 2, mt_mode=mode)
+            for mode in ("serial", "pthread", "openmp")
+        }
+        assert len(set(digests.values())) == 3
+
+    def test_mt_symbol_binding_is_optional(self, tmp_path):
+        # Hand-written kernels (and any pre-ABI source) without the
+        # chunked symbol load fine; fn_mt is simply absent.
+        kernel, _ = _compile(_source("nomtsymbol"), tmp_path)
+        assert kernel.fn is not None
+        assert kernel.fn_mt is None
+
+    def test_mt_symbol_binds_when_exported(self, tmp_path):
+        source = (
+            "#include <stdint.h>\n"
+            "void repro_kernel(const int64_t *dims, char **ptrs,\n"
+            "                  const int64_t *strides) {\n"
+            "    (void)dims; (void)ptrs; (void)strides;\n"
+            "}\n"
+            "void repro_kernel_mt(const int64_t *dims, char **ptrs,\n"
+            "                     const int64_t *strides, int32_t nthreads) {\n"
+            "    (void)nthreads;\n"
+            "    repro_kernel(dims, ptrs, strides);\n"
+            "}\n"
+        )
+        kernel, _ = _compile(source, tmp_path)
+        assert kernel.fn is not None
+        assert kernel.fn_mt is not None
+
     def test_disk_cache_disabled_writes_nothing(self, tmp_path):
         _, outcome = _compile(_source("nodisk"), tmp_path, use_disk=False)
         assert outcome == "compiled"
@@ -181,6 +216,29 @@ class TestCorruption:
                 json.dump(meta, handle)
 
         self._damaged_reload(tmp_path, "schema", bump)
+
+    def test_previous_schema_artifacts_are_discarded(self, tmp_path):
+        """A store restored from before the mt ABI must fully recompile.
+
+        Schema-1 artifacts export only ``repro_kernel``; dlopen'ing one
+        under the current ABI would hand the backend a library without the
+        chunked entry point.  The version gate must treat them exactly
+        like corruption: discard, recompile, republish under the current
+        schema.
+        """
+
+        def downgrade(so_path, meta_path, c_path):
+            meta = json.loads(open(meta_path).read())
+            meta["schema"] = ARTIFACT_SCHEMA - 1
+            with open(meta_path, "w") as handle:
+                json.dump(meta, handle)
+
+        self._damaged_reload(tmp_path, "oldschema", downgrade)
+        # _damaged_reload already proved recompile + healed disk hit; the
+        # republished sidecar must carry the current schema.
+        digest = artifact_digest(_source("oldschema"), 2)
+        _, meta_path, _ = _artifact_paths(str(tmp_path), digest)
+        assert json.loads(open(meta_path).read())["schema"] == ARTIFACT_SCHEMA
 
     def test_discarded_artifacts_are_removed(self, tmp_path):
         source = _source("removal")

@@ -256,6 +256,73 @@ def test_native_backend_actually_compiles_kernels():
     )
 
 
+@pytest.mark.parametrize("seed", ELEMENTWISE_SEEDS[:20])
+def test_native_thread_axis_elementwise_bitwise(seed):
+    """native × threads∈{1,4}: in-kernel threading may not move a bit.
+
+    Element-wise kernels compute each output element independently, so the
+    block partition performed inside ``repro_kernel_mt`` must be invisible:
+    the threads=4 run compares bitwise against the threads=1 run (and both
+    against the oracle via the main parity axis).
+    """
+    program, synced = random_elementwise_program(
+        seed, num_instructions=12, vector_length=24
+    )
+    results = {}
+    for threads in (1, 4):
+        with config_override(**TINY_TILES, codegen_threads=threads):
+            results[threads], _ = _execute(program, synced, "native", optimize=True)
+    for index, (actual, expected) in enumerate(zip(results[4], results[1])):
+        _assert_bitwise(
+            actual, expected, f"native threads=4 vs threads=1 (seed {seed}), output {index}"
+        )
+
+
+@pytest.mark.parametrize("seed", MIXED_SEEDS[:20])
+def test_native_thread_axis_mixed_within_contract(seed):
+    """native × threads∈{1,4} on reduction-bearing programs.
+
+    Thread count changes how a compiled 1-D combine reduction chunks its
+    partials, which reassociates floating-point folds — exactly the
+    relaxation the parallel backend already has.  No new tolerance is
+    introduced: the comparison uses the established RTOL/ATOL.
+    """
+    program, synced = random_mixed_program(seed, num_instructions=10)
+    results = {}
+    for threads in (1, 4):
+        with config_override(**TINY_TILES, codegen_threads=threads):
+            results[threads], _ = _execute(program, synced, "native", optimize=True)
+    for index, (actual, expected) in enumerate(zip(results[4], results[1])):
+        _assert_close(
+            actual, expected, f"native threads=4 vs threads=1 (seed {seed}), output {index}"
+        )
+
+
+def test_native_mt_entry_point_actually_fired():
+    """The thread axis must not pass vacuously on the single-thread path.
+
+    With a threading-capable toolchain, the threads=4 column above must
+    have routed launches through ``repro_kernel_mt``; if every launch took
+    the per-tile path the axis would compare the serial path to itself.
+    """
+    from repro.codegen import find_c_compiler
+    from repro.codegen.compiler import select_mt_mode
+
+    if find_c_compiler() is None:
+        pytest.skip("no C compiler on this host; native backend runs fallbacks only")
+    if select_mt_mode() == "serial":
+        pytest.skip("toolchain supports neither -pthread nor OpenMP")
+    mt_launches = 0
+    for seed in ELEMENTWISE_SEEDS[:8]:
+        program, synced = random_elementwise_program(
+            seed, num_instructions=12, vector_length=24
+        )
+        with config_override(**TINY_TILES, codegen_threads=4):
+            _, stats = _execute(program, synced, "native", optimize=True)
+        mt_launches += stats.native_mt_launches
+    assert mt_launches > 0, "repro_kernel_mt never fired; the thread axis is vacuous"
+
+
 def test_optimization_levels_agree_per_backend():
     """Optimized and unoptimized pipelines agree within tolerance per backend."""
     for seed in (7, 21, 1007):

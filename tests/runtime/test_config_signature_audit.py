@@ -104,6 +104,8 @@ def test_signature_value_changes_with_each_signed_field():
         "codegen_cache_dir": "/tmp/elsewhere",
         "codegen_opt_level": 0,
         "codegen_disk_cache_enabled": False,
+        "codegen_threads": 3,
+        "codegen_reductions_enabled": False,
     }
     assert set(perturbed) == set(_CONFIG_SIGNATURE_FIELDS)
     for name, value in perturbed.items():

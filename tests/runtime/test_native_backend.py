@@ -104,10 +104,11 @@ class TestFallbacks:
         cache = engine.backend.cache_stats()
         assert cache["native_cache_hits"] > 0
 
-    def test_non_lowerable_steps_fall_back(self, cache_dir):
-        # A reduction-only tiled program never touches the map launcher;
-        # a serial generator step runs the interpreter.  Everything still
-        # matches the oracle.
+    def test_reductions_disabled_fall_back_to_tiled_paths(self, cache_dir):
+        # With compiled reductions off, a tiled reduction runs on the
+        # interpreted parallel paths (counted as a fallback); a serial
+        # generator step runs the interpreter.  Everything still matches
+        # the oracle.
         builder = ProgramBuilder()
         matrix = builder.new_matrix(32, 16)
         out = builder.new_vector(32)
@@ -116,10 +117,16 @@ class TestFallbacks:
         builder.sync(out)
         program = builder.build()
         expected = _oracle(program, (out,))
-        with config_override(**TINY_TILES, codegen_cache_dir=cache_dir):
+        with config_override(
+            **TINY_TILES,
+            codegen_cache_dir=cache_dir,
+            codegen_reductions_enabled=False,
+        ):
             result = ExecutionEngine(backend="native", optimize=True).execute(program)
         assert np.allclose(result.value(out), expected[0])
         assert result.stats.native_compiles == 0
+        assert result.stats.native_reductions_compiled == 0
+        assert result.stats.native_reduction_fallbacks >= 1
 
 
 @requires_compiler
@@ -234,20 +241,65 @@ class TestExecutionStrategies:
         assert native_result.stats.native_kernel_launches == 1
         assert np.array_equal(native_result.value(a), parallel_result.value(a))
 
-    def test_multi_thread_keeps_per_tile_launches(self, cache_dir):
+    def test_multi_thread_collapses_to_one_mt_launch(self, cache_dir):
+        """With threads>1, a multi-tile map step is ONE repro_kernel_mt call.
+
+        The thread split happens inside the compiled artifact's worker
+        pool; Python never slices tiles or marshals per-tile arguments.
+        On hosts whose toolchain supports neither pthreads nor OpenMP the
+        artifact is serial-mode and the inherited per-tile path runs — the
+        counter assert is gated on the probed mode.
+        """
+        from repro.codegen.compiler import select_mt_mode
+
         program, a, b = build_chain()
         with config_override(
-            **TINY_TILES, parallel_num_threads=2, codegen_cache_dir=cache_dir
+            **TINY_TILES,
+            parallel_num_threads=2,
+            codegen_threads=2,
+            codegen_cache_dir=cache_dir,
         ):
             native = ExecutionEngine(backend="native", optimize=True)
             result = native.execute(program)
         step = next(
             s for s in native.last_plan.tiling.steps if isinstance(s, TiledMapStep)
         )
-        assert result.stats.tiles_executed == len(step.spans)
+        assert len(step.spans) > 1  # the decomposition did tile
         assert result.stats.native_kernel_launches == 1  # one resolved launchable
         expected = _oracle(program, (a, b))
         assert np.array_equal(result.value(a), expected[0])
+        assert np.array_equal(result.value(b), expected[1])
+        if select_mt_mode() != "serial":
+            assert result.stats.tiles_executed == 1
+            assert result.stats.native_mt_launches == 1
+        else:
+            assert result.stats.tiles_executed == len(step.spans)
+            assert result.stats.native_mt_launches == 0
+
+    def test_codegen_threads_knob_overrides_parallel_threads(self, cache_dir):
+        """codegen_threads>1 fires the in-kernel path even at one worker.
+
+        The knob is the runtime thread count of the artifact's pool — it
+        must not depend on how many Python-side workers the tiled backend
+        would have used (on a 1-CPU host that resolves to one).
+        """
+        from repro.codegen.compiler import select_mt_mode
+
+        if select_mt_mode() == "serial":
+            pytest.skip("toolchain builds serial-mode artifacts only")
+        program, a, b = build_chain()
+        expected = _oracle(program, (a, b))
+        with config_override(
+            **TINY_TILES,
+            parallel_num_threads=1,
+            codegen_threads=4,
+            codegen_cache_dir=cache_dir,
+        ):
+            native = ExecutionEngine(backend="native", optimize=True)
+            result = native.execute(program)
+        assert result.stats.native_mt_launches >= 1
+        assert np.array_equal(result.value(a), expected[0])
+        assert np.array_equal(result.value(b), expected[1])
 
     def test_instruction_local_temporaries_are_elided(self, cache_dir):
         """A freed, never-synced temp inside one fused kernel stays virtual.
@@ -300,6 +352,116 @@ class TestExecutionStrategies:
                 assert not step.local_slots
         assert np.array_equal(result.value(t), expected[0])
         assert np.array_equal(result.value(out), expected[1])
+
+
+@requires_compiler
+class TestCompiledReductions:
+    """Tiled reductions executing through compiled C kernels."""
+
+    def _run(self, program, cache_dir, **overrides):
+        with config_override(
+            **TINY_TILES, codegen_cache_dir=cache_dir, **overrides
+        ):
+            engine = ExecutionEngine(backend="native", optimize=True)
+            return engine, engine.execute(program)
+
+    def test_combine_sum_compiles_and_matches(self, cache_dir):
+        builder = ProgramBuilder()
+        x = builder.new_vector(500)
+        s = builder.new_vector(1)
+        builder.identity(x, 1.25)
+        builder.add(x, x, 0.5)
+        builder.add_reduce(s, x, axis=0)
+        builder.sync(s)
+        program = builder.build()
+        expected = _oracle(program, (s,))
+        _, result = self._run(program, cache_dir)
+        assert result.stats.native_reductions_compiled == 1
+        assert result.stats.native_reduction_fallbacks == 0
+        assert np.allclose(result.value(s), expected[0], rtol=1e-6, atol=1e-8)
+
+    def test_nd_reduction_all_axes_compile(self, cache_dir):
+        for axis in (0, 1):
+            builder = ProgramBuilder()
+            matrix = builder.new_matrix(24, 12)
+            out = builder.new_vector(12 if axis == 0 else 24)
+            builder.identity(matrix, 0.75)
+            builder.add(matrix, matrix, 2.0)
+            builder.add_reduce(out, matrix, axis=axis)
+            builder.sync(out)
+            program = builder.build()
+            expected = _oracle(program, (out,))
+            _, result = self._run(program, cache_dir)
+            assert result.stats.native_reductions_compiled == 1, f"axis={axis}"
+            assert result.stats.native_reduction_fallbacks == 0, f"axis={axis}"
+            assert np.allclose(
+                result.value(out), expected[0], rtol=1e-6, atol=1e-8
+            ), f"axis={axis}"
+
+    def test_maximum_reduce_is_bitwise(self, cache_dir):
+        # min/max reductions are order-insensitive: the compiled result
+        # must be bit-identical regardless of chunking or thread count.
+        builder = ProgramBuilder()
+        matrix = builder.new_matrix(16, 32)
+        out = builder.new_vector(16)
+        builder.random(matrix, seed=3)
+        builder.maximum_reduce(out, matrix, axis=1)
+        builder.sync(out)
+        program = builder.build()
+        expected = _oracle(program, (out,))
+        _, result = self._run(program, cache_dir, codegen_threads=4)
+        assert result.stats.native_reductions_compiled == 1
+        assert np.array_equal(result.value(out), expected[0])
+
+    def test_mt_reduction_matches_parallel_combine_order(self, cache_dir):
+        """Threaded combine reduction stays within the reduction contract.
+
+        The artifact's per-chunk partials tree-combine in the tiled
+        backend's fixed pairwise order; the result must agree with the
+        parallel backend (same relaxation the differential suite uses).
+        """
+        from repro.codegen.compiler import select_mt_mode
+
+        if select_mt_mode() == "serial":
+            pytest.skip("toolchain builds serial-mode artifacts only")
+        builder = ProgramBuilder()
+        x = builder.new_vector(4096)
+        s = builder.new_vector(1)
+        builder.random(x, seed=11)
+        builder.add_reduce(s, x, axis=0)
+        builder.sync(s)
+        program = builder.build()
+        with config_override(
+            **TINY_TILES, codegen_cache_dir=cache_dir, codegen_threads=4
+        ):
+            native = ExecutionEngine(backend="native", optimize=True)
+            result = native.execute(program)
+        with config_override(**TINY_TILES):
+            parallel = ExecutionEngine(backend="parallel", optimize=True)
+            reference = parallel.execute(program)
+        assert result.stats.native_reductions_compiled == 1
+        assert result.stats.native_mt_launches >= 1
+        assert np.allclose(
+            result.value(s), reference.value(s), rtol=1e-6, atol=1e-8
+        )
+
+    def test_warm_plan_replays_without_reduction_fallbacks(self, cache_dir):
+        builder = ProgramBuilder()
+        matrix = builder.new_matrix(24, 12)
+        out = builder.new_vector(24)
+        builder.identity(matrix, 1.5)
+        builder.add_reduce(out, matrix, axis=1)
+        builder.sync(out)
+        program = builder.build()
+        with config_override(**TINY_TILES, codegen_cache_dir=cache_dir):
+            engine = ExecutionEngine(backend="native", optimize=True)
+            cold = engine.execute(program)
+            warm = engine.execute(program)
+        assert cold.stats.native_reductions_compiled == 1
+        assert warm.stats.plan_cache_hits == 1
+        assert warm.stats.native_compiles == 0
+        assert warm.stats.native_reductions_compiled == 1
+        assert warm.stats.native_reduction_fallbacks == 0
 
 
 @requires_compiler

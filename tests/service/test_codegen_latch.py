@@ -53,7 +53,7 @@ class TestCompileOnceLatch:
         started = threading.Event()
         release = threading.Event()
 
-        def fake_compile(source, opt_level):
+        def fake_compile(source, opt_level, mt_mode):
             with compile_lock:
                 compiles.append(source)
             started.set()
@@ -96,7 +96,7 @@ class TestCompileOnceLatch:
         # times out, and this test fails instead of deadlocking.
         barrier = threading.Barrier(2, timeout=10)
 
-        def fake_compile(source, opt_level):
+        def fake_compile(source, opt_level, mt_mode):
             barrier.wait()
             return FakeCompiled(source)
 
@@ -131,7 +131,7 @@ class TestCompileOnceLatch:
         fail_first = threading.Event()
         fail_first.set()
 
-        def flaky_compile(source, opt_level):
+        def flaky_compile(source, opt_level, mt_mode):
             with attempt_lock:
                 attempts.append(source)
                 should_fail = fail_first.is_set()
@@ -172,7 +172,9 @@ class TestCompileOnceLatch:
 
     def test_lifecycle_memory_hit_then_cold_start(self, fresh_cache, monkeypatch):
         monkeypatch.setattr(
-            cache, "_compile_in_memory", lambda source, opt_level: FakeCompiled(source)
+            cache,
+            "_compile_in_memory",
+            lambda source, opt_level, mt_mode: FakeCompiled(source),
         )
         source = unique_source("lifecycle")
         kernel, outcome = cache.get_compiled_kernel(source, use_disk=False)

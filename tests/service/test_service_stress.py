@@ -64,6 +64,16 @@ class TestServiceStress:
         assert report["errors"] == []
         assert report["mismatches"] == 0
         assert report["plan_builds"] == 1
+        # The shared engine surfaces the native tier's counters, so the
+        # service path's codegen behaviour is observable from the report.
+        cache = report["stats"]["cache"]
+        for key in (
+            "native_mt_launches",
+            "native_reductions_compiled",
+            "native_reduction_fallbacks",
+            "native_slots_elided",
+        ):
+            assert key in cache, key
 
     def test_two_fingerprints_each_optimized_exactly_once(self):
         small = chain_program(size=16, adds=2)

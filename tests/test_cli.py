@@ -270,6 +270,61 @@ class TestStatsJson:
             assert "native_kernel_launches" in run_stats
             assert "native_fallbacks" in run_stats
 
+    def test_codegen_block_with_native_backend(self, large_listing_file, tmp_path):
+        import json
+
+        from repro.codegen import clear_memory_cache
+        from repro.utils.config import config_override
+
+        clear_memory_cache()
+        with config_override(codegen_cache_dir=str(tmp_path / "cache")):
+            code, output = run_cli(
+                [large_listing_file, "--stats-json", "--backend", "native", "--repeat", "2"]
+            )
+        assert code == 0
+        codegen = json.loads(output)["execution"]["codegen"]
+        for key in (
+            "mt_launches",
+            "reductions_compiled",
+            "reduction_fallbacks",
+            "slots_elided",
+            "compiles",
+            "kernel_launches",
+            "fallbacks",
+        ):
+            assert key in codegen, key
+
+    def test_codegen_block_reports_compiled_reduction(self, interleaved_file, tmp_path):
+        import json
+
+        from repro.codegen import clear_memory_cache, find_c_compiler
+        from repro.utils.config import config_override
+
+        if find_c_compiler() is None:
+            pytest.skip("no C compiler on this host")
+        clear_memory_cache()
+        with config_override(
+            codegen_cache_dir=str(tmp_path / "cache"),
+            parallel_tile_elements=16,
+            parallel_serial_threshold=4,
+        ):
+            code, output = run_cli(
+                [interleaved_file, "--stats-json", "--backend", "native"]
+            )
+        assert code == 0
+        codegen = json.loads(output)["execution"]["codegen"]
+        assert codegen["reductions_compiled"] >= 1
+        assert codegen["reduction_fallbacks"] == 0
+
+    def test_codegen_block_absent_without_native_counters(self, listing_file):
+        import json
+
+        code, output = run_cli(
+            [listing_file, "--stats-json", "--backend", "interpreter"]
+        )
+        assert code == 0
+        assert "codegen" not in json.loads(output)["execution"]
+
     def test_fusion_scheduler_section(self, interleaved_file):
         import json
 
@@ -286,6 +341,54 @@ class TestStatsJson:
         execution = payload["execution"]["fusion_scheduler"]
         assert execution["fusion_scheduler"] == "dag"
         assert execution["fusion_kernels_after"] < execution["fusion_kernels_before"]
+
+
+class TestServeStress:
+    def test_serve_stress_reports_native_counters(self, large_listing_file, tmp_path):
+        from repro.codegen import clear_memory_cache
+        from repro.utils.config import config_override
+
+        clear_memory_cache()
+        with config_override(codegen_cache_dir=str(tmp_path / "cache")):
+            code, output = run_cli(
+                [large_listing_file, "--serve-stress", "2x2x1", "--backend", "native"]
+            )
+        assert code == 0
+        assert "native:" in output
+        assert "in-kernel mt launch(es)" in output
+        assert "compiled reduction(s)" in output
+
+    def test_serve_stress_json_includes_native_counters(
+        self, large_listing_file, tmp_path
+    ):
+        import json
+
+        from repro.codegen import clear_memory_cache
+        from repro.utils.config import config_override
+
+        clear_memory_cache()
+        with config_override(codegen_cache_dir=str(tmp_path / "cache")):
+            code, output = run_cli(
+                [
+                    large_listing_file,
+                    "--stats-json",
+                    "--serve-stress",
+                    "2x2x1",
+                    "--backend",
+                    "native",
+                ]
+            )
+        assert code == 0
+        cache = json.loads(output)["service"]["stats"]["cache"]
+        assert "native_mt_launches" in cache
+        assert "native_reduction_fallbacks" in cache
+
+    def test_serve_stress_without_native_backend_omits_the_line(self, listing_file):
+        code, output = run_cli(
+            [listing_file, "--serve-stress", "2x2x1", "--backend", "interpreter"]
+        )
+        assert code == 0
+        assert "in-kernel mt launch(es)" not in output
 
 
 class TestErrorHandling:
