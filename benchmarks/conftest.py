@@ -57,8 +57,16 @@ def _host_block() -> dict:
 
 @pytest.fixture(autouse=True)
 def clean_global_state():
-    """Reset global configuration and the default front-end session per benchmark."""
-    set_config(Config())
+    """Reset global configuration and the default front-end session per benchmark.
+
+    ``REPRO_CHECK_IR=1`` in the environment turns on the static checking
+    layer for the whole benchmark run — CI's static-analysis job uses it
+    to smoke the plan-cache and codegen experiments with every analyzer
+    live, proving the checks survive real workloads (and making their
+    overhead visible in the wall-clock trajectory if it ever grows).
+    """
+    check_ir = os.environ.get("REPRO_CHECK_IR", "") not in ("", "0")
+    set_config(Config(check_ir=check_ir))
     set_session(Session())
     yield
     set_config(Config())

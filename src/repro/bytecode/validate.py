@@ -26,11 +26,23 @@ def broadcast_shapes(left: Sequence[int], right: Sequence[int]) -> Tuple[int, ..
     result = []
     left_rev = list(reversed(tuple(left)))
     right_rev = list(reversed(tuple(right)))
+    for dims in (left_rev, right_rev):
+        if any(dim < 0 for dim in dims):
+            raise ValidationError(
+                f"shapes {tuple(left)} and {tuple(right)} contain a negative dimension"
+            )
     for axis in range(max(len(left_rev), len(right_rev))):
         dim_left = left_rev[axis] if axis < len(left_rev) else 1
         dim_right = right_rev[axis] if axis < len(right_rev) else 1
-        if dim_left == dim_right or dim_left == 1 or dim_right == 1:
-            result.append(max(dim_left, dim_right))
+        # NumPy semantics: a dimension of 1 stretches to the other side's
+        # size — including 0.  ``max(dim_left, dim_right)`` would turn
+        # (0,) broadcast (1,) into 1 and silently grow an empty array.
+        if dim_left == dim_right:
+            result.append(dim_left)
+        elif dim_left == 1:
+            result.append(dim_right)
+        elif dim_right == 1:
+            result.append(dim_left)
         else:
             raise ValidationError(
                 f"shapes {tuple(left)} and {tuple(right)} are not broadcast-compatible"
@@ -170,11 +182,14 @@ def validate_program(program: Program) -> None:
             validate_instruction(instruction)
         except ValidationError as exc:
             raise ValidationError(f"instruction {position}: {exc}") from None
-        touched = {id(view.base) for view in instruction.views()}
-        used_after_free = touched & freed
+        touched = {id(view.base): view.base for view in instruction.views()}
+        used_after_free = sorted(
+            base.name for base_id, base in touched.items() if base_id in freed
+        )
         if used_after_free:
             raise ValidationError(
-                f"instruction {position} ({instruction.opcode}) uses a base array "
+                f"instruction {position} ({instruction.opcode}) uses base "
+                f"array(s) {', '.join(repr(name) for name in used_after_free)} "
                 f"after BH_FREE"
             )
         if instruction.opcode is OpCode.BH_FREE:

@@ -1,0 +1,271 @@
+"""Flow-sensitive program invariant checker (the between-pass IR verifier).
+
+The checker never interprets a program: it walks the byte-code list once,
+tracking which regions of each base array have been written, and verifies
+the flow-sensitive invariants every legal optimization preserves:
+
+* every read of an in-program-defined (temporary) value is preceded by an
+  overlapping write — a DCE mutation that drops a live store fails here;
+* every ``BH_SYNC`` targets a base the program actually wrote (when the
+  pass's input wrote it);
+* no instruction touches a base after its ``BH_FREE`` (deferred frees must
+  still come last);
+* no base is freed twice;
+* every view (including fused-kernel payload views) stays inside the
+  bounds of its base;
+* per-instruction structural validity (operand arity, dtype/shape
+  agreement between def and use) via :func:`validate_instruction`.
+
+The subtlety is that "temporary" is not decidable from a broken program
+alone — an uninitialised read looks exactly like a legal read of a base
+defined by an *earlier flush*.  The pipeline therefore hands the checker
+:func:`reference_facts` computed from the pass's **input** program: any
+base whose reads were all write-preceded before the pass must keep that
+property after it.  Passes rewrite instructions but share the same
+:class:`~repro.bytecode.base.BaseArray` objects, so bases are matched by
+identity across the pass boundary.
+
+Violations raise :class:`~repro.utils.errors.IRCheckError` carrying the
+offending instruction index; the pipeline decorates it with the first
+offending pass name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode.base import BaseArray
+from repro.bytecode.instruction import Instruction
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.program import Program
+from repro.bytecode.validate import validate_instruction
+from repro.bytecode.view import View
+from repro.checks import COUNTERS
+from repro.utils.errors import IRCheckError, ValidationError
+
+__all__ = ["IRCheckError", "ProgramFacts", "reference_facts", "check_program"]
+
+
+@dataclass
+class _BaseFacts:
+    """What one linear scan learned about a single base array."""
+
+    base: BaseArray
+    written: bool = False
+    #: Every read had an earlier overlapping write (vacuously true with no
+    #: reads).  This is the def-before-use property the checker defends.
+    reads_satisfied: bool = True
+    synced: bool = False
+    free_count: int = 0
+
+
+@dataclass
+class ProgramFacts:
+    """Per-base facts of a (trusted) reference program, keyed by ``id(base)``."""
+
+    facts: Dict[int, _BaseFacts] = field(default_factory=dict)
+
+    def get(self, base: BaseArray) -> Optional[_BaseFacts]:
+        return self.facts.get(id(base))
+
+    def synced_bases(self) -> Tuple[BaseArray, ...]:
+        return tuple(f.base for f in self.facts.values() if f.synced)
+
+
+@dataclass
+class _Event:
+    """One violation candidate found by the scan (gated against reference)."""
+
+    kind: str  # "unsatisfied_read" | "use_after_free" | "double_free" | "sync_unwritten"
+    index: int
+    base: BaseArray
+
+
+def _scan(program: Program) -> Tuple[ProgramFacts, List[_Event]]:
+    """One linear walk: collect per-base facts and violation candidates.
+
+    Fused kernels are walked in payload order, so a temporary written by an
+    earlier payload instruction satisfies a later payload read at the same
+    program index.
+    """
+    facts = ProgramFacts()
+    events: List[_Event] = []
+    written: Dict[int, List[View]] = {}
+    freed: Dict[int, int] = {}
+
+    def fact_of(base: BaseArray) -> _BaseFacts:
+        entry = facts.facts.get(id(base))
+        if entry is None:
+            entry = _BaseFacts(base=base)
+            facts.facts[id(base)] = entry
+        return entry
+
+    def note_read(view: View, index: int) -> None:
+        entry = fact_of(view.base)
+        if id(view.base) in freed:
+            events.append(_Event("use_after_free", index, view.base))
+        if view.nelem == 0:
+            return
+        for prior in written.get(id(view.base), ()):
+            if prior.overlaps(view):
+                return
+        entry.reads_satisfied = False
+        events.append(_Event("unsatisfied_read", index, view.base))
+
+    def note_write(view: View, index: int) -> None:
+        entry = fact_of(view.base)
+        if id(view.base) in freed:
+            events.append(_Event("use_after_free", index, view.base))
+        entry.written = True
+        written.setdefault(id(view.base), []).append(view)
+
+    for index, instruction in enumerate(program):
+        if instruction.opcode is OpCode.BH_SYNC:
+            for view in instruction.views():
+                entry = fact_of(view.base)
+                entry.synced = True
+                if id(view.base) in freed:
+                    events.append(_Event("use_after_free", index, view.base))
+                if not entry.written:
+                    events.append(_Event("sync_unwritten", index, view.base))
+            continue
+        if instruction.opcode is OpCode.BH_FREE:
+            for view in instruction.views():
+                entry = fact_of(view.base)
+                entry.free_count += 1
+                if id(view.base) in freed:
+                    events.append(_Event("double_free", index, view.base))
+                freed[id(view.base)] = index
+            continue
+        if instruction.opcode is OpCode.BH_FUSED and instruction.kernel is not None:
+            for inner in instruction.kernel:
+                for view in inner.reads():
+                    note_read(view, index)
+                for view in inner.writes():
+                    note_write(view, index)
+            continue
+        for view in instruction.reads():
+            note_read(view, index)
+        for view in instruction.writes():
+            note_write(view, index)
+    return facts, events
+
+
+def reference_facts(program: Program) -> ProgramFacts:
+    """Per-base facts of a trusted program (the pipeline's pass input)."""
+    facts, _ = _scan(program)
+    return facts
+
+
+def _check_view_bounds(view: View, index: int) -> None:
+    if len(view.shape) != len(view.strides):
+        raise IRCheckError(
+            f"instruction {index}: view of {view.base.name!r} has "
+            f"{len(view.shape)} dims but {len(view.strides)} strides",
+            index=index,
+        )
+    if any(dim < 0 for dim in view.shape):
+        raise IRCheckError(
+            f"instruction {index}: view of {view.base.name!r} has negative "
+            f"shape {tuple(view.shape)}",
+            index=index,
+        )
+    if view.nelem == 0:
+        return
+    if view._min_index() < 0 or view._max_index() >= view.base.nelem:
+        raise IRCheckError(
+            f"instruction {index}: view [offset={view.offset}, "
+            f"shape={tuple(view.shape)}, strides={tuple(view.strides)}] "
+            f"escapes base {view.base.name!r} of {view.base.nelem} element(s)",
+            index=index,
+        )
+
+
+def check_program(
+    program: Program, reference: Optional[ProgramFacts] = None
+) -> None:
+    """Verify ``program``'s flow-sensitive invariants; raise on violation.
+
+    Parameters
+    ----------
+    program:
+        The program to check (typically a pass's output).
+    reference:
+        :func:`reference_facts` of a trusted earlier form of the same
+        program (the pass's input).  Gates the checks that are undecidable
+        on a single program: def-before-use regressions, dropped SYNCs and
+        SYNC targets the reference proved written.  Without it only the
+        unconditional checks run (structure, view bounds, use-after-free,
+        double-free).
+
+    Raises
+    ------
+    IRCheckError
+        Naming the first offending instruction.
+    """
+    COUNTERS.note_ir_check()
+    try:
+        _check_program(program, reference)
+    except IRCheckError:
+        COUNTERS.note_ir_failure()
+        raise
+
+
+def _check_program(program: Program, reference: Optional[ProgramFacts]) -> None:
+    for index, instruction in enumerate(program):
+        try:
+            validate_instruction(instruction)
+        except ValidationError as exc:
+            raise IRCheckError(f"instruction {index}: {exc}", index=index) from None
+        for view in instruction.views():
+            _check_view_bounds(view, index)
+
+    facts, events = _scan(program)
+
+    for event in events:
+        name = event.base.name
+        if event.kind == "use_after_free":
+            raise IRCheckError(
+                f"instruction {event.index} uses base {name!r} after its BH_FREE",
+                index=event.index,
+            )
+        if event.kind == "double_free":
+            ref = reference.get(event.base) if reference is not None else None
+            if ref is not None and ref.free_count > 1:
+                continue  # the trusted input already double-freed it
+            raise IRCheckError(
+                f"instruction {event.index} frees base {name!r} twice",
+                index=event.index,
+            )
+        if event.kind == "unsatisfied_read":
+            if reference is None:
+                continue  # cannot distinguish a temp from an earlier-flush input
+            ref = reference.get(event.base)
+            if ref is not None and not (ref.written and ref.reads_satisfied):
+                continue  # the base was an input (or already broken) before the pass
+            raise IRCheckError(
+                f"instruction {event.index} reads base {name!r} with no "
+                f"preceding overlapping write (def-before-use regressed)",
+                index=event.index,
+            )
+        if event.kind == "sync_unwritten":
+            if reference is None:
+                continue
+            ref = reference.get(event.base)
+            if ref is None or not ref.written:
+                continue  # the reference never wrote it either
+            raise IRCheckError(
+                f"instruction {event.index} syncs base {name!r} but no "
+                f"instruction writes it (store dropped before SYNC)",
+                index=event.index,
+            )
+
+    if reference is not None:
+        synced_now = {id(f.base) for f in facts.facts.values() if f.synced}
+        for base in reference.synced_bases():
+            if id(base) not in synced_now:
+                raise IRCheckError(
+                    f"BH_SYNC of base {base.name!r} was dropped "
+                    f"(observable output lost)",
+                )

@@ -24,6 +24,7 @@ from repro.bytecode.validate import validate_program
 from repro.core.rules import DEFAULT_PASS_ORDER, EXTENDED_PASS_ORDER, Pass, PassStats, create_pass
 from repro.core.verifier import SemanticVerifier
 from repro.utils.config import get_config
+from repro.utils.errors import IRCheckError
 
 
 @dataclass
@@ -46,6 +47,9 @@ class OptimizationReport:
     #: True when this report was replayed from a cached plan rather than
     #: produced by an actual pipeline run.
     cached: bool = False
+    #: Between-pass IR checks the pipeline ran producing this report
+    #: (non-zero only under the ``check_ir`` configuration knob).
+    ir_checks_run: int = 0
 
     def replayed(self) -> "OptimizationReport":
         """A copy of this report marked as served from the plan cache.
@@ -61,6 +65,7 @@ class OptimizationReport:
             verified=self.verified,
             fingerprint=self.fingerprint,
             cached=True,
+            ir_checks_run=self.ir_checks_run,
         )
 
     @property
@@ -174,11 +179,24 @@ class Pipeline:
         )
 
     def run(self, program: Program) -> OptimizationReport:
-        """Optimize ``program`` and return the full report."""
+        """Optimize ``program`` and return the full report.
+
+        Under the ``check_ir`` configuration knob the flow-sensitive IR
+        checker (:mod:`repro.checks.ircheck`) runs on every pass's output
+        against facts computed from the pipeline's *input* program — those
+        facts (def-before-use, synced outputs) are invariant under every
+        legal transformation, so the first pass to break one is named in
+        the raised :class:`~repro.utils.errors.IRCheckError`.
+        """
         if self.validate:
             validate_program(program)
         report = OptimizationReport(original=program.copy(), optimized=program.copy())
         current = program.copy()
+        reference = None
+        if get_config().check_ir:
+            from repro.checks.ircheck import check_program, reference_facts
+
+            reference = reference_facts(current)
         iterations = 0
         while True:
             iterations += 1
@@ -189,6 +207,17 @@ class Pipeline:
                 if result.changed:
                     changed_this_round = True
                     current = result.program
+                    if reference is not None:
+                        report.ir_checks_run += 1
+                        try:
+                            check_program(current, reference=reference)
+                        except IRCheckError as exc:
+                            raise IRCheckError(
+                                f"pass {transformation.name!r} "
+                                f"(iteration {iterations}) broke the IR: {exc}",
+                                index=exc.index,
+                                pass_name=transformation.name,
+                            ) from None
             if not self.fixed_point or not changed_this_round:
                 break
             if iterations >= self.max_iterations:

@@ -312,7 +312,7 @@ def compute_schedule(
                 split_savings.extend(0.0 for _ in item)
         items, item_savings = split_items, split_savings
     savings = sum(item_savings)
-    return FusionSchedule(
+    schedule = FusionSchedule(
         scheduler=scheduler,
         items=tuple(items),
         kernels_before=sum(
@@ -326,6 +326,15 @@ def compute_schedule(
         bytecodes_reordered=_count_reordered(items),
         predicted_savings_seconds=savings,
     )
+    if config.check_ir:
+        # This seam is the one place the schedule's indices still refer to
+        # the program it was computed from, so the DAG cross-check happens
+        # here — not in prepare_plan, where the fused program has already
+        # been materialized and the indices no longer line up.
+        from repro.checks.plancheck import maybe_check_schedule
+
+        maybe_check_schedule(program, schedule, config)
+    return schedule
 
 
 def _count_reordered(items: Sequence[Tuple[int, ...]]) -> int:

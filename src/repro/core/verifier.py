@@ -19,7 +19,7 @@ import numpy as np
 from repro.bytecode.base import BaseArray
 from repro.bytecode.program import Program
 from repro.bytecode.view import View
-from repro.core.analysis import observable_views
+from repro.core.analysis import DefUse, observable_views
 from repro.runtime.interpreter import NumPyInterpreter
 from repro.runtime.memory import MemoryManager
 from repro.utils.errors import RewriteError
@@ -122,12 +122,25 @@ class SemanticVerifier:
         original_outputs = self.outputs(original, self._prepare_memory(bases))
         optimized_outputs = self.outputs(optimized, self._prepare_memory(bases))
 
+        defuse = DefUse.analyze(original)
+        synced_names = {
+            base.name for base in defuse.bases.values() if defuse.is_synced(base)
+        }
+
         for name, expected in original_outputs.items():
             if name not in optimized_outputs:
                 # The optimized program may legitimately have eliminated a
-                # base that the original wrote but never exposed via SYNC;
-                # observable_views is conservative, so only fail when the
-                # optimized program kept the base yet produced no value.
+                # base that the original wrote but never exposed via SYNC
+                # (observable_views is conservative about surviving writes).
+                # A SYNC'd base is a program output, though: losing it means
+                # the rewrite destroyed an observable value, which used to
+                # slip through here silently.
+                if name in synced_names:
+                    raise VerificationError(
+                        f"output {name!r} was dropped by optimization: the "
+                        f"original program exposes it via BH_SYNC but the "
+                        f"optimized program never produces it"
+                    )
                 continue
             actual = optimized_outputs[name]
             if expected.shape != actual.shape:

@@ -55,10 +55,17 @@ class Backend(abc.ABC):
         this, call ``super().prepare_plan(plan)`` and store their own
         artifacts alongside, so replays of the plan never recompute
         either.
+
+        Under the ``check_ir`` knob the freshly attached artifacts are
+        cross-checked (:mod:`repro.checks.plancheck`) before the plan can
+        be cached; overriding backends re-invoke the check after attaching
+        their own artifacts.
         """
+        from repro.checks.plancheck import maybe_check_plan
         from repro.runtime.memplan import attach_memory_plan
 
         attach_memory_plan(plan)
+        maybe_check_plan(plan)
 
     def execute_plan(
         self, plan, program: Program, memory: Optional[MemoryManager] = None
@@ -72,10 +79,16 @@ class Backend(abc.ABC):
         memory manager and delegates to :meth:`execute`; it covers every
         backend whose execution itself is plan-agnostic (interpreter,
         fusing JIT, cluster, simulator).
+
+        The ``check_ir``-gated plan check runs here too — per execution,
+        not just per compilation — so a plan corrupted *after* caching can
+        never execute.
         """
+        from repro.checks.plancheck import maybe_check_plan
         from repro.runtime.memplan import attach_memory_plan, bind_memory_plan
 
         attach_memory_plan(plan)
+        maybe_check_plan(plan)
         memory = memory if memory is not None else MemoryManager()
         bind_memory_plan(plan, program, memory)
         return self.execute(program, memory)

@@ -177,6 +177,7 @@ class ExecutionEngine:
         hit = False
         miss = False
         plan = None
+        uncached_report = None
         if not self.optimize_enabled:
             self.last_report = None
             self.last_plan = None
@@ -186,9 +187,17 @@ class ExecutionEngine:
             self.last_report = report
             self.last_plan = None
             executable = report.optimized
+            uncached_report = report
         else:
             executable, plan, hit, miss = self._plan(program, backend)
         plan_seconds = time.perf_counter() - plan_started
+
+        # Plan checks already charged to this plan belong to earlier
+        # flushes; the delta after execution is what this flush paid.  (A
+        # concurrent flush replaying the same shared plan may skew the
+        # delta by its own checks — per-flush stats are observability, the
+        # authoritative totals live in ``cache_stats()``.)
+        plan_checks_before = plan.plan_checks_run if plan is not None and not miss else 0
 
         pool_before = memory.pool_counters() if memory is not None else None
         if memory is not None:
@@ -206,6 +215,12 @@ class ExecutionEngine:
         stats.plan_time_seconds = plan_seconds
         stats.plan_cache_hits += 1 if hit else 0
         stats.plan_cache_misses += 1 if miss else 0
+        if miss and plan is not None and plan.report is not None:
+            stats.ir_checks_run += plan.report.ir_checks_run
+        elif uncached_report is not None:
+            stats.ir_checks_run += uncached_report.ir_checks_run
+        if plan is not None:
+            stats.plan_checks_run += max(0, plan.plan_checks_run - plan_checks_before)
         self._capture_memory_stats(stats, result.memory, pool_before, plan)
         return result
 
@@ -328,9 +343,18 @@ class ExecutionEngine:
     # ------------------------------------------------------------------ #
 
     def cache_stats(self) -> Dict[str, int]:
-        """Plan-cache counters plus whatever the backend's caches report."""
+        """Plan-cache counters plus whatever the backend's caches report.
+
+        Includes the process-wide static-check counters
+        (:data:`repro.checks.COUNTERS`) — the authoritative totals of how
+        often the ``check_ir`` analyzers actually ran, which test suites
+        use to assert non-vacuity.
+        """
+        from repro.checks import COUNTERS
+
         stats = dict(self.plan_cache.stats())
         stats["plan_builds"] = self.plans_built
         stats["plan_waits"] = self.plan_waits
+        stats.update(COUNTERS.snapshot())
         stats.update(self.backend.cache_stats())
         return stats

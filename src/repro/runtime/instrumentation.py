@@ -94,6 +94,19 @@ class ExecutionStats:
     actual_peak_bytes:
         The memory manager's measured high-water mark after this
         execution (:meth:`merge` keeps the maximum).
+    ir_checks_run:
+        Between-pass IR checks paid compiling this flush's plan (zero on
+        plan-cache hits and with ``check_ir`` off; filled in by the
+        :class:`~repro.runtime.engine.ExecutionEngine`).
+    ir_check_failures:
+        IR-check violations attributed to this flush.  A violation aborts
+        the flush with an :class:`~repro.utils.errors.IRCheckError` before
+        statistics are returned, so this stays zero on successful flushes;
+        the field exists so merged/serialized stats share one schema with
+        the process-wide counters in ``cache_stats()``.
+    plan_checks_run:
+        Plan-artifact soundness checks (memory plan, tiling) run for this
+        flush (filled in by the engine; non-zero only under ``check_ir``).
     backend_name:
         Which backend produced these statistics.
     """
@@ -129,6 +142,9 @@ class ExecutionStats:
     pool_bytes_reused: int = 0
     planned_peak_bytes: int = 0
     actual_peak_bytes: int = 0
+    ir_checks_run: int = 0
+    ir_check_failures: int = 0
+    plan_checks_run: int = 0
     backend_name: str = ""
 
     def record_instruction(self, opcode: OpCode) -> None:
@@ -168,6 +184,9 @@ class ExecutionStats:
         self.pool_bytes_reused += other.pool_bytes_reused
         self.planned_peak_bytes = max(self.planned_peak_bytes, other.planned_peak_bytes)
         self.actual_peak_bytes = max(self.actual_peak_bytes, other.actual_peak_bytes)
+        self.ir_checks_run += other.ir_checks_run
+        self.ir_check_failures += other.ir_check_failures
+        self.plan_checks_run += other.plan_checks_run
         for opcode, count in other.opcode_counts.items():
             self.opcode_counts[opcode] = self.opcode_counts.get(opcode, 0) + count
         return self
@@ -210,6 +229,9 @@ class ExecutionStats:
             "pool_bytes_reused": self.pool_bytes_reused,
             "planned_peak_bytes": self.planned_peak_bytes,
             "actual_peak_bytes": self.actual_peak_bytes,
+            "ir_checks_run": self.ir_checks_run,
+            "ir_check_failures": self.ir_check_failures,
+            "plan_checks_run": self.plan_checks_run,
         }
 
 

@@ -184,6 +184,11 @@ class ParallelBackend(Backend):
             ):
                 plan.tiling = self._decompose(plan.optimized)
                 plan.tiling_signature = signature
+        # The base class checked the plan before the tiling existed;
+        # re-check now that it does (no-op unless ``check_ir`` is on).
+        from repro.checks.plancheck import maybe_check_plan
+
+        maybe_check_plan(plan)
 
     def execute_plan(
         self, plan, program: Program, memory: Optional[MemoryManager] = None

@@ -298,6 +298,10 @@ class ExecutionPlan:
     #: per-step kernel-form walks entirely.
     native_signature: Optional[tuple] = None
     hits: int = 0
+    #: Plan-artifact soundness checks run against this plan (cumulative
+    #: over preparations and executions; non-zero only under ``check_ir``).
+    #: Bumped under ``lock`` because cached plans are shared.
+    plan_checks_run: int = 0
     #: Serializes backend re-preparation of a *shared* plan: concurrent
     #: flushes replaying one cached plan may both notice a stale tiling or
     #: codegen signature and re-attach artifacts; the lock makes each

@@ -76,6 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute original and optimized programs on random inputs and compare",
     )
     parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enable the static checking layer (config knob check_ir): run "
+        "the between-pass IR verifier during optimization and the "
+        "plan-artifact soundness checks before execution; any violation "
+        "aborts with an error naming the offending pass and instruction",
+    )
+    parser.add_argument(
         "--profile",
         default="gpu",
         choices=tuple(DEVICE_PROFILES),
@@ -159,6 +167,15 @@ def _selected_passes(args) -> Optional[List[str]]:
 
 def run(args, out=None) -> int:
     """Run the tool with parsed arguments; returns the process exit code."""
+    if args.check:
+        # One override around the whole run so both the report pipeline and
+        # any engine executions see the knob.
+        with config_override(check_ir=True):
+            return _run(args, out)
+    return _run(args, out)
+
+
+def _run(args, out=None) -> int:
     if out is None:
         out = sys.stdout
     if args.threads is not None and args.threads < 1:
@@ -447,6 +464,13 @@ def _run_stats_json(program, pipeline, report, args, out) -> int:
         payload["service"] = report
         if not report["ok"] and exit_code == 0:
             exit_code = 3
+    if args.check:
+        from repro.checks import COUNTERS
+
+        # Snapshot last so plan checks paid during --backend executions are
+        # included.  Process-wide analyzer totals: proof the checks actually
+        # ran (an all-zero "checks" block means --check was vacuous).
+        payload["checks"] = COUNTERS.snapshot()
     json.dump(payload, out, indent=2)
     print(file=out)
     return exit_code

@@ -36,6 +36,16 @@ class Config:
         When true, every pipeline run re-executes the original and the
         optimized program on the same inputs and compares the results.
         Expensive; meant for tests and debugging.
+    check_ir:
+        When true, the static checking layer (:mod:`repro.checks`) runs
+        between every optimization pass (flow-sensitive program invariant
+        checks, :class:`~repro.utils.errors.IRCheckError` naming the first
+        offending pass) and on every plan preparation/execution
+        (memory-plan, schedule and tiling soundness,
+        :class:`~repro.utils.errors.PlanCheckError`).  Purely read-only:
+        plans built with checks on are byte-identical to plans built with
+        checks off, so the knob is deliberately *not* part of the
+        plan-cache signature.
     max_constant_merge_window:
         Upper bound on how many consecutive constant operations the
         constant-merge pass will contract at once.
@@ -157,6 +167,7 @@ class Config:
     default_backend: str = "interpreter"
     optimize: bool = True
     verify_rewrites: bool = False
+    check_ir: bool = False
     max_constant_merge_window: int = 1024
     power_expansion_limit: int = 64
     fusion_max_kernel_size: int = 32

@@ -19,6 +19,42 @@ class ValidationError(ReproError):
     """
 
 
+class IRCheckError(ValidationError):
+    """A between-pass program invariant was violated.
+
+    Raised by :mod:`repro.checks.ircheck` when the program produced by an
+    optimization pass breaks a flow-sensitive invariant the pass's input
+    satisfied (a read of a never-written temporary, a dropped SYNC target, a
+    use after BH_FREE, a view escaping its base).  The pipeline decorates
+    the message with the *first offending pass* so the diagnosis lands on
+    the rewrite, not on the backend that would have executed the damage.
+
+    Attributes
+    ----------
+    index:
+        Position of the offending instruction in the checked program, or
+        ``None`` for whole-program violations (e.g. a missing SYNC).
+    pass_name:
+        Name of the pass whose output failed, filled in by the pipeline.
+    """
+
+    def __init__(self, message: str, index=None, pass_name=None) -> None:
+        super().__init__(message)
+        self.index = index
+        self.pass_name = pass_name
+
+
+class PlanCheckError(ValidationError):
+    """A plan-time artifact failed its independent soundness check.
+
+    Raised by :mod:`repro.checks.plancheck` when a memory plan aliases
+    overlapping lifetimes, a fusion schedule violates a dependency edge, or
+    a tiling decomposition contradicts the independently recomputed overlap
+    hazards.  Backends run the check from ``prepare_plan`` under the
+    ``check_ir`` knob, so a corrupted cached plan can never execute.
+    """
+
+
 class ExecutionError(ReproError):
     """A backend failed while executing a byte-code program."""
 

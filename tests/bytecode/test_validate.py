@@ -29,6 +29,26 @@ class TestBroadcastShapes:
         with pytest.raises(ValidationError):
             broadcast_shapes((3,), (4,))
 
+    def test_zero_dim_stretches_the_one_side(self):
+        # NumPy semantics: 1 broadcasts *to* 0, so the result is empty —
+        # a naive max() would silently grow the empty side to 1 element.
+        assert broadcast_shapes((0,), (1,)) == (0,)
+        assert broadcast_shapes((1,), (0,)) == (0,)
+        assert broadcast_shapes((3, 0), (3, 1)) == (3, 0)
+
+    def test_equal_zero_dims(self):
+        assert broadcast_shapes((0,), (0,)) == (0,)
+
+    def test_zero_against_other_size_rejected(self):
+        with pytest.raises(ValidationError, match="not broadcast-compatible"):
+            broadcast_shapes((0,), (3,))
+
+    def test_negative_dims_rejected(self):
+        with pytest.raises(ValidationError, match="negative"):
+            broadcast_shapes((-1,), (4,))
+        with pytest.raises(ValidationError, match="negative"):
+            broadcast_shapes((4,), (2, -3))
+
 
 class TestInstructionValidation:
     def test_valid_elementwise(self):
@@ -135,6 +155,18 @@ class TestProgramValidation:
             ]
         )
         with pytest.raises(ValidationError, match="after BH_FREE"):
+            validate_program(program)
+
+    def test_use_after_free_names_the_base(self):
+        view = vec(4, name="victim")
+        program = Program(
+            [
+                Instruction(OpCode.BH_IDENTITY, (view, 1)),
+                Instruction(OpCode.BH_FREE, (view,)),
+                Instruction(OpCode.BH_ADD, (view, view, 1)),
+            ]
+        )
+        with pytest.raises(ValidationError, match="'victim'"):
             validate_program(program)
 
     def test_error_mentions_instruction_position(self):

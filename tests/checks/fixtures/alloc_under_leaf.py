@@ -1,0 +1,17 @@
+"""Lockcheck fixture: host allocation while holding the buffer-pool lock.
+
+This file is test data for the lock-hierarchy lint — it is never imported.
+"""
+
+import threading
+
+import numpy as np
+
+
+class BufferPool:
+    def __init__(self):
+        self._lock = threading.Lock()  # rank 3 (leaf)
+
+    def bad(self, nbytes):
+        with self._lock:
+            return np.empty(nbytes, dtype=np.uint8)

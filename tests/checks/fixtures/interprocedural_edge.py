@@ -1,0 +1,20 @@
+"""Lockcheck fixture: an upward edge hidden behind a same-class call.
+
+This file is test data for the lock-hierarchy lint — it is never imported.
+"""
+
+import threading
+
+
+class BufferPool:
+    def __init__(self):
+        self._lock = threading.Lock()        # rank 3 (leaf)
+        self._cache_lock = threading.Lock()  # rank 2
+
+    def _refill(self):
+        with self._cache_lock:  # rank 2, fine on its own
+            return True
+
+    def bad(self):
+        with self._lock:
+            return self._refill()  # ... but not under the leaf lock

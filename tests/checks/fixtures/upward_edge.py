@@ -1,0 +1,17 @@
+"""Lockcheck fixture: acquires a rank-2 lock while holding the leaf lock.
+
+This file is test data for the lock-hierarchy lint — it is never imported.
+"""
+
+import threading
+
+
+class BufferPool:
+    def __init__(self):
+        self._lock = threading.Lock()        # rank 3 (leaf)
+        self._cache_lock = threading.Lock()  # rank 2
+
+    def bad(self):
+        with self._lock:
+            with self._cache_lock:  # upward edge: rank 2 under rank 3
+                return True

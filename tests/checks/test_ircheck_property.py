@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) for the between-pass IR verifier.
+
+Two sides of the same coin:
+
+* **no false positives** — every program the legal optimizer produces from
+  the random corpus must sail through the checker (with the pass input as
+  reference);
+* **no false negatives on targeted corruptions** — mechanically breaking a
+  random program in the ways the checker claims to catch (deleting a live
+  store, shifting a view out of its base) must raise.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.bytecode.opcodes import OpCode
+from repro.bytecode.program import Program
+from repro.checks.ircheck import check_program, reference_facts
+from repro.core.pipeline import default_pipeline
+from repro.utils.config import config_override
+from repro.utils.errors import IRCheckError
+from repro.workloads.generators import random_elementwise_program, random_mixed_program
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestNoFalsePositives:
+    @_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_legal_pipelines_never_flagged(self, seed):
+        program, _ = random_elementwise_program(seed, num_instructions=10)
+        with config_override(check_ir=True):
+            # The pipeline itself runs check_program after every changing
+            # pass; any spurious IRCheckError fails the test.
+            report = default_pipeline().run(program)
+        check_program(report.optimized, reference=reference_facts(program))
+
+    @_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_mixed_programs_never_flagged(self, seed):
+        program, _ = random_mixed_program(seed, num_instructions=8)
+        with config_override(check_ir=True):
+            default_pipeline().run(program)
+
+    @_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_generated_programs_self_check(self, seed):
+        program, _ = random_elementwise_program(seed, num_instructions=10)
+        check_program(program, reference=reference_facts(program))
+
+
+def _deletable_store(program):
+    """Index of a store whose deletion must break def-before-use, or None.
+
+    A candidate writes base ``b`` and is the *only* write of ``b`` before
+    some later read of ``b`` — deleting it leaves that read unsatisfied.
+    """
+    for index, instruction in enumerate(program):
+        if instruction.opcode is OpCode.BH_SYNC or instruction.opcode is OpCode.BH_FREE:
+            continue
+        writes = list(instruction.writes())
+        if len(writes) != 1:
+            continue
+        base = writes[0].base
+        earlier_writes = any(
+            any(w.base is base for w in other.writes())
+            for other in program[:index]
+            if other.opcode not in (OpCode.BH_SYNC, OpCode.BH_FREE)
+        )
+        if earlier_writes:
+            continue
+        # The first later touch of the base must be a read: an intervening
+        # re-definition would re-satisfy the read and mask the deletion.
+        for other in program[index + 1 :]:
+            if other.opcode is OpCode.BH_FREE:
+                continue
+            if other.opcode is OpCode.BH_SYNC:
+                if any(v.base is base for v in other.views()):
+                    return index
+                continue
+            if any(r.base is base for r in other.reads()):
+                return index
+            if any(w.base is base for w in other.writes()):
+                break
+    return None
+
+
+class TestTargetedCorruptions:
+    @_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_deleting_a_live_store_is_caught(self, seed):
+        program, _ = random_elementwise_program(seed, num_instructions=10)
+        victim = _deletable_store(program)
+        assume(victim is not None)
+        reference = reference_facts(program)
+        broken = Program(
+            [instruction for i, instruction in enumerate(program) if i != victim]
+        )
+        with pytest.raises(IRCheckError):
+            check_program(broken, reference=reference)
+
+    @_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        shift=st.integers(min_value=1, max_value=1000),
+    )
+    def test_view_shifted_out_of_bounds_is_caught(self, seed, shift):
+        program, _ = random_elementwise_program(seed, num_instructions=10)
+        target = next(i for i in program if i.out is not None)
+        # Views are plain mutable records; a buggy pass could do exactly this.
+        target.out.offset = target.out.base.nelem + shift
+        with pytest.raises(IRCheckError, match="escapes base"):
+            check_program(program)
+
+    @_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_dropping_every_sync_is_caught(self, seed):
+        program, synced = random_elementwise_program(seed, num_instructions=10)
+        assume(len(synced) > 0)
+        reference = reference_facts(program)
+        broken = Program(
+            [i for i in program if i.opcode is not OpCode.BH_SYNC]
+        )
+        with pytest.raises(IRCheckError, match="dropped"):
+            check_program(broken, reference=reference)

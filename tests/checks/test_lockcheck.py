@@ -1,0 +1,98 @@
+"""Tests for the lock-hierarchy lint (`repro.checks.lockcheck`)."""
+
+from __future__ import annotations
+
+import io
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.checks.lockcheck import main, run_lockcheck
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+class TestRealTree:
+    def test_package_tree_is_clean(self):
+        """The shipped code obeys the documented hierarchy — the lint's
+        primary acceptance property."""
+        report = run_lockcheck()
+        assert report.ok, report.summary()
+        assert report.files_scanned > 50
+        assert report.ranked_acquisitions > 20, (
+            "the lint barely recognised any locks; the tables drifted from "
+            "the code and a clean report proves nothing"
+        )
+
+    def test_cli_exits_zero_on_the_real_tree(self):
+        assert main([]) == 0
+
+
+class TestFixtures:
+    def test_upward_edge_detected(self):
+        report = run_lockcheck([_fixture("upward_edge.py")])
+        assert not report.ok
+        assert any(v.kind == "upward-edge" for v in report.violations)
+        assert any("rank 2" in str(v) and "rank 3" in str(v) for v in report.violations)
+
+    def test_allocation_under_leaf_lock_detected(self):
+        report = run_lockcheck([_fixture("alloc_under_leaf.py")])
+        assert not report.ok
+        assert any(v.kind == "forbidden-call" for v in report.violations)
+        assert any("'empty'" in str(v) for v in report.violations)
+
+    def test_interprocedural_edge_detected(self):
+        report = run_lockcheck([_fixture("interprocedural_edge.py")])
+        assert not report.ok
+        assert any(
+            v.kind == "upward-edge" and "_refill" in v.message
+            for v in report.violations
+        )
+
+    def test_clean_nesting_passes(self):
+        report = run_lockcheck([_fixture("clean_nesting.py")])
+        assert report.ok, report.summary()
+        assert report.ranked_acquisitions >= 3
+        assert report.nesting_edges >= 1  # the downward 3-under-2 nest
+
+    def test_violations_carry_file_and_line(self):
+        report = run_lockcheck([_fixture("upward_edge.py")])
+        violation = report.violations[0]
+        assert violation.file.endswith("upward_edge.py")
+        assert violation.line > 0
+
+
+class TestCli:
+    def test_main_exits_nonzero_on_violation(self, capsys):
+        assert main([_fixture("upward_edge.py")]) == 1
+        out = capsys.readouterr().out
+        assert "violation" in out
+        assert "upward-edge" in out
+
+    def test_module_entry_point(self):
+        """`python -m repro.checks.lockcheck <fixture>` exits non-zero —
+        the exact invocation CI uses."""
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(FIXTURES), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.checks.lockcheck", _fixture("upward_edge.py")],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert completed.returncode == 1
+        assert "upward-edge" in completed.stdout
+
+    def test_parse_error_is_a_violation(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        report = run_lockcheck([str(bad)])
+        assert not report.ok
+        assert report.violations[0].kind == "parse-error"

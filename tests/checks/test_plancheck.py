@@ -1,0 +1,241 @@
+"""Unit tests for the plan-artifact soundness checks (`repro.checks.plancheck`)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.bytecode.builder import ProgramBuilder
+from repro.bytecode.view import View
+from repro.checks.plancheck import (
+    check_memory_plan,
+    check_plan,
+    check_schedule,
+    check_tiling,
+    maybe_check_plan,
+)
+from repro.core.schedule import compute_schedule
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.memory import BufferDirective
+from repro.runtime.memplan import MemoryPlan
+from repro.runtime.plan import program_base_order
+from repro.runtime.tiling import TiledMapStep
+from repro.utils.config import config_override
+from repro.utils.errors import PlanCheckError
+from repro.workloads.generators import random_elementwise_program
+
+TINY_TILES = dict(parallel_tile_elements=16, parallel_serial_threshold=4)
+
+
+def _temp_chain_program():
+    """Three freed temporaries with staggered lifetimes, one synced output."""
+    builder = ProgramBuilder()
+    t1 = builder.new_vector(32, name="t1")
+    t2 = builder.new_vector(32, name="t2")
+    t3 = builder.new_vector(32, name="t3")
+    y = builder.new_vector(32, name="y")
+    builder.identity(t1, 1)          # 0: t1 live [0, 1]
+    builder.add(t2, t1, 1)           # 1: t2 live [1, 2]
+    builder.multiply(t3, t2, 2)      # 2: t3 live [2, 3]
+    builder.add(y, t3, 1)            # 3
+    builder.sync(y)                  # 4
+    builder.free(t1)
+    builder.free(t2)
+    builder.free(t3)
+    return builder.build()
+
+
+def _position_of(program, view):
+    order = program_base_order(program)
+    for position, base in enumerate(order):
+        if base is view.base:
+            return position
+    raise AssertionError(f"base {view.base.name!r} not in program order")
+
+
+def _real_plan(seed=3):
+    program, _ = random_elementwise_program(seed, num_instructions=12, vector_length=24)
+    with config_override(**TINY_TILES, memory_plan_enabled=True):
+        engine = ExecutionEngine(backend="parallel", optimize=True)
+        engine.execute(program)
+        plan = engine.last_plan
+    assert plan is not None
+    return plan
+
+
+class TestMemoryPlan:
+    def test_real_memory_plans_pass(self):
+        for seed in (3, 7, 11):
+            plan = _real_plan(seed)
+            if plan.memory_plan is not None:
+                check_memory_plan(plan.optimized, plan.memory_plan)
+
+    def test_planner_output_on_temp_chain_passes(self):
+        program = _temp_chain_program()
+        plan = MemoryPlan.plan(program)
+        check_memory_plan(program, plan)
+        assert plan.aliased_bases > 0, "the chain should exercise slot sharing"
+
+    def test_directive_for_unknown_position(self):
+        program = _temp_chain_program()
+        plan = MemoryPlan.plan(program)
+        plan.directives[999] = BufferDirective(slot=None, slot_nbytes=0, zero_fill=True)
+        with pytest.raises(PlanCheckError, match="position 999"):
+            check_memory_plan(program, plan)
+
+    def test_overlapping_lifetimes_on_one_slot(self):
+        program = _temp_chain_program()
+        views = {i.out.base.name: i.out for i in program[:3]}
+        t1, t2 = views["t1"], views["t2"]
+        nbytes = max(t1.base.nbytes, t2.base.nbytes)
+        directives = {
+            _position_of(program, t1): BufferDirective(0, nbytes, True),
+            _position_of(program, t2): BufferDirective(0, nbytes, True),
+        }
+        corrupted = MemoryPlan(directives=directives)
+        # t1 is live through instruction 1 and t2 starts there: sharing a
+        # slot would let t2's store destroy t1 before its final read.
+        with pytest.raises(PlanCheckError, match="overlapping lifetimes"):
+            check_memory_plan(program, corrupted)
+
+    def test_slot_smaller_than_occupant(self):
+        program = _temp_chain_program()
+        t1 = program[0].out
+        directives = {_position_of(program, t1): BufferDirective(0, 1, True)}
+        with pytest.raises(PlanCheckError, match="needs"):
+            check_memory_plan(program, MemoryPlan(directives=directives))
+
+    def test_observable_base_may_not_share_a_slot(self):
+        program = _temp_chain_program()
+        y = program[3].out  # synced, never freed: observable
+        directives = {
+            _position_of(program, y): BufferDirective(0, y.base.nbytes, True)
+        }
+        with pytest.raises(PlanCheckError, match="observable"):
+            check_memory_plan(program, MemoryPlan(directives=directives))
+
+    def test_zero_fill_waiver_needs_full_definition(self):
+        builder = ProgramBuilder()
+        t = builder.new_vector(8, name="t")
+        y = builder.new_vector(8, name="y")
+        half = View(t.base, 0, (4,))
+        builder.identity(half, 1)  # only half of t is ever written
+        builder.add(y, t, 1)       # ... but all of it is read
+        builder.sync(y)
+        builder.free(t)
+        program = builder.build()
+        directives = {
+            _position_of(program, t): BufferDirective(None, t.base.nbytes, False)
+        }
+        with pytest.raises(PlanCheckError, match="not fully written"):
+            check_memory_plan(program, MemoryPlan(directives=directives))
+
+
+class TestSchedule:
+    def test_real_schedule_passes(self):
+        program = _temp_chain_program()
+        schedule = compute_schedule(program)
+        check_schedule(program, schedule)
+
+    def test_reversed_order_violates_edges(self):
+        program = _temp_chain_program()
+        schedule = compute_schedule(program)
+        reversed_items = tuple(reversed(schedule.items))
+        corrupted = dataclasses.replace(schedule, items=reversed_items)
+        with pytest.raises(PlanCheckError, match="dependency edge"):
+            check_schedule(program, corrupted)
+
+    def test_non_permutation_rejected(self):
+        program = _temp_chain_program()
+        schedule = compute_schedule(program)
+        corrupted = dataclasses.replace(schedule, items=schedule.items[:-1])
+        with pytest.raises(PlanCheckError, match="not a permutation"):
+            check_schedule(program, corrupted)
+
+    def test_non_elementwise_cluster_rejected(self):
+        builder = ProgramBuilder()
+        v = builder.new_matrix(4, 4)
+        s = builder.new_vector(4)
+        builder.identity(v, 1)
+        builder.add_reduce(s, v, 0)
+        builder.sync(s)
+        program = builder.build()
+        schedule = compute_schedule(program)
+        # Claim the reduction fused with the store: illegal cluster.
+        corrupted = dataclasses.replace(
+            schedule, items=((0, 1), (2,)) if len(program) == 3 else schedule.items
+        )
+        with pytest.raises(PlanCheckError, match="only .*element-wise"):
+            check_schedule(program, corrupted)
+
+
+class TestTiling:
+    def _tiled_plan(self):
+        for seed in range(3, 20):
+            plan = _real_plan(seed)
+            tiling = plan.tiling
+            if tiling is not None and any(
+                isinstance(step, TiledMapStep) and len(step.spans) > 1
+                for step in tiling.steps
+            ):
+                return plan
+        raise AssertionError("no seed produced a multi-span tiled map step")
+
+    def test_real_tiling_passes(self):
+        plan = self._tiled_plan()
+        check_tiling(plan.optimized, plan.tiling)
+
+    def test_incomplete_partition_rejected(self):
+        plan = self._tiled_plan()
+        steps = []
+        corrupted_one = False
+        for step in plan.tiling.steps:
+            if not corrupted_one and isinstance(step, TiledMapStep) and len(step.spans) > 1:
+                steps.append(dataclasses.replace(step, spans=step.spans[:-1]))
+                corrupted_one = True
+            else:
+                steps.append(step)
+        corrupted = dataclasses.replace(plan.tiling, steps=tuple(steps))
+        with pytest.raises(PlanCheckError, match="cover"):
+            check_tiling(plan.optimized, corrupted)
+
+    def test_out_of_range_step_rejected(self):
+        plan = self._tiled_plan()
+        steps = list(plan.tiling.steps)
+        target = next(
+            i for i, s in enumerate(steps) if isinstance(s, TiledMapStep)
+        )
+        steps[target] = dataclasses.replace(steps[target], index=len(plan.optimized) + 7)
+        corrupted = dataclasses.replace(plan.tiling, steps=tuple(steps))
+        with pytest.raises(PlanCheckError, match="only has"):
+            check_tiling(plan.optimized, corrupted)
+
+
+class TestPlanGate:
+    def test_check_plan_counts_artifacts(self):
+        plan = _real_plan()
+        checked = check_plan(plan)
+        assert checked >= 1
+
+    def test_maybe_check_plan_respects_the_knob(self):
+        plan = _real_plan()
+        before = plan.plan_checks_run
+        maybe_check_plan(plan)  # knob off: must not touch the plan
+        assert plan.plan_checks_run == before
+        with config_override(check_ir=True):
+            maybe_check_plan(plan)
+        assert plan.plan_checks_run > before
+
+    def test_corrupted_cached_plan_cannot_execute(self):
+        """The acceptance property: a poisoned cached artifact is caught at
+        the execution gate, not silently replayed."""
+        program, _ = random_elementwise_program(3, num_instructions=12, vector_length=24)
+        with config_override(**TINY_TILES, memory_plan_enabled=True, check_ir=True):
+            engine = ExecutionEngine(backend="parallel", optimize=True)
+            engine.execute(program)
+            plan = engine.last_plan
+            assert plan is not None and plan.memory_plan is not None
+            plan.memory_plan.directives[999] = BufferDirective(None, 0, True)
+            with pytest.raises(PlanCheckError):
+                engine.execute(program)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.checks import COUNTERS
 from repro.frontend.session import Session, set_session
 from repro.runtime.interpreter import NumPyInterpreter
 from repro.utils.config import Config, set_config
@@ -12,12 +13,14 @@ from repro.utils.config import Config, set_config
 
 @pytest.fixture(autouse=True)
 def clean_global_state():
-    """Reset global configuration and the default front-end session per test."""
+    """Reset global configuration, the default session and check counters."""
     set_config(Config())
     set_session(Session())
+    COUNTERS.reset()
     yield
     set_config(Config())
     set_session(Session())
+    COUNTERS.reset()
 
 
 @pytest.fixture

@@ -74,6 +74,70 @@ class TestSemanticVerifier:
         outputs = verifier.outputs(program, verifier._prepare_memory(program.bases()))
         assert np.allclose(outputs[y.base.name], [2.0, 3.0, 4.0, 5.0])
 
+    def test_dropped_synced_output_detected(self):
+        """Regression: a rewrite that deletes a SYNC-exposed output used to
+        pass silently (the missing name was skipped with ``continue``)."""
+        builder = ProgramBuilder()
+        x = builder.new_vector(8, name="x")
+        y = builder.new_vector(8, name="y")
+        builder.identity(x, 1)
+        builder.add(y, x, 1)
+        builder.sync(x)
+        builder.sync(y)
+        original = builder.build()
+        # A broken "optimization" that drops y's store and its SYNC.
+        broken = Program([original[0], original[2]])
+        with pytest.raises(VerificationError, match="dropped.*BH_SYNC|BH_SYNC.*dropped"):
+            SemanticVerifier().check(original, broken)
+
+    def test_pipeline_verify_catches_sync_dropping_pass(self):
+        class SyncStoreDroppingPass(Pass):
+            name = "sync_store_dropper"
+
+            def run(self, program):
+                stats = self._new_stats(program)
+                # Delete the last SYNC and the store feeding it.
+                synced = [
+                    i for i, inst in enumerate(program)
+                    if inst.opcode is OpCode.BH_SYNC
+                ]
+                drop = set()
+                if synced:
+                    target = program[synced[-1]].operands[0].base
+                    drop.add(synced[-1])
+                    for i, inst in enumerate(program):
+                        if inst.out is not None and inst.out.base is target:
+                            drop.add(i)
+                instructions = [
+                    inst for i, inst in enumerate(program) if i not in drop
+                ]
+                stats.rewrites_applied += len(program) - len(instructions)
+                return self._finish(Program(instructions), stats)
+
+        builder = ProgramBuilder()
+        x = builder.new_vector(8)
+        y = builder.new_vector(8)
+        builder.identity(x, 1)
+        builder.add(y, x, 1)
+        builder.sync(x)
+        builder.sync(y)
+        pipeline = Pipeline([SyncStoreDroppingPass()], verify=True)
+        report = pipeline.run(builder.build())
+        assert report.verified is False
+
+    def test_unsynced_temporary_may_still_be_dropped(self):
+        # The fix must not overreach: eliminating a base the original only
+        # wrote (never SYNCed) remains legal — that is what DCE is for.
+        builder = ProgramBuilder()
+        t = builder.new_vector(8)
+        y = builder.new_vector(8)
+        builder.identity(t, 1)
+        builder.add(y, t, 1)
+        builder.sync(y)
+        original = builder.build()
+        optimized = optimize(original).optimized
+        SemanticVerifier().check(original, optimized)  # must not raise
+
     def test_tolerances_allow_rounding_differences(self):
         builder = ProgramBuilder()
         v = builder.new_vector(4)

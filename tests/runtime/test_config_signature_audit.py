@@ -47,6 +47,12 @@ EXEMPT_FIELDS = {
     "service_admission_timeout_seconds",
     "service_pool_max_bytes",
     "service_fairness",
+    # The static checking layer is read-only: the IR verifier and the
+    # plan-artifact checks inspect programs and plans but never rewrite
+    # them, so a plan built with checks off is byte-identical to one built
+    # with checks on (and a cached plan is re-checked at execution time
+    # anyway when the knob is enabled).
+    "check_ir",
 }
 
 

@@ -89,6 +89,11 @@ class TestBasicOperation:
         assert code == 0
         assert "semantic verification: passed" in output
 
+    def test_check_flag_runs_clean(self, listing_file):
+        code, output = run_cli([listing_file, "--check", "--backend", "parallel"])
+        assert code == 0
+        assert "BH_" in output
+
     def test_stdin_input(self, monkeypatch):
         monkeypatch.setattr("sys.stdin", io.StringIO(LISTING_2))
         code, output = run_cli(["-"])
@@ -249,6 +254,26 @@ class TestStatsJson:
         code, output = run_cli([listing_file, "--stats-json", "--verify"])
         assert code == 0
         assert json.loads(output)["verified"] is True
+
+    def test_check_flag_emits_checks_block(self, listing_file):
+        import json
+
+        code, output = run_cli(
+            [listing_file, "--stats-json", "--check", "--backend", "parallel"]
+        )
+        assert code == 0
+        checks = json.loads(output)["checks"]
+        assert checks["ir_checks_run"] > 0
+        assert checks["plan_checks_run"] > 0
+        assert checks["ir_check_failures"] == 0
+        assert checks["plan_check_failures"] == 0
+
+    def test_no_checks_block_without_the_flag(self, listing_file):
+        import json
+
+        code, output = run_cli([listing_file, "--stats-json"])
+        assert code == 0
+        assert "checks" not in json.loads(output)
 
     def test_native_counters_in_stats_json(self, large_listing_file, tmp_path):
         import json
