@@ -10,7 +10,7 @@ from repro.bytecode.instruction import Instruction
 from repro.bytecode.opcodes import OpCode
 from repro.bytecode.operand import is_view
 from repro.bytecode.program import Program
-from repro.cluster.comm import CommunicationModel
+from repro.cluster.comm import COMM_METER, CommunicationModel
 from repro.cluster.partition import partition_length
 from repro.runtime.backend import Backend
 from repro.runtime.instrumentation import ExecutionResult, ExecutionStats
@@ -92,7 +92,9 @@ class ClusterExecutor(Backend):
                 raise ClusterError(
                     f"unknown device profile {profile!r}; available: {tuple(DEVICE_PROFILES)}"
                 ) from None
-        self.comm = comm if comm is not None else CommunicationModel()
+        # Default to the calibrated model: constants measured once per
+        # process from real shared-memory copies, not hardcoded guesses.
+        self.comm = comm if comm is not None else CommunicationModel.calibrated()
         self._interpreter = NumPyInterpreter()
         self.last_cluster_stats: Optional[ClusterStats] = None
         # Per-partition pricing plans, keyed by (program fingerprint, worker
@@ -156,11 +158,17 @@ class ClusterExecutor(Backend):
         merges backend counters into its own plan-cache statistics, and the
         pricing cache is a different cache.
         """
-        return {
+        stats = {
             "pricing_plan_hits": self.pricing_plan_hits,
             "pricing_plan_misses": self.pricing_plan_misses,
             "pricing_plan_size": len(self._pricing_plans),
         }
+        # Priced-vs-measured communication time: the distributed backend
+        # feeds the process-wide meter (model prediction at launch, worker
+        # timings at completion); exposing both here makes cost-model drift
+        # visible wherever cluster statistics are already collected.
+        stats.update(COMM_METER.snapshot_us())
+        return stats
 
     # ------------------------------------------------------------------ #
     # Per-instruction pricing

@@ -9,18 +9,26 @@ from repro.utils.errors import ClusterError
 
 
 def partition_length(length: int, num_workers: int) -> List[Tuple[int, int]]:
-    """Split ``length`` elements into ``num_workers`` contiguous (start, count) chunks.
+    """Split ``length`` elements into contiguous (start, count) chunks.
 
-    The first ``length % num_workers`` workers get one extra element, the
-    standard block distribution.  Workers beyond ``length`` get empty chunks.
+    The chunk count is clamped to ``min(num_workers, length)`` so every
+    returned chunk is non-empty — consumers that launch real work per chunk
+    (the distributed backend ships one shard per chunk to a worker process)
+    must never be handed a zero-length shard.  A ``length`` of zero therefore
+    yields no chunks at all.  Within the clamped count the first
+    ``length % parts`` chunks get one extra element, the standard block
+    distribution.
     """
     if num_workers < 1:
         raise ClusterError(f"need at least one worker, got {num_workers}")
-    base = length // num_workers
-    remainder = length % num_workers
+    parts = min(num_workers, length)
+    if parts == 0:
+        return []
+    base = length // parts
+    remainder = length % parts
     chunks: List[Tuple[int, int]] = []
     start = 0
-    for worker in range(num_workers):
+    for worker in range(parts):
         count = base + (1 if worker < remainder else 0)
         chunks.append((start, count))
         start += count
@@ -30,16 +38,14 @@ def partition_length(length: int, num_workers: int) -> List[Tuple[int, int]]:
 def partition_view(view: View, num_workers: int) -> List[View]:
     """Split ``view`` along its first axis into per-worker sub-views.
 
-    Empty chunks (more workers than rows) are returned as ``None`` place-
-    holders so the caller can keep worker indices aligned.
+    Workers beyond the clamped chunk count (more workers than rows) get
+    ``None`` placeholders so the caller can keep worker indices aligned.
     """
     chunks = partition_length(view.shape[0], num_workers)
     parts: List[View] = []
     for start, count in chunks:
-        if count == 0:
-            parts.append(None)
-            continue
         offset = view.offset + start * view.strides[0]
         shape = (count,) + view.shape[1:]
         parts.append(View(view.base, offset, shape, view.strides))
+    parts.extend([None] * (num_workers - len(parts)))
     return parts

@@ -1,0 +1,15 @@
+"""Multi-process sharded execution over shared memory.
+
+The ``dist`` package is the real counterpart of the simulated
+:mod:`repro.cluster` executor: a :class:`~repro.dist.backend.DistributedBackend`
+(registered as ``"dist"``) that executes plans across a persistent pool of
+worker *processes*.  Arrays live in ``multiprocessing.shared_memory``
+segments managed by a :class:`~repro.dist.shardstore.ShardStore`; the
+control channel (:mod:`repro.dist.protocol`) ships only plan fingerprints
+and shard descriptors — never array payloads.
+"""
+
+from repro.dist.backend import DistributedBackend
+from repro.dist.shardstore import ShardStore, sweep_manifests
+
+__all__ = ["DistributedBackend", "ShardStore", "sweep_manifests"]

@@ -1,0 +1,590 @@
+"""The distributed backend: sharded execution over worker processes.
+
+The master (this process) owns all data — base arrays are *adopted* into
+shared-memory segments from the :class:`~repro.dist.shardstore.ShardStore`
+— and sequences execution step by step over a persistent pool of spawned
+worker processes.  The hot path ships nothing but plan tokens and shard
+descriptors: a cold plan is pickled to the pool once (``load``), each
+flush sends one segment-name mapping per worker (``map``) and one
+``step``/``complete`` round trip per distributed step per participating
+worker.  Array payloads never cross the control channel; the counters
+prove it rather than assume it.
+
+Pools are process-wide singletons per worker count: every session/engine
+constructs its own backend instance, and respawning interpreters per
+instance would swamp any benefit.  A worker death tears the pool down
+(clean :class:`~repro.utils.errors.DistributedExecutionError`, no hang)
+and the next flush simply respawns.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import threading
+import time
+from collections import OrderedDict
+from multiprocessing import connection, get_context
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.comm import COMM_METER, CommunicationModel
+from repro.dist.planner import (
+    DistPlan,
+    MapShardStep,
+    MasterStep,
+    ReduceShardStep,
+    build_dist_plan,
+)
+from repro.dist.protocol import (
+    array_payload_nbytes,
+    decode_frame,
+    encode_frame,
+    make_frame,
+)
+from repro.dist.shardstore import ShardStore
+from repro.runtime.instrumentation import ExecutionResult, ExecutionStats
+from repro.runtime.memory import MemoryManager
+from repro.runtime.parallel import ParallelBackend
+from repro.runtime.plan import (
+    fingerprint_of_key,
+    program_base_order,
+    program_fingerprint,
+)
+from repro.runtime.tiling import TileDecomposition
+from repro.utils.config import get_config
+from repro.utils.errors import DistributedExecutionError
+
+#: Generous ceilings — the watchdog for a wedged (but alive) worker.  A
+#: *dead* worker is detected immediately through its process sentinel.
+HELLO_TIMEOUT_SECONDS = 120.0
+STEP_TIMEOUT_SECONDS = 300.0
+
+
+class WorkerDiedError(DistributedExecutionError):
+    """A worker process exited while the master awaited its reply."""
+
+
+class _WorkerHandle:
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+
+
+class WorkerPool:
+    """A persistent pool of spawned workers behind duplex pipes."""
+
+    def __init__(self, num_workers: int) -> None:
+        from repro.dist.worker import worker_main
+
+        ctx = get_context("spawn")
+        self.num_workers = num_workers
+        self.workers: List[_WorkerHandle] = []
+        #: Plan tokens every live worker has cached (cold-load bookkeeping).
+        self.loaded_tokens: set = set()
+        self.frames_sent = 0
+        self.frames_received = 0
+        for worker_id in range(num_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=worker_main,
+                args=(worker_id, child_conn),
+                name=f"repro-dist-worker-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self.workers.append(_WorkerHandle(worker_id, process, parent_conn))
+        for handle in self.workers:
+            frame = self._recv_handle(handle, HELLO_TIMEOUT_SECONDS, None)
+            if frame["kind"] != "hello":
+                raise DistributedExecutionError(
+                    f"worker {handle.worker_id} spoke {frame['kind']!r} before hello"
+                )
+
+    def healthy(self) -> bool:
+        return all(handle.process.is_alive() for handle in self.workers)
+
+    # ------------------------------------------------------------------ #
+    # Framed, metered channel
+    # ------------------------------------------------------------------ #
+
+    def send(self, worker_id: int, frame: dict, stats: Optional[ExecutionStats]) -> None:
+        handle = self.workers[worker_id]
+        data = encode_frame(frame)
+        self.frames_sent += 1
+        if stats is not None:
+            stats.dist_control_frames += 1
+            stats.dist_control_bytes += len(data)
+            stats.dist_payload_bytes += array_payload_nbytes(frame)
+        try:
+            handle.conn.send_bytes(data)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerDiedError(
+                f"worker {worker_id} (pid {handle.process.pid}) is gone: {exc}"
+            ) from exc
+
+    def recv(
+        self,
+        worker_id: int,
+        stats: Optional[ExecutionStats],
+        timeout: float = STEP_TIMEOUT_SECONDS,
+    ) -> dict:
+        return self._recv_handle(self.workers[worker_id], timeout, stats)
+
+    def _recv_handle(
+        self, handle: _WorkerHandle, timeout: float, stats: Optional[ExecutionStats]
+    ) -> dict:
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DistributedExecutionError(
+                    f"worker {handle.worker_id} did not reply within {timeout:.0f}s"
+                )
+            ready = connection.wait(
+                [handle.conn, handle.process.sentinel], timeout=remaining
+            )
+            if handle.conn in ready:
+                try:
+                    data = handle.conn.recv_bytes()
+                except EOFError as exc:
+                    raise WorkerDiedError(
+                        f"worker {handle.worker_id} closed its channel mid-flush"
+                    ) from exc
+                self.frames_received += 1
+                frame = decode_frame(data)
+                if stats is not None:
+                    stats.dist_control_frames += 1
+                    stats.dist_control_bytes += len(data)
+                    stats.dist_payload_bytes += array_payload_nbytes(frame)
+                if frame["kind"] == "error":
+                    raise DistributedExecutionError(
+                        f"worker {handle.worker_id} failed: {frame['message']}\n"
+                        f"{frame['traceback']}"
+                    )
+                return frame
+            if handle.process.sentinel in ready:
+                # Drain a reply that raced the death before declaring it.
+                if handle.conn.poll(0):
+                    continue
+                raise WorkerDiedError(
+                    f"worker {handle.worker_id} (pid {handle.process.pid}) died "
+                    f"mid-flush (exit code {handle.process.exitcode})"
+                )
+
+    def shutdown(self, graceful: bool = True) -> None:
+        for handle in self.workers:
+            if graceful and handle.process.is_alive():
+                try:
+                    handle.conn.send_bytes(encode_frame(make_frame("shutdown")))
+                except (BrokenPipeError, OSError):
+                    pass
+        for handle in self.workers:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self.loaded_tokens.clear()
+
+
+# --------------------------------------------------------------------------- #
+# Process-wide pool and store singletons
+# --------------------------------------------------------------------------- #
+
+_POOLS: Dict[int, WorkerPool] = {}
+_POOLS_LOCK = threading.Lock()
+_STORE: Optional[ShardStore] = None
+_STORE_LOCK = threading.Lock()
+_WORKERS_SPAWNED = 0
+
+
+def _get_store() -> ShardStore:
+    global _STORE
+    with _STORE_LOCK:
+        if _STORE is None:
+            _STORE = ShardStore()
+        return _STORE
+
+
+def _get_pool(num_workers: int) -> WorkerPool:
+    """The shared pool for ``num_workers``, (re)spawned when absent or dead."""
+    global _WORKERS_SPAWNED
+    with _POOLS_LOCK:
+        pool = _POOLS.get(num_workers)
+        if pool is not None and pool.healthy():
+            return pool
+        if pool is not None:
+            pool.shutdown(graceful=False)
+        pool = WorkerPool(num_workers)
+        _WORKERS_SPAWNED += num_workers
+        _POOLS[num_workers] = pool
+        return pool
+
+
+def _discard_pool(num_workers: int) -> None:
+    with _POOLS_LOCK:
+        pool = _POOLS.pop(num_workers, None)
+    if pool is not None:
+        pool.shutdown(graceful=False)
+
+
+def _shutdown_all_pools() -> None:
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(_shutdown_all_pools)
+
+
+class DistributedBackend(ParallelBackend):
+    """Plan execution sharded across a pool of worker processes.
+
+    Subclasses the tiled parallel backend for its plan integration (tile
+    decomposition at prepare time, the plan-less schedule/tiling LRU) and
+    replaces the launch layer: tiled steps go to worker processes over the
+    control channel instead of to threads, serial steps run on the master
+    against the same shared-memory storage.
+    """
+
+    name = "dist"
+
+    def __init__(self, num_workers: Optional[int] = None) -> None:
+        super().__init__()
+        self._configured_workers = num_workers
+        self._comm: Optional[CommunicationModel] = None
+        # Backend-lifetime counters for cache_stats (per-flush deltas live
+        # on ExecutionStats).
+        self.shard_launches_total = 0
+        self.halo_exchanges_total = 0
+        self.payload_bytes_total = 0
+        self.loads_shipped = 0
+        # Plan-less dist-plan LRU rides the same capacity as the tiling LRU.
+        self._dist_plan_cache: "OrderedDict[tuple, DistPlan]" = OrderedDict()
+
+    def num_workers(self) -> int:
+        if self._configured_workers is not None:
+            return max(1, int(self._configured_workers))
+        return max(1, int(get_config().dist_num_workers))
+
+    def _comm_model(self) -> CommunicationModel:
+        if self._comm is None:
+            self._comm = CommunicationModel.calibrated()
+        return self._comm
+
+    # ------------------------------------------------------------------ #
+    # Plan integration
+    # ------------------------------------------------------------------ #
+
+    def _dist_signature(self) -> tuple:
+        return self._tiling_signature() + (self.num_workers(),)
+
+    def prepare_plan(self, plan) -> None:
+        """Attach tiling (parent) plus the shard plan, once per signature."""
+        super().prepare_plan(plan)
+        signature = self._dist_signature()
+        with plan.lock:
+            if plan.dist_plan is None or plan.dist_signature != signature:
+                workers = self.num_workers()
+                token = fingerprint_of_key(
+                    (program_fingerprint(plan.optimized),) + signature
+                )
+                plan.dist_plan = build_dist_plan(
+                    plan.optimized, plan.tiling, workers
+                )._with_token(token)
+                plan.dist_signature = signature
+
+    def execute_plan(self, plan, program, memory: Optional[MemoryManager] = None):
+        self.prepare_plan(plan)
+        memory = memory if memory is not None else MemoryManager()
+        # Slot aliasing is deliberately bypassed: segment-per-base residency
+        # is what makes the zero-payload warm path possible, and a shared
+        # slot buffer cannot be two shared-memory segments at once.  Stale
+        # directives from another backend's flush must not leak in either.
+        memory.apply_plan(None)
+        return self._run(program, plan.tiling, memory, dist_plan=plan.dist_plan)
+
+    def _plan_less_dist_plan(
+        self, program, tiling: TileDecomposition, workers: int
+    ) -> DistPlan:
+        key = (program_fingerprint(program),) + self._dist_signature()
+        with self._cache_lock:
+            cached = self._dist_plan_cache.get(key)
+            if cached is not None:
+                self._dist_plan_cache.move_to_end(key)
+                return cached
+        dist_plan = build_dist_plan(program, tiling, workers)._with_token(
+            fingerprint_of_key(key)
+        )
+        with self._cache_lock:
+            self._dist_plan_cache[key] = dist_plan
+            while len(self._dist_plan_cache) > self._tiling_capacity:
+                self._dist_plan_cache.popitem(last=False)
+        return dist_plan
+
+    # ------------------------------------------------------------------ #
+    # Adoption: arrays become shared-memory residents
+    # ------------------------------------------------------------------ #
+
+    def _adopt(self, memory: MemoryManager, base, store: ShardStore, stats) -> str:
+        name = memory.external_token(base)
+        if name is not None:
+            return name  # already resident — the zero-copy warm path
+        if memory.is_allocated(base):
+            host = memory.allocate(base)
+            name, buffer = store.create(base.nbytes)
+            typed = buffer[: base.nbytes].view(base.dtype.np_dtype)
+            np.copyto(typed, host)
+            stats.dist_bytes_migrated += base.nbytes
+            memory.free(base)  # recycle the host buffer through the pool
+        else:
+            name, buffer = store.create(base.nbytes)
+            typed = buffer[: base.nbytes].view(base.dtype.np_dtype)
+            # Recycled segments hold a previous tenant's bytes; fresh bases
+            # carry Bohrium's zero-initialisation semantics.
+            typed.fill(0)
+        memory.adopt_external(
+            base, typed, release=lambda name=name: store.release(name), token=name
+        )
+        return name
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def _run(
+        self,
+        program,
+        tiling: TileDecomposition,
+        memory: Optional[MemoryManager],
+        dist_plan: Optional[DistPlan] = None,
+    ) -> ExecutionResult:
+        memory = memory if memory is not None else MemoryManager()
+        workers = self.num_workers()
+        if dist_plan is None or dist_plan.num_workers != workers:
+            dist_plan = self._plan_less_dist_plan(program, tiling, workers)
+        stats = ExecutionStats(backend_name=self.name)
+        stats.dist_workers_used = workers
+        start = time.perf_counter()
+        store = _get_store()
+        try:
+            self._run_sharded(program, tiling, dist_plan, memory, stats, store, workers)
+        except WorkerDiedError:
+            _discard_pool(workers)
+            raise
+        stats.wall_time_seconds = time.perf_counter() - start
+        self.shard_launches_total += stats.dist_shard_launches
+        self.halo_exchanges_total += stats.dist_halo_exchanges
+        self.payload_bytes_total += stats.dist_payload_bytes
+        return ExecutionResult(memory=memory, stats=stats)
+
+    def _run_sharded(
+        self, program, tiling, dist_plan, memory, stats, store, workers
+    ) -> None:
+        pool = _get_pool(workers)
+        base_order = program_base_order(program)
+        segments = {
+            position: (self._adopt(memory, base, store, stats), base.nbytes)
+            for position, base in enumerate(base_order)
+        }
+        scratch_name = None
+        if dist_plan.max_partials:
+            scratch_name, _ = store.create(
+                dist_plan.max_partials * dist_plan.partial_itemsize
+            )
+        config = get_config()
+        try:
+            if dist_plan.token not in pool.loaded_tokens:
+                payload = pickle.dumps(
+                    (program, tiling, dist_plan), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                load = make_frame(
+                    "load",
+                    token=dist_plan.token,
+                    payload=payload,
+                    check=bool(config.check_ir),
+                )
+                for worker_id in range(workers):
+                    pool.send(worker_id, load, stats)
+                for worker_id in range(workers):
+                    frame = pool.recv(worker_id, stats)
+                    if frame["kind"] != "loaded":
+                        raise DistributedExecutionError(
+                            f"expected loaded ack, got {frame['kind']!r}"
+                        )
+                    checks = int(frame["plan_checks_run"])
+                    if checks:
+                        from repro.checks import COUNTERS
+
+                        for _ in range(checks):
+                            COUNTERS.note_plan_check()
+                        stats.plan_checks_run += checks
+                pool.loaded_tokens.add(dist_plan.token)
+                self.loads_shipped += 1
+            map_frame = make_frame(
+                "map",
+                token=dist_plan.token,
+                segments=segments,
+                scratch=scratch_name,
+                halo_mode=config.dist_halo_mode,
+            )
+            for worker_id in range(workers):
+                pool.send(worker_id, map_frame, stats)
+            for shard_step in dist_plan.steps:
+                instruction = program[shard_step.index]
+                if isinstance(shard_step, MasterStep):
+                    if not instruction.is_system():
+                        stats.serial_fallbacks += 1
+                    self._interpreter._execute_instruction(
+                        instruction, memory, stats, top_level=True
+                    )
+                    continue
+                if isinstance(shard_step, MapShardStep):
+                    self._launch_map_shards(
+                        pool, dist_plan, shard_step, instruction, memory, stats
+                    )
+                else:
+                    self._launch_reduce_shards(
+                        pool,
+                        dist_plan,
+                        shard_step,
+                        instruction,
+                        memory,
+                        store,
+                        scratch_name,
+                        stats,
+                    )
+        finally:
+            if scratch_name is not None:
+                store.release(scratch_name)
+
+    def _launch_map_shards(
+        self, pool, dist_plan, step: MapShardStep, instruction, memory, stats
+    ) -> None:
+        # Master-side accounting mirrors the parallel backend's map path.
+        instructions = (
+            instruction.kernel if instruction.is_fused() else (instruction,)
+        )
+        stats.kernel_launches += 1
+        if instruction.is_fused():
+            stats.record_instruction(instruction.opcode)
+        for inner in instructions:
+            stats.record_instruction(inner.opcode)
+            self._interpreter._account_traffic(inner, memory, stats)
+        stats.tiled_instructions += len(instructions)
+        participants = len(step.shards)
+        comm = self._comm_model()
+        for halo in step.halos:
+            COMM_METER.add_priced(
+                participants * comm.point_to_point(halo.depth * halo.row_bytes)
+            )
+        frame = make_frame("step", token=dist_plan.token, step=step.index)
+        for worker_id in range(participants):
+            pool.send(worker_id, frame, stats)
+        stats.dist_shard_launches += participants
+        stats.tiles_executed += participants
+        for worker_id in range(participants):
+            reply = pool.recv(worker_id, stats)
+            self._fold_complete(reply, step.index, stats)
+
+    def _launch_reduce_shards(
+        self,
+        pool,
+        dist_plan,
+        step: ReduceShardStep,
+        instruction,
+        memory,
+        store,
+        scratch_name,
+        stats,
+    ) -> None:
+        stats.kernel_launches += 1
+        stats.record_instruction(instruction.opcode)
+        self._interpreter._account_traffic(instruction, memory, stats)
+        participants = [
+            worker_id
+            for worker_id, assignment in enumerate(step.assignments)
+            if assignment
+        ]
+        frame = make_frame("step", token=dist_plan.token, step=step.index)
+        for worker_id in participants:
+            pool.send(worker_id, frame, stats)
+        stats.dist_shard_launches += len(participants)
+        stats.tiles_executed += len(step.spans)
+        stats.tiled_instructions += 1
+        for worker_id in participants:
+            reply = pool.recv(worker_id, stats)
+            self._fold_complete(reply, step.index, stats)
+        if step.combine:
+            # Master-side pairwise combine in the parallel backend's fixed
+            # order: spans depend only on tiling configuration, so the
+            # result is bitwise identical at any worker count.
+            from repro.bytecode.opcodes import REDUCE_TO_ELEMENTWISE, opcode_info
+
+            source_view = instruction.inputs[0]
+            elementwise_op = REDUCE_TO_ELEMENTWISE[instruction.opcode]
+            ufunc = getattr(np, opcode_info(elementwise_op).numpy_name)
+            dtype = source_view.base.dtype.np_dtype
+            scratch = store.buffer(scratch_name)
+            partials = scratch[: len(step.spans) * dtype.itemsize].view(dtype)
+            values = [partials[position] for position in range(len(step.spans))]
+            while len(values) > 1:
+                combined = [
+                    ufunc(values[i], values[i + 1])
+                    for i in range(0, len(values) - 1, 2)
+                ]
+                if len(values) % 2:
+                    combined.append(values[-1])
+                values = combined
+            out = memory.view_array(instruction.out)
+            np.copyto(out, np.asarray(values[0]).reshape(out.shape), casting="unsafe")
+
+    def _fold_complete(self, reply: dict, step_index: int, stats) -> None:
+        if reply["kind"] != "complete" or reply["step"] != step_index:
+            raise DistributedExecutionError(
+                f"out-of-order reply {reply['kind']!r} for step {step_index}"
+            )
+        counters = reply["counters"]
+        stats.dist_halo_exchanges += int(counters.get("halo_exchanges", 0))
+        stats.dist_halo_bytes += int(counters.get("halo_bytes", 0))
+        measured = float(counters.get("halo_seconds", 0.0))
+        if measured:
+            COMM_METER.add_measured(measured)
+
+    # ------------------------------------------------------------------ #
+    # Fault injection and statistics
+    # ------------------------------------------------------------------ #
+
+    def inject_worker_crash(self, worker_id: int = 0) -> None:
+        """Queue a crash frame for one worker (tests: deterministic death).
+
+        The worker dies when it *processes* the frame — before any later
+        queued work — so a flush sent immediately afterwards observes a
+        mid-flush death.
+        """
+        pool = _get_pool(self.num_workers())
+        pool.send(worker_id, make_frame("crash"), None)
+
+    def cache_stats(self) -> Dict[str, int]:
+        stats = super().cache_stats()
+        stats.update(_get_store().stats())
+        stats.update(COMM_METER.snapshot_us())
+        stats.update(
+            {
+                "dist_workers_spawned": _WORKERS_SPAWNED,
+                "dist_shard_launches": self.shard_launches_total,
+                "dist_halo_exchanges": self.halo_exchanges_total,
+                "dist_payload_bytes": self.payload_bytes_total,
+                "dist_loads_shipped": self.loads_shipped,
+            }
+        )
+        return stats

@@ -1,0 +1,341 @@
+"""Prepare-time shard planning for the distributed backend.
+
+The planner turns a plan's tile decomposition (:mod:`repro.runtime.tiling`
+already proved which steps may split along their first axis without
+overlap hazards) into *shard descriptors*: one contiguous row shard per
+worker process for map steps, span assignments for reductions, and — the
+load-bearing part — explicit halo specifications for stencil shards.
+
+Everything here is structural (step indices, row spans, template slot
+positions, canonical base positions) so one shard plan serves every
+rebound replay of its execution plan and pickles cheaply to workers.
+
+Halo analysis
+-------------
+A fused stencil kernel reads one base through several views at different
+row offsets (the heat-equation kernel reads its grid at row offsets
+``{0, 1, 2}``).  Tiling's hazard analysis already guarantees the *written*
+rows of worker shards are disjoint, but a shard's reads of such a base
+reach up to ``H = max_offset - min_offset`` rows past its own block — rows
+owned by the next worker.  The planner detects those bases per step and
+records a :class:`HaloSpec`; at execution the worker copies the foreign
+rows into a private landing buffer (overlapped with interior compute) and
+runs its boundary rows against the landing copy.  When a multi-offset base
+is *also written* by the same step, or its views don't share a clean
+row-major layout, the step falls back to serial execution on the master —
+correctness first, distribution second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode.program import Program
+from repro.cluster.partition import partition_length
+from repro.runtime.kernel import kernel_slot_views
+from repro.runtime.tiling import (
+    SerialStep,
+    TileDecomposition,
+    TileSpan,
+    TiledMapStep,
+    TiledReduceStep,
+)
+
+
+@dataclass(frozen=True)
+class HaloSpec:
+    """One stencil base of a sharded map step.
+
+    Attributes
+    ----------
+    slot_positions:
+        Template slot indices (see
+        :func:`repro.runtime.kernel.kernel_slot_views`) whose views read
+        this base; at the boundary rows the worker redirects exactly these
+        slots into its landing buffer.
+    base_position:
+        The base's canonical position (:func:`program_base_order`), which
+        is also its key in the per-flush segment mapping.
+    stride0:
+        Element stride between consecutive rows — shared by every reading
+        view (the planner rejects mismatches).
+    min_row / max_row:
+        Smallest and largest view row offset into the base; the halo depth
+        is ``max_row - min_row``.
+    row_bytes:
+        Bytes one fetched base row occupies in the landing buffer.
+    """
+
+    slot_positions: Tuple[int, ...]
+    base_position: int
+    stride0: int
+    min_row: int
+    max_row: int
+    row_bytes: int
+
+    @property
+    def depth(self) -> int:
+        return self.max_row - self.min_row
+
+
+@dataclass(frozen=True)
+class MapShardStep:
+    """A tiled map step sharded across workers: shard ``k`` → worker ``k``."""
+
+    index: int
+    shards: Tuple[TileSpan, ...]
+    halos: Tuple[HaloSpec, ...] = ()
+
+
+@dataclass(frozen=True)
+class ReduceShardStep:
+    """A tiled reduction: plan spans dealt out to workers.
+
+    ``spans`` are the *plan's* tile spans — they depend only on tiling
+    configuration, never on the worker count, which is what keeps combine
+    reductions bitwise stable at any pool size: workers compute one partial
+    per assigned span into the shared scratch segment (indexed by span
+    position) and the master tree-combines all partials in the parallel
+    backend's fixed pairwise order.  Non-combine reductions write disjoint
+    output slices directly, so any dealing is bit-identical.
+    """
+
+    index: int
+    spans: Tuple[TileSpan, ...]
+    tile_axis: int
+    combine: bool
+    #: Per worker: the span positions that worker reduces (empty tuples
+    #: for workers beyond the span count — they are never launched).
+    assignments: Tuple[Tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class MasterStep:
+    """A step the master executes serially (with the reason recorded)."""
+
+    index: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class DistPlan:
+    """The shard descriptors for one execution plan at one worker count."""
+
+    num_workers: int
+    steps: Tuple[object, ...]
+    #: Widest combine reduction (span count) — sizes the scratch segment.
+    max_partials: int = 0
+    #: Largest source itemsize among combine reductions.
+    partial_itemsize: int = 0
+    #: The plan-cache token workers key their loaded-plan cache on: a
+    #: fingerprint over (program, tiling signature, worker count).  Set by
+    #: the backend, which knows the cache key; "" means unkeyed.
+    token: str = ""
+
+    @property
+    def distributed_steps(self) -> Tuple[object, ...]:
+        return tuple(
+            step for step in self.steps if not isinstance(step, MasterStep)
+        )
+
+    def _with_token(self, token: str) -> "DistPlan":
+        return replace(self, token=token)
+
+
+def _base_positions(program: Program) -> Dict[int, int]:
+    from repro.runtime.plan import program_base_order
+
+    return {id(base): pos for pos, base in enumerate(program_base_order(program))}
+
+
+def _halo_specs(
+    instructions, slots
+) -> Tuple[Optional[Tuple[HaloSpec, ...]], str]:
+    """Halo specifications for one map step, or a fallback reason.
+
+    Returns ``(halos, "")`` when the step can shard — possibly with no
+    halos at all — and ``(None, reason)`` when a multi-offset base defeats
+    the analysis and the step must run serially on the master.
+    """
+    written_bases = set()
+    read_slots: Dict[int, List[int]] = {}
+    for position, slot_view in enumerate(slots):
+        is_written = any(
+            slot_view.same_view(view)
+            for instruction in instructions
+            for view in instruction.writes()
+        )
+        is_read = any(
+            slot_view.same_view(view)
+            for instruction in instructions
+            for view in instruction.reads()
+        )
+        if is_written:
+            written_bases.add(id(slot_view.base))
+        if is_read:
+            read_slots.setdefault(id(slot_view.base), []).append(position)
+    halos: List[HaloSpec] = []
+    for base_key, positions in read_slots.items():
+        views = [slots[position] for position in positions]
+        base = views[0].base
+        stride0 = views[0].strides[0]
+        clean = stride0 > 0 and all(view.strides[0] == stride0 for view in views)
+        if not clean:
+            # With one distinct (offset, strides) signature per base the
+            # reads translate uniformly with the shard and need no halo;
+            # several signatures without a common positive row stride defeat
+            # the row arithmetic — run the step on the master instead.
+            if len({(view.offset, view.strides) for view in views}) < 2:
+                continue
+            return None, "stencil views disagree on the row stride"
+        offsets = {view.offset // stride0 for view in views}
+        if len(offsets) < 2:
+            continue  # single row offset: the shard's own rows suffice
+        if base_key in written_bases:
+            return None, "stencil base is also written in the same step"
+        for view in views:
+            # Containment: everything a logical row addresses (column
+            # remainder plus the extent of the remaining axes) must fit
+            # inside one row stride, otherwise "fetch H rows" is not a
+            # well-defined halo.
+            extent = sum(
+                (dim - 1) * stride
+                for dim, stride in zip(view.shape[1:], view.strides[1:])
+            )
+            if any(stride < 0 for stride in view.strides):
+                return None, "stencil view has negative strides"
+            if view.offset % stride0 + extent + 1 > stride0:
+                return None, "stencil view rows are not contained in the row stride"
+        halos.append(
+            HaloSpec(
+                slot_positions=tuple(positions),
+                base_position=-1,  # patched by the caller, which knows the order
+                stride0=stride0,
+                min_row=min(view.offset // stride0 for view in views),
+                max_row=max(view.offset // stride0 for view in views),
+                row_bytes=stride0 * base.dtype.itemsize,
+            )
+        )
+    return tuple(halos), ""
+
+
+def build_dist_plan(
+    program: Program, tiling: TileDecomposition, num_workers: int
+) -> DistPlan:
+    """Turn a tile decomposition into per-worker shard descriptors."""
+    positions = _base_positions(program)
+    steps: List[object] = []
+    max_partials = 0
+    partial_itemsize = 0
+    for step in tiling.steps:
+        instruction = program[step.index]
+        if isinstance(step, SerialStep):
+            steps.append(MasterStep(index=step.index, reason=step.reason))
+            continue
+        if isinstance(step, TiledMapStep):
+            instructions = (
+                instruction.kernel if instruction.is_fused() else (instruction,)
+            )
+            slots = kernel_slot_views(instructions)
+            rows = slots[0].shape[0]
+            halos, reason = _halo_specs(instructions, slots)
+            if halos is None:
+                steps.append(MasterStep(index=step.index, reason=reason))
+                continue
+            halos = tuple(
+                HaloSpec(
+                    slot_positions=halo.slot_positions,
+                    base_position=positions[id(slots[halo.slot_positions[0]].base)],
+                    stride0=halo.stride0,
+                    min_row=halo.min_row,
+                    max_row=halo.max_row,
+                    row_bytes=halo.row_bytes,
+                )
+                for halo in halos
+            )
+            # partition_length clamps to min(workers, rows): every shard
+            # is non-empty by construction, workers beyond the clamp are
+            # simply not launched for this step.
+            shards = tuple(
+                TileSpan(start, count)
+                for start, count in partition_length(rows, num_workers)
+            )
+            steps.append(MapShardStep(index=step.index, shards=shards, halos=halos))
+            continue
+        assert isinstance(step, TiledReduceStep)
+        dealt = partition_length(len(step.spans), num_workers)
+        assignments = tuple(
+            tuple(range(start, start + count)) for start, count in dealt
+        ) + ((),) * (num_workers - len(dealt))
+        steps.append(
+            ReduceShardStep(
+                index=step.index,
+                spans=step.spans,
+                tile_axis=step.tile_axis,
+                combine=step.combine,
+                assignments=assignments,
+            )
+        )
+        if step.combine:
+            max_partials = max(max_partials, len(step.spans))
+            source_view = instruction.inputs[0]
+            partial_itemsize = max(partial_itemsize, source_view.base.dtype.itemsize)
+    return DistPlan(
+        num_workers=num_workers,
+        steps=tuple(steps),
+        max_partials=max_partials,
+        partial_itemsize=partial_itemsize,
+    )
+
+
+def validate_dist_plan(program: Program, tiling, plan: DistPlan) -> int:
+    """Structural soundness of a shard plan against its program (worker-side).
+
+    Workers run this before first execution of a loaded plan: step indices
+    must be in range and match the tiling's step kinds, map shards must be
+    non-empty and exactly partition the step's rows, and reduce assignments
+    must cover every span exactly once.  Returns the number of checks run;
+    raises :class:`~repro.dist.protocol.ProtocolError` on violation.
+    """
+    from repro.dist.protocol import ProtocolError
+
+    checks = 0
+    if len(plan.steps) != len(tiling.steps):
+        raise ProtocolError(
+            f"shard plan has {len(plan.steps)} steps, tiling has {len(tiling.steps)}"
+        )
+    for shard_step, tile_step in zip(plan.steps, tiling.steps):
+        checks += 1
+        if shard_step.index != tile_step.index:
+            raise ProtocolError(
+                f"shard step index {shard_step.index} != tiling index {tile_step.index}"
+            )
+        if shard_step.index >= len(program):
+            raise ProtocolError(f"step index {shard_step.index} out of range")
+        if isinstance(shard_step, MapShardStep):
+            if not shard_step.shards:
+                raise ProtocolError(f"map step {shard_step.index} has no shards")
+            cursor = 0
+            for span in shard_step.shards:
+                if span.count <= 0:
+                    raise ProtocolError(
+                        f"map step {shard_step.index} carries an empty shard"
+                    )
+                if span.start != cursor:
+                    raise ProtocolError(
+                        f"map step {shard_step.index} shards are not contiguous"
+                    )
+                cursor += span.count
+        elif isinstance(shard_step, ReduceShardStep):
+            dealt = sorted(
+                position
+                for assignment in shard_step.assignments
+                for position in assignment
+            )
+            if dealt != list(range(len(shard_step.spans))):
+                raise ProtocolError(
+                    f"reduce step {shard_step.index} assignments do not cover "
+                    f"its spans exactly once"
+                )
+    return checks

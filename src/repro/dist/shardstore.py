@@ -1,0 +1,326 @@
+"""Shared-memory segment registry for the distributed backend.
+
+The :class:`ShardStore` owns every ``multiprocessing.shared_memory``
+segment the master process creates: it hands out segments for adopted base
+arrays and reduction scratch, parks released segments on a size-classed
+free list for recycling (mirroring the buffer pool's policy), enforces the
+``dist_shm_max_bytes`` budget, and keeps an on-disk *manifest* of live
+segment names so a crashed master can never leak ``/dev/shm`` entries:
+:func:`sweep_manifests` unlinks every segment whose owning pid is dead.
+
+Ownership rules
+---------------
+* Only the master creates and unlinks segments.  Workers *attach* (via
+  :func:`attach_segment`, which suppresses the resource tracker so a worker
+  exit cannot unlink a segment out from under the master) and therefore can
+  never leak one by crashing.
+* A released segment is parked, not unlinked — the recycling free list is
+  what keeps warm flushes allocation-free — but parked bytes still count
+  against the budget and are unlinked first when it tightens.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import tempfile
+import threading
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.memory import size_class
+from repro.utils.errors import DistributedExecutionError
+
+#: Manifests live in one well-known temp subdirectory, named ``<pid>.json``.
+MANIFEST_DIRNAME = "repro-dist-manifests"
+
+_TRACKER_LOCK = threading.Lock()
+
+
+class _tracker_suppressed:
+    """Keep a shared-memory operation out of the resource tracker.
+
+    The store manages segment lifetime itself — ``atexit`` close on clean
+    exit, the pid manifest plus :func:`sweep_manifests` after a crash — so
+    its segments must never enter the interpreter's resource tracker:
+    tracker accounting is per-*name* but shared across the worker pool, so
+    a second registrant (or an unlink of an unregistered name) corrupts the
+    tracker cache and spams ``KeyError`` tracebacks at exit.  Python 3.13's
+    ``track=False`` covers attach but not create/unlink on older versions,
+    hence the scoped monkeypatch (serialised by a lock)."""
+
+    def __enter__(self):
+        from multiprocessing import resource_tracker
+
+        _TRACKER_LOCK.acquire()
+        self._tracker = resource_tracker
+        self._register = resource_tracker.register
+        self._unregister = resource_tracker.unregister
+        resource_tracker.register = lambda name, rtype: None
+        resource_tracker.unregister = lambda name, rtype: None
+        return self
+
+    def __exit__(self, *exc):
+        self._tracker.register = self._register
+        self._tracker.unregister = self._unregister
+        _TRACKER_LOCK.release()
+        return False
+
+
+def manifest_dir() -> Path:
+    path = Path(tempfile.gettempdir()) / MANIFEST_DIRNAME
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting unlink responsibility.
+
+    Python < 3.13 registers *attachments* with the resource tracker, which
+    unlinks the segment when the attaching process exits — exactly wrong
+    for workers that merely borrow the master's segments.  3.13 grew
+    ``track=False``; older versions need the registration suppressed (the
+    register/unregister-later dance is not equivalent: the tracker cache is
+    shared across the pool, so a worker's unregister erases the *master's*
+    registration and the eventual unlink trips a tracker KeyError).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        with _tracker_suppressed():
+            return shared_memory.SharedMemory(name=name)
+
+
+def _unlink_untracked(shm: shared_memory.SharedMemory) -> None:
+    """Unlink a segment the tracker never knew about (see above)."""
+    with _tracker_suppressed():
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _close_quietly(shm: shared_memory.SharedMemory) -> None:
+    """Close a segment's mapping, tolerating live NumPy views.
+
+    ``mmap.close`` raises ``BufferError`` while exported views exist; at
+    teardown the views die with the process, so unlinking is what matters.
+    Disarming ``close`` afterwards keeps ``SharedMemory.__del__``'s retry
+    from printing "Exception ignored" noise at interpreter shutdown.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        shm.close = lambda: None
+
+
+class ShardStore:
+    """Registry, recycler and budget-keeper for shared-memory segments."""
+
+    def __init__(
+        self,
+        max_bytes: Optional[Callable[[], int]] = None,
+        directory: Optional[Path] = None,
+    ) -> None:
+        #: Budget provider — read per create so ``config_override`` in
+        #: tests (and CLI flag changes) take effect without a new store.
+        if max_bytes is None:
+            from repro.utils.config import get_config
+
+            max_bytes = lambda: get_config().dist_shm_max_bytes  # noqa: E731
+        self._max_bytes = max_bytes
+        self._directory = directory if directory is not None else manifest_dir()
+        #: name -> (segment, size class, uint8 buffer view); live segments.
+        self._active: Dict[str, Tuple[shared_memory.SharedMemory, int, np.ndarray]] = {}
+        #: size class -> parked (name, segment, buffer) entries for reuse.
+        self._parked: Dict[int, List[Tuple[str, shared_memory.SharedMemory, np.ndarray]]] = {}
+        self._segments_lock = threading.Lock()
+        self.segments_created = 0
+        self.segments_recycled = 0
+        self._closed = False
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------ #
+    # Budget accounting (callers hold the lock)
+    # ------------------------------------------------------------------ #
+
+    def _active_bytes(self) -> int:
+        return sum(cls for _, cls, _ in self._active.values())
+
+    def _parked_bytes(self) -> int:
+        return sum(cls * len(entries) for cls, entries in self._parked.items())
+
+    def _evict_parked(self, needed: int) -> None:
+        """Unlink parked segments until ``needed`` bytes fit in the budget."""
+        budget = self._max_bytes()
+        for cls in sorted(self._parked, reverse=True):
+            entries = self._parked[cls]
+            while entries and self._active_bytes() + self._parked_bytes() + needed > budget:
+                name, shm, _ = entries.pop()
+                _close_quietly(shm)
+                _unlink_untracked(shm)
+            if not entries:
+                del self._parked[cls]
+        self._write_manifest()
+
+    # ------------------------------------------------------------------ #
+    # Segment lifecycle
+    # ------------------------------------------------------------------ #
+
+    def create(self, nbytes: int) -> Tuple[str, np.ndarray]:
+        """A segment with at least ``nbytes`` capacity: ``(name, uint8 buffer)``.
+
+        Recycles a parked segment of the same size class when one exists
+        (its contents are stale — callers zero or overwrite), otherwise
+        creates a fresh one, evicting parked segments if the budget needs
+        the room.  The buffer may still hold data from a previous owner;
+        never hand it out un-initialised.
+        """
+        cls = size_class(max(int(nbytes), 1))
+        with self._segments_lock:
+            if self._closed:
+                raise DistributedExecutionError("shard store is closed")
+            entries = self._parked.get(cls)
+            if entries:
+                name, shm, buffer = entries.pop()
+                if not entries:
+                    del self._parked[cls]
+                self.segments_recycled += 1
+                self._active[name] = (shm, cls, buffer)
+                return name, buffer
+            if self._active_bytes() + self._parked_bytes() + cls > self._max_bytes():
+                self._evict_parked(cls)
+            if self._active_bytes() + self._parked_bytes() + cls > self._max_bytes():
+                raise DistributedExecutionError(
+                    f"shared-memory budget exhausted: {cls} more bytes over "
+                    f"{self._max_bytes()} (dist_shm_max_bytes) with "
+                    f"{self._active_bytes()} active"
+                )
+            with _tracker_suppressed():
+                shm = shared_memory.SharedMemory(create=True, size=cls)
+            buffer = np.frombuffer(shm.buf, dtype=np.uint8, count=cls)
+            self.segments_created += 1
+            self._active[shm.name] = (shm, cls, buffer)
+            self._write_manifest()
+            return shm.name, buffer
+
+    def release(self, name: str) -> None:
+        """Park an active segment on the free list for recycling."""
+        with self._segments_lock:
+            entry = self._active.pop(name, None)
+            if entry is None:
+                return
+            shm, cls, buffer = entry
+            self._parked.setdefault(cls, []).append((name, shm, buffer))
+
+    def buffer(self, name: str) -> np.ndarray:
+        """The uint8 buffer of an active segment."""
+        with self._segments_lock:
+            return self._active[name][2]
+
+    def nbytes(self, name: str) -> int:
+        """The capacity (size class) of an active segment."""
+        with self._segments_lock:
+            return self._active[name][1]
+
+    def active_segments(self) -> Tuple[str, ...]:
+        with self._segments_lock:
+            return tuple(self._active)
+
+    def stats(self) -> Dict[str, int]:
+        with self._segments_lock:
+            return {
+                "dist_segments_created": self.segments_created,
+                "dist_segments_recycled": self.segments_recycled,
+                "dist_segments_active": len(self._active),
+                "dist_shm_bytes_active": self._active_bytes(),
+                "dist_shm_bytes_parked": self._parked_bytes(),
+            }
+
+    def close(self) -> None:
+        """Unlink every segment (active and parked) and drop the manifest."""
+        with self._segments_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for name, (shm, _, _) in list(self._active.items()):
+                _close_quietly(shm)
+                _unlink_untracked(shm)
+            self._active.clear()
+            for entries in self._parked.values():
+                for _, shm, _ in entries:
+                    _close_quietly(shm)
+                    _unlink_untracked(shm)
+            self._parked.clear()
+            try:
+                self._manifest_path().unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Crash-recovery manifest
+    # ------------------------------------------------------------------ #
+
+    def _manifest_path(self) -> Path:
+        return self._directory / f"{os.getpid()}.json"
+
+    def _write_manifest(self) -> None:
+        """Record every live segment name under this pid (crash insurance)."""
+        names = sorted(self._active) + sorted(
+            name for entries in self._parked.values() for name, _, _ in entries
+        )
+        payload = {"pid": os.getpid(), "segments": names}
+        try:
+            self._manifest_path().write_text(json.dumps(payload))
+        except OSError:  # pragma: no cover - tempdir trouble is best-effort
+            pass
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def sweep_manifests(directory: Optional[Path] = None) -> List[str]:
+    """Unlink segments whose owning process died without cleanup.
+
+    Scans the manifest directory; for every manifest whose pid is no longer
+    alive, unlinks each recorded segment that still exists and removes the
+    manifest.  Returns the names actually unlinked.  Safe to run any time —
+    live owners' manifests are left alone.
+    """
+    directory = directory if directory is not None else manifest_dir()
+    swept: List[str] = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+            pid = int(payload["pid"])
+            segments = list(payload.get("segments", ()))
+        except (OSError, ValueError, KeyError):
+            continue
+        if _pid_alive(pid):
+            continue
+        for name in segments:
+            try:
+                shm = attach_segment(name)
+            except FileNotFoundError:
+                continue
+            _close_quietly(shm)
+            _unlink_untracked(shm)
+            swept.append(name)
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    return swept

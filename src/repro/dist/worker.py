@@ -1,0 +1,436 @@
+"""The worker-process side of the distributed backend.
+
+``worker_main`` is the spawn entry point: a frame-serve loop over one
+duplex pipe.  Workers are deliberately dumb — they hold no configuration,
+never create shared-memory segments (only attach, so a worker crash cannot
+leak one) and never talk to each other; the master sequences every step
+through per-step ``step``/``complete`` round trips, which is what makes a
+dead worker immediately detectable (the master waits on the pipe *and* the
+process sentinel).
+
+Execution model
+---------------
+* ``load`` caches the pickled (program, tiling, shard plan) under its plan
+  token and runs the plan soundness checks (structural shard validation
+  always; the ``checks`` layer's tiling check when the master says so).
+* ``map`` binds canonical base positions to shared-memory segments for the
+  coming steps — the whole per-flush data plane is this name mapping.
+* ``step`` executes this worker's shard of one distributed step: map
+  shards slice every template slot view to the shard rows; stencil shards
+  first fetch their halo rows into a private landing buffer (on a
+  background thread in ``overlap`` mode, so the copy hides behind interior
+  compute) and run their boundary rows against the landing copy; reduction
+  shards reduce their assigned spans, combine forms writing partials into
+  the shared scratch segment for the master's fixed pairwise combine.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+import traceback
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bytecode.base import BaseArray
+from repro.bytecode.opcodes import REDUCE_TO_ELEMENTWISE, opcode_info
+from repro.bytecode.view import View
+from repro.dist.planner import HaloSpec, MapShardStep, ReduceShardStep
+from repro.dist.protocol import (
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    make_frame,
+)
+from repro.dist.shardstore import _close_quietly, attach_segment
+from repro.runtime.kernel import prepare_kernel_launch
+from repro.runtime.tiling import TileSpan, slice_view
+
+#: Worker-side attachment cache cap: segments beyond this are re-attached
+#: on demand (bounds stale attachments when the master recycles heavily).
+MAX_ATTACHMENTS = 64
+
+
+class ShardMemory:
+    """Duck-typed memory manager over attached shared-memory storage.
+
+    Kernel templates (and their interpreter fallback path) only need
+    ``allocate``/``view_array``/``read_view``/``write_view``; storage is
+    pre-registered from the flush's segment mapping, so an unmapped base is
+    a protocol violation, never a silent host allocation.
+    """
+
+    def __init__(self) -> None:
+        self._storage: Dict[int, np.ndarray] = {}
+
+    def register(self, base: BaseArray, storage: np.ndarray) -> None:
+        self._storage[id(base)] = storage
+
+    def unregister(self, base: BaseArray) -> None:
+        self._storage.pop(id(base), None)
+
+    def allocate(self, base: BaseArray, zero: Optional[bool] = None) -> np.ndarray:
+        try:
+            return self._storage[id(base)]
+        except KeyError:
+            raise ProtocolError(
+                f"worker asked to materialize unmapped base {base.name or id(base)}"
+            ) from None
+
+    def view_array(self, view: View) -> np.ndarray:
+        buffer = self.allocate(view.base)
+        itemsize = view.base.dtype.itemsize
+        strides_bytes = tuple(stride * itemsize for stride in view.strides)
+        return np.lib.stride_tricks.as_strided(
+            buffer[view.offset:],
+            shape=view.shape,
+            strides=strides_bytes,
+            writeable=True,
+        )
+
+    def read_view(self, view: View) -> np.ndarray:
+        return np.array(self.view_array(view), copy=True)
+
+    def write_view(self, view: View, data) -> None:
+        np.copyto(self.view_array(view), data)
+
+
+class _LoadedPlan:
+    """One plan token's unpickled artifacts, cached for the pool's lifetime."""
+
+    def __init__(self, program, tiling, dist_plan) -> None:
+        from repro.runtime.plan import program_base_order
+
+        self.program = program
+        self.tiling = tiling
+        self.dist_plan = dist_plan
+        self.base_order = program_base_order(program)
+        #: step index -> (slot views, compiled template)
+        self.templates: Dict[int, tuple] = {}
+
+
+class _Worker:
+    def __init__(self, worker_id: int, conn) -> None:
+        self.worker_id = worker_id
+        self.conn = conn
+        self.plans: Dict[str, _LoadedPlan] = {}
+        #: segment name -> (shm, uint8 buffer); LRU, capped.
+        self.attachments: "OrderedDict[str, tuple]" = OrderedDict()
+        self.memory: Optional[ShardMemory] = None
+        self.current_token: Optional[str] = None
+        self.scratch: Optional[np.ndarray] = None
+        self.halo_mode = "overlap"
+        self.mapped_names: set = set()
+        self.crash_armed = False
+
+    # ------------------------------------------------------------------ #
+    # Channel helpers
+    # ------------------------------------------------------------------ #
+
+    def send(self, kind: str, **payload) -> None:
+        self.conn.send_bytes(encode_frame(make_frame(kind, **payload)))
+
+    def serve(self) -> None:
+        self.send("hello", worker=self.worker_id, pid=os.getpid())
+        while True:
+            try:
+                frame = decode_frame(self.conn.recv_bytes())
+            except (EOFError, OSError):
+                break  # master went away; nothing to clean but mappings
+            kind = frame["kind"]
+            if kind == "shutdown":
+                break
+            if kind == "crash":
+                # Test-only fault injection, *armed* rather than immediate:
+                # the worker dies when it starts its next step, so the
+                # master observes the death mid-flush (after load/map, with
+                # a step outstanding) instead of between flushes where the
+                # pool would simply be respawned.
+                self.crash_armed = True
+                continue
+            try:
+                if kind == "load":
+                    self.handle_load(frame)
+                elif kind == "map":
+                    self.handle_map(frame)
+                elif kind == "step":
+                    self.handle_step(frame)
+                else:
+                    raise ProtocolError(f"worker cannot handle {kind!r} frames")
+            except Exception as exc:
+                try:
+                    self.send(
+                        "error",
+                        message=f"{type(exc).__name__}: {exc}",
+                        traceback=traceback.format_exc(),
+                    )
+                except (BrokenPipeError, OSError):
+                    break
+        self.close()
+
+    def close(self) -> None:
+        # Drop every view layer first so the mappings can actually close.
+        self.memory = None
+        self.scratch = None
+        self.plans.clear()
+        for name, (shm, buffer) in list(self.attachments.items()):
+            del buffer
+            _close_quietly(shm)
+        self.attachments.clear()
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Frame handlers
+    # ------------------------------------------------------------------ #
+
+    def handle_load(self, frame) -> None:
+        from repro.dist.planner import validate_dist_plan
+
+        token = frame["token"]
+        program, tiling, dist_plan = pickle.loads(frame["payload"])
+        loaded = _LoadedPlan(program, tiling, dist_plan)
+        checks = validate_dist_plan(program, tiling, dist_plan)
+        if frame["check"]:
+            from repro.checks.plancheck import check_tiling
+
+            check_tiling(program, tiling)
+            checks += 1
+        self.plans[token] = loaded
+        self.send("loaded", token=token, plan_checks_run=checks)
+
+    def _attach(self, name: str) -> np.ndarray:
+        entry = self.attachments.get(name)
+        if entry is not None:
+            self.attachments.move_to_end(name)
+            return entry[1]
+        while len(self.attachments) >= MAX_ATTACHMENTS:
+            stale = next(
+                (key for key in self.attachments if key not in self.mapped_names),
+                None,
+            )
+            if stale is None:
+                break
+            shm, _ = self.attachments.pop(stale)
+            _close_quietly(shm)
+        shm = attach_segment(name)
+        buffer = np.frombuffer(shm.buf, dtype=np.uint8, count=shm.size)
+        self.attachments[name] = (shm, buffer)
+        return buffer
+
+    def handle_map(self, frame) -> None:
+        token = frame["token"]
+        loaded = self.plans.get(token)
+        if loaded is None:
+            raise ProtocolError(f"map for unloaded plan token {token}")
+        self.mapped_names = {name for name, _ in frame["segments"].values()}
+        scratch_name = frame["scratch"]
+        if scratch_name is not None:
+            self.mapped_names.add(scratch_name)
+        memory = ShardMemory()
+        for position, (name, _) in frame["segments"].items():
+            base = loaded.base_order[position]
+            buffer = self._attach(name)
+            if base.nbytes > buffer.nbytes:
+                raise ProtocolError(
+                    f"segment {name} ({buffer.nbytes} B) too small for base "
+                    f"at position {position} ({base.nbytes} B)"
+                )
+            memory.register(base, buffer[: base.nbytes].view(base.dtype.np_dtype))
+        self.memory = memory
+        self.current_token = token
+        self.scratch = self._attach(scratch_name) if scratch_name is not None else None
+        self.halo_mode = frame["halo_mode"]
+
+    def handle_step(self, frame) -> None:
+        if self.crash_armed:
+            # Die exactly like a segfaulting kernel would: no reply, no
+            # cleanup, with the master's step outstanding.
+            os._exit(23)
+        token = frame["token"]
+        if token != self.current_token or self.memory is None:
+            raise ProtocolError("step frame without a current segment mapping")
+        loaded = self.plans[token]
+        step = loaded.dist_plan.steps[frame["step"]]
+        counters = {"halo_exchanges": 0, "halo_bytes": 0, "halo_seconds": 0.0}
+        if isinstance(step, MapShardStep):
+            self._run_map_shard(loaded, step, counters)
+        elif isinstance(step, ReduceShardStep):
+            self._run_reduce_shard(loaded, step)
+        else:
+            raise ProtocolError(f"step {frame['step']} is not distributed")
+        self.send("complete", step=frame["step"], counters=counters)
+
+    # ------------------------------------------------------------------ #
+    # Map shards (with halo exchange)
+    # ------------------------------------------------------------------ #
+
+    def _template(self, loaded: _LoadedPlan, step_index: int):
+        cached = loaded.templates.get(step_index)
+        if cached is None:
+            instruction = loaded.program[step_index]
+            instructions = (
+                instruction.kernel if instruction.is_fused() else (instruction,)
+            )
+            _, slots, make_template = prepare_kernel_launch(instructions)
+            cached = (slots, make_template())
+            loaded.templates[step_index] = cached
+        return cached
+
+    def _run_map_shard(self, loaded, step: MapShardStep, counters) -> None:
+        if self.worker_id >= len(step.shards):
+            raise ProtocolError(
+                f"worker {self.worker_id} launched beyond step's {len(step.shards)} shards"
+            )
+        shard = step.shards[self.worker_id]
+        slots, template = self._template(loaded, step.index)
+        if not step.halos:
+            views = tuple(slice_view(view, shard) for view in slots)
+            template(self.memory, views)
+            return
+        depth = max(halo.depth for halo in step.halos)
+        boundary = min(depth, shard.count)
+        interior = shard.count - boundary
+        landings = [
+            self._prepare_landing(loaded, halo, shard, interior) for halo in step.halos
+        ]
+
+        def fetch() -> None:
+            begin = time.perf_counter()
+            for halo, (landing, base_lo) in zip(step.halos, landings):
+                source = self.memory.allocate(loaded.base_order[halo.base_position])
+                lo = base_lo * halo.stride0
+                hi = lo + landing.size
+                if hi > source.size:
+                    raise ProtocolError(
+                        f"halo fetch [{lo}, {hi}) exceeds base of {source.size} elements"
+                    )
+                np.copyto(landing, source[lo:hi])
+                counters["halo_exchanges"] += 1
+                counters["halo_bytes"] += halo.depth * halo.row_bytes
+            counters["halo_seconds"] += time.perf_counter() - begin
+
+        if self.halo_mode == "overlap" and interior > 0:
+            # Communication hides behind interior compute: the landing
+            # buffers fill on a background thread while this thread runs
+            # the rows that need no foreign data.
+            fetcher = threading.Thread(target=fetch, name="repro-dist-halo")
+            fetcher.start()
+            interior_views = tuple(
+                slice_view(view, TileSpan(shard.start, interior)) for view in slots
+            )
+            template(self.memory, interior_views)
+            fetcher.join()
+        else:
+            fetch()
+            if interior > 0:
+                interior_views = tuple(
+                    slice_view(view, TileSpan(shard.start, interior)) for view in slots
+                )
+                template(self.memory, interior_views)
+        if boundary > 0:
+            boundary_views, landing_bases = self._boundary_views(
+                step, slots, shard, interior, boundary, landings
+            )
+            template(self.memory, boundary_views)
+            for landing_base in landing_bases:
+                self.memory.unregister(landing_base)
+
+    def _prepare_landing(self, loaded, halo: HaloSpec, shard: TileSpan, interior: int):
+        """An *uninitialised* landing buffer covering the boundary window.
+
+        ``np.empty`` is deliberate: if the halo fetch were skipped the
+        boundary rows would compute on garbage, so a passing bitwise check
+        proves the exchange actually carried the data.
+        """
+        boundary = shard.count - interior
+        base_lo = shard.start + interior + halo.min_row
+        rows = boundary + halo.depth
+        dtype = loaded.base_order[halo.base_position].dtype.np_dtype
+        landing = np.empty(rows * halo.stride0, dtype=dtype)
+        return landing, base_lo
+
+    def _boundary_views(
+        self, step, slots, shard: TileSpan, interior: int, boundary: int, landings
+    ):
+        """Slot views for the boundary rows, stencil slots redirected to landings."""
+        landing_of: Dict[int, tuple] = {}
+        landing_base_of: Dict[int, BaseArray] = {}
+        for halo, (landing, base_lo) in zip(step.halos, landings):
+            base = slots[halo.slot_positions[0]].base
+            landing_base = BaseArray(
+                landing.size, base.dtype, name=f"halo:{base.name or id(base)}"
+            )
+            self.memory.register(landing_base, landing)
+            landing_base_of[id(landing_base)] = landing_base
+            for position in halo.slot_positions:
+                landing_of[position] = (halo, landing_base)
+        views: List[View] = []
+        boundary_span = TileSpan(shard.start + interior, boundary)
+        for position, slot_view in enumerate(slots):
+            redirect = landing_of.get(position)
+            if redirect is None:
+                views.append(slice_view(slot_view, boundary_span))
+                continue
+            halo, landing_base = redirect
+            # Landing row 0 holds base row (shard.start + interior +
+            # min_row); a view reading the base at row offset r therefore
+            # starts at landing row (r - min_row).
+            offset = slot_view.offset - halo.min_row * halo.stride0
+            views.append(
+                View(
+                    landing_base,
+                    offset,
+                    (boundary,) + slot_view.shape[1:],
+                    slot_view.strides,
+                )
+            )
+        return tuple(views), list(landing_base_of.values())
+
+    # ------------------------------------------------------------------ #
+    # Reduction shards
+    # ------------------------------------------------------------------ #
+
+    def _run_reduce_shard(self, loaded, step: ReduceShardStep) -> None:
+        positions = step.assignments[self.worker_id]
+        if not positions:
+            raise ProtocolError(
+                f"worker {self.worker_id} launched for reduce step with no spans"
+            )
+        instruction = loaded.program[step.index]
+        source_view, axis_constant = instruction.inputs
+        axis = int(axis_constant.value)
+        elementwise_op = REDUCE_TO_ELEMENTWISE[instruction.opcode]
+        ufunc = getattr(np, opcode_info(elementwise_op).numpy_name)
+        out_view = instruction.out
+        if not step.combine:
+            for position in positions:
+                span = step.spans[position]
+                source = self.memory.view_array(
+                    slice_view(source_view, span, axis=step.tile_axis)
+                )
+                out = self.memory.view_array(slice_view(out_view, span, axis=0))
+                reduced = ufunc.reduce(source, axis=axis)
+                np.copyto(
+                    out, np.asarray(reduced).reshape(out.shape), casting="unsafe"
+                )
+            return
+        if self.scratch is None:
+            raise ProtocolError("combine reduction launched without a scratch segment")
+        dtype = source_view.base.dtype.np_dtype
+        partials = self.scratch[: len(step.spans) * dtype.itemsize].view(dtype)
+        for position in positions:
+            span = step.spans[position]
+            source = self.memory.view_array(slice_view(source_view, span))
+            partials[position] = ufunc.reduce(source, axis=0)
+
+
+def worker_main(worker_id: int, conn) -> None:
+    """Spawn entry point: serve frames until shutdown or master death."""
+    _Worker(worker_id, conn).serve()

@@ -3,7 +3,7 @@
 A backend turns a byte-code :class:`~repro.bytecode.program.Program` into
 results.  Backends are registered by name so configuration and the lazy
 front-end can select them with a string (``"interpreter"``, ``"jit"``,
-``"parallel"``, ``"native"``, ``"simulator"``, ``"cluster"``).
+``"parallel"``, ``"native"``, ``"simulator"``, ``"cluster"``, ``"dist"``).
 """
 
 from __future__ import annotations
@@ -145,6 +145,7 @@ def _ensure_default_backends() -> None:
         return
     _DEFAULTS_REGISTERED = True
     from repro.cluster.executor import ClusterExecutor
+    from repro.dist.backend import DistributedBackend
     from repro.runtime.interpreter import NumPyInterpreter
     from repro.runtime.jit import FusingJIT
     from repro.runtime.native import NativeBackend
@@ -158,6 +159,7 @@ def _ensure_default_backends() -> None:
         ("native", NativeBackend),
         ("simulator", SimulatedAccelerator),
         ("cluster", ClusterExecutor),
+        ("dist", DistributedBackend),
     )
     for name, factory in defaults:
         # setdefault: a user factory registered under a built-in name

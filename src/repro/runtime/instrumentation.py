@@ -107,6 +107,30 @@ class ExecutionStats:
     plan_checks_run:
         Plan-artifact soundness checks (memory plan, tiling) run for this
         flush (filled in by the engine; non-zero only under ``check_ir``).
+    dist_workers_used:
+        Worker-process count of the distributed backend for this execution
+        (zero for other backends; :meth:`merge` keeps the maximum).
+    dist_shard_launches:
+        Shard launch frames sent to worker processes (one per participating
+        worker per distributed step; never an empty shard).
+    dist_halo_exchanges:
+        Halo fetches stencil shards performed (one per stencil base per
+        participating worker per launch).
+    dist_halo_bytes:
+        Bytes those halo fetches copied between shared-memory regions.
+    dist_control_frames / dist_control_bytes:
+        Control-channel traffic this execution: every frame exchanged with
+        the pool and its pickled size.  This is the *entire* wire cost of
+        the hot path.
+    dist_payload_bytes:
+        Bytes of NumPy array payload detected inside control frames.  The
+        design invariant is that arrays travel only through shared memory,
+        so this must stay zero; it is counted (not assumed) so the warm
+        path's zero-copy claim is a measured fact.
+    dist_bytes_migrated:
+        Bytes copied from ordinary host storage into shared-memory
+        segments when the backend adopted pre-existing arrays (zero on
+        warm flushes — residency persists).
     backend_name:
         Which backend produced these statistics.
     """
@@ -145,6 +169,14 @@ class ExecutionStats:
     ir_checks_run: int = 0
     ir_check_failures: int = 0
     plan_checks_run: int = 0
+    dist_workers_used: int = 0
+    dist_shard_launches: int = 0
+    dist_halo_exchanges: int = 0
+    dist_halo_bytes: int = 0
+    dist_control_frames: int = 0
+    dist_control_bytes: int = 0
+    dist_payload_bytes: int = 0
+    dist_bytes_migrated: int = 0
     backend_name: str = ""
 
     def record_instruction(self, opcode: OpCode) -> None:
@@ -187,6 +219,14 @@ class ExecutionStats:
         self.ir_checks_run += other.ir_checks_run
         self.ir_check_failures += other.ir_check_failures
         self.plan_checks_run += other.plan_checks_run
+        self.dist_workers_used = max(self.dist_workers_used, other.dist_workers_used)
+        self.dist_shard_launches += other.dist_shard_launches
+        self.dist_halo_exchanges += other.dist_halo_exchanges
+        self.dist_halo_bytes += other.dist_halo_bytes
+        self.dist_control_frames += other.dist_control_frames
+        self.dist_control_bytes += other.dist_control_bytes
+        self.dist_payload_bytes += other.dist_payload_bytes
+        self.dist_bytes_migrated += other.dist_bytes_migrated
         for opcode, count in other.opcode_counts.items():
             self.opcode_counts[opcode] = self.opcode_counts.get(opcode, 0) + count
         return self
@@ -232,6 +272,14 @@ class ExecutionStats:
             "ir_checks_run": self.ir_checks_run,
             "ir_check_failures": self.ir_check_failures,
             "plan_checks_run": self.plan_checks_run,
+            "dist_workers_used": self.dist_workers_used,
+            "dist_shard_launches": self.dist_shard_launches,
+            "dist_halo_exchanges": self.dist_halo_exchanges,
+            "dist_halo_bytes": self.dist_halo_bytes,
+            "dist_control_frames": self.dist_control_frames,
+            "dist_control_bytes": self.dist_control_bytes,
+            "dist_payload_bytes": self.dist_payload_bytes,
+            "dist_bytes_migrated": self.dist_bytes_migrated,
         }
 
 

@@ -290,6 +290,10 @@ class MemoryManager:
         self._slot_bytes: Dict[tuple, int] = {}
         #: Which slot key (if any) currently backs each live base.
         self._slot_of: Dict[int, tuple] = {}
+        #: Externally-owned storage (e.g. shared-memory segments adopted by
+        #: the distributed backend), keyed by id(base): ``(release, token)``.
+        #: Frees route to ``release`` instead of the buffer pool.
+        self._external: Dict[int, tuple] = {}
         self._plan_epoch = 0
         #: The pool is always present; disabling pooling means a zero byte
         #: cap (every release falls through to the host), which keeps the
@@ -412,6 +416,39 @@ class MemoryManager:
         self.allocation_count += 1
         return storage
 
+    def adopt_external(self, base, storage, release, token=None) -> np.ndarray:
+        """Register externally-owned ``storage`` as the backing of ``base``.
+
+        The distributed backend keeps arrays resident in shared-memory
+        segments owned by its shard store; adoption makes that storage the
+        base's storage for every ordinary path (``allocate`` returns it,
+        ``view_array`` windows it, serial interpreter steps mutate it in
+        place).  :meth:`free` calls ``release`` instead of recycling
+        through the pool — the owner decides what "freed" means (the shard
+        store parks the segment for reuse).  ``token`` is an opaque owner
+        handle returned by :meth:`external_token` so the owner can
+        recognise its own adoptions without a side table.
+        """
+        key = id(base)
+        if key in self._storage:
+            raise AllocationError(
+                f"base {base.name or id(base)} already has storage; "
+                "migrate (free, then adopt) instead of adopting over it"
+            )
+        storage = storage[: base.nelem]
+        self._storage[key] = storage
+        self._bases[key] = base
+        self._external[key] = (release, token)
+        self.bytes_allocated += base.nbytes
+        self._note_peak()
+        self.allocation_count += 1
+        return storage
+
+    def external_token(self, base: BaseArray):
+        """The adoption token of ``base``, or ``None`` for ordinary storage."""
+        entry = self._external.get(id(base))
+        return entry[1] if entry is not None else None
+
     def set_data(self, base: BaseArray, data: np.ndarray) -> None:
         """Initialise ``base`` storage from an existing NumPy array.
 
@@ -438,6 +475,12 @@ class MemoryManager:
         del self._storage[key]
         del self._bases[key]
         self.free_count += 1
+        external = self._external.pop(key, None)
+        if external is not None:
+            # Externally-owned storage: the owner reclaims it.
+            self.bytes_allocated -= base.nbytes
+            external[0]()
+            return
         if self._slot_of.pop(key, None) is not None:
             # Shared slot: the buffer is owned by the plan, not the base.
             return

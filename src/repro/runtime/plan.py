@@ -211,6 +211,14 @@ _CONFIG_SIGNATURE_FIELDS = (
     # execution paths at prepare time.
     "codegen_threads",
     "codegen_reductions_enabled",
+    # Distributed knobs: shard plans (one shard per worker, halo depths,
+    # reduction span assignments) are attached to plans at prepare time and
+    # the shared-memory budget bounds what an execution may allocate, so a
+    # plan prepared under one worker count or halo mode must not replay
+    # under another.
+    "dist_num_workers",
+    "dist_halo_mode",
+    "dist_shm_max_bytes",
 )
 
 
@@ -297,6 +305,15 @@ class ExecutionPlan:
     #: pre-compiled this plan's kernels under; lets warm replays skip the
     #: per-step kernel-form walks entirely.
     native_signature: Optional[tuple] = None
+    #: Shard descriptors (per-step worker shards, halo specifications and
+    #: reduction span assignments) the distributed backend planned for this
+    #: plan.  Structural like ``tiling`` — spans and canonical base
+    #: positions, never base identities or segment names — so rebound
+    #: replays reuse it unchanged.
+    dist_plan: Optional[object] = None
+    #: Settings (tiling signature plus worker count) ``dist_plan`` was
+    #: computed under; re-planned when they drift.
+    dist_signature: Optional[tuple] = None
     hits: int = 0
     #: Plan-artifact soundness checks run against this plan (cumulative
     #: over preparations and executions; non-zero only under ``check_ir``).

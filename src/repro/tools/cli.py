@@ -99,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         default=None,
         help="execute the listing through the execution engine on this "
-        "registered backend (e.g. interpreter, jit, parallel, simulator) "
+        "registered backend (e.g. interpreter, jit, parallel, simulator, dist) "
         "and print execution plus plan/kernel cache statistics",
     )
     parser.add_argument(
@@ -391,6 +391,31 @@ def _codegen_block(cache: dict) -> Optional[dict]:
     }
 
 
+def _distributed_block(cache: dict) -> Optional[dict]:
+    """The ``distributed`` summary of ``--stats-json``: how the dist tier ran.
+
+    ``None`` for backends without shard counters, so the block's presence
+    itself says "this execution ran across worker processes".  The
+    ``payload_bytes`` entry is the hot-path invariant: array bytes that
+    crossed the control channel (must stay 0 — arrays travel only through
+    shared memory).
+    """
+    if "dist_workers_spawned" not in cache:
+        return None
+    return {
+        "workers_spawned": cache["dist_workers_spawned"],
+        "shard_launches": cache["dist_shard_launches"],
+        "halo_exchanges": cache["dist_halo_exchanges"],
+        "payload_bytes": cache["dist_payload_bytes"],
+        "loads_shipped": cache["dist_loads_shipped"],
+        "segments_created": cache["dist_segments_created"],
+        "segments_recycled": cache["dist_segments_recycled"],
+        "shm_bytes_active": cache["dist_shm_bytes_active"],
+        "comm_priced_us": cache["comm_priced_us"],
+        "comm_measured_us": cache["comm_measured_us"],
+    }
+
+
 def _format_schedule(schedule) -> str:
     """Human-readable one-liner for the fusion scheduler's statistics."""
     return (
@@ -451,6 +476,9 @@ def _run_stats_json(program, pipeline, report, args, out) -> int:
         codegen = _codegen_block(cache_stats)
         if codegen is not None:
             execution["codegen"] = codegen
+        distributed = _distributed_block(cache_stats)
+        if distributed is not None:
+            execution["distributed"] = distributed
         plan = engine.last_plan
         memory_plan = plan.memory_plan if plan is not None else None
         if memory_plan is not None:
@@ -561,6 +589,16 @@ def _execute_with_engine(program, pipeline, report, args, out) -> None:
             f"mt launch(es), {cache['native_reductions_compiled']} compiled "
             f"reduction(s), {cache['native_reduction_fallbacks']} reduction "
             f"fallback(s), {cache['native_slots_elided']} slot(s) elided",
+            file=out,
+        )
+    if "dist_workers_spawned" in cache:
+        print(
+            f"  distributed: {cache['dist_workers_spawned']} worker(s) "
+            f"spawned, {cache['dist_shard_launches']} shard launch(es), "
+            f"{cache['dist_halo_exchanges']} halo exchange(s), "
+            f"{cache['dist_payload_bytes']} control-channel payload byte(s), "
+            f"{cache['dist_segments_created']} segment(s) created "
+            f"({cache['dist_segments_recycled']} recycled)",
             file=out,
         )
 

@@ -156,6 +156,22 @@ class Config:
         cap; ``"fair"`` additionally caps each tenant's parked bytes at an
         equal share of the pool, so one tenant's burst of large frees
         cannot monopolize the recycling budget.
+    dist_num_workers:
+        Worker-process count of the distributed (``"dist"``) backend's
+        persistent pool.  Shard plans depend on it, so it is signed into
+        the plan signature; pools are shared process-wide per worker
+        count.
+    dist_halo_mode:
+        How stencil shards fetch their halo rows: ``"overlap"`` runs the
+        exchange on a background thread while the shard's interior rows
+        compute, ``"blocking"`` fetches first and computes after.  Results
+        are bitwise identical either way.
+    dist_shm_max_bytes:
+        Byte cap on live ``multiprocessing.shared_memory`` segments (active
+        arrays plus the recycling free list) owned by the distributed
+        backend's shard store.  Exceeding it raises
+        :class:`~repro.utils.errors.DistributedExecutionError` instead of
+        exhausting ``/dev/shm``.
     enabled_passes:
         Names of passes that the default pipeline should include.  ``None``
         means "all registered default passes".
@@ -193,6 +209,9 @@ class Config:
     service_admission_timeout_seconds: float = 5.0
     service_pool_max_bytes: int = 1 << 28  # 256 MiB
     service_fairness: str = "shared"
+    dist_num_workers: int = 2
+    dist_halo_mode: str = "overlap"
+    dist_shm_max_bytes: int = 1 << 30  # 1 GiB
     enabled_passes: Optional[List[str]] = None
     random_seed: int = 0x5EED
 

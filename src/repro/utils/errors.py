@@ -59,6 +59,17 @@ class ExecutionError(ReproError):
     """A backend failed while executing a byte-code program."""
 
 
+class DistributedExecutionError(ExecutionError):
+    """The distributed backend lost a worker or hit a protocol fault.
+
+    Raised when a worker process dies mid-flush, replies with an error
+    frame, violates the control protocol, or the shared-memory budget is
+    exhausted.  The failure is surfaced cleanly: the worker pool is torn
+    down (a fresh pool respawns on the next flush) and the session remains
+    usable — no hang, no leaked shared-memory segments.
+    """
+
+
 class RewriteError(ReproError):
     """A transformation pass produced an invalid or non-equivalent program.
 

@@ -1,0 +1,115 @@
+"""Dedicated coverage for the communication cost model and its calibration.
+
+The model prices every simulated (cluster) and real (dist halo) exchange,
+so its structural properties — monotonicity in size and worker count, the
+zero cost of talking to yourself, the single-worker edge cases — are load
+bearing for both executors' accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.comm import (
+    COMM_METER,
+    CommMeter,
+    CommunicationModel,
+    measured_comm_model,
+)
+
+
+@pytest.fixture
+def model():
+    return CommunicationModel(latency_s=5e-6, bytes_per_second=10e9)
+
+
+class TestPointToPoint:
+    def test_zero_bytes_still_pays_latency(self, model):
+        assert model.point_to_point(0) == pytest.approx(model.latency_s)
+
+    def test_monotone_in_message_size(self, model):
+        sizes = [0, 1, 64, 4096, 1 << 20, 1 << 28]
+        costs = [model.point_to_point(size) for size in sizes]
+        assert costs == sorted(costs)
+        assert costs[-1] > costs[0]
+
+    def test_bandwidth_term_dominates_large_messages(self, model):
+        nbytes = 1 << 30
+        assert model.point_to_point(nbytes) == pytest.approx(
+            nbytes / model.bytes_per_second, rel=1e-2
+        )
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("collective", ["gather", "scatter", "broadcast", "allreduce"])
+    def test_single_worker_is_free(self, model, collective):
+        assert getattr(model, collective)(1, 1 << 20) == 0.0
+
+    @pytest.mark.parametrize("collective", ["gather", "scatter", "broadcast", "allreduce"])
+    def test_monotone_in_workers(self, model, collective):
+        costs = [getattr(model, collective)(workers, 4096) for workers in (1, 2, 4, 8, 16)]
+        assert costs == sorted(costs)
+        assert costs[-1] > costs[0]
+
+    @pytest.mark.parametrize("collective", ["gather", "scatter", "broadcast", "allreduce"])
+    def test_monotone_in_bytes(self, model, collective):
+        costs = [
+            getattr(model, collective)(4, nbytes) for nbytes in (0, 64, 4096, 1 << 20)
+        ]
+        assert costs == sorted(costs)
+        assert costs[-1] > costs[0]
+
+    def test_zero_byte_collectives_price_only_latency_rounds(self, model):
+        # Even empty messages pay per-round latency — the model must never
+        # return a free multi-worker exchange.
+        for workers in (2, 4, 8):
+            assert model.gather(workers, 0) > 0.0
+            assert model.broadcast(workers, 0) > 0.0
+            assert model.allreduce(workers, 0) > 0.0
+
+    def test_scatter_matches_gather(self, model):
+        assert model.scatter(7, 1234) == model.gather(7, 1234)
+
+    def test_allreduce_is_reduce_plus_broadcast(self, model):
+        assert model.allreduce(8, 4096) == pytest.approx(2 * model.broadcast(8, 4096))
+
+
+class TestCalibration:
+    def test_calibrated_model_has_sane_constants(self):
+        model = CommunicationModel.calibrated()
+        assert model.latency_s > 0.0
+        # Any machine that can run this suite copies shared memory faster
+        # than 10 MB/s and slower than 10 TB/s.
+        assert 1e7 < model.bytes_per_second < 1e13
+
+    def test_probe_runs_once_and_is_cached(self):
+        first = measured_comm_model()
+        second = measured_comm_model()
+        assert first is second
+        assert CommunicationModel.calibrated() is first
+
+    def test_calibrated_model_prices_monotonically(self):
+        model = CommunicationModel.calibrated()
+        assert model.point_to_point(1 << 20) > model.point_to_point(64)
+
+
+class TestCommMeter:
+    def test_priced_and_measured_accumulate_separately(self):
+        meter = CommMeter()
+        meter.add_priced(1e-3)
+        meter.add_priced(2e-3)
+        meter.add_measured(5e-4)
+        snapshot = meter.snapshot_us()
+        assert snapshot["comm_priced_us"] == 3000
+        assert snapshot["comm_measured_us"] == 500
+
+    def test_reset(self):
+        meter = CommMeter()
+        meter.add_priced(1.0)
+        meter.reset()
+        assert meter.snapshot_us() == {"comm_priced_us": 0, "comm_measured_us": 0}
+
+    def test_module_singleton_snapshot_shape(self):
+        snapshot = COMM_METER.snapshot_us()
+        assert set(snapshot) == {"comm_priced_us", "comm_measured_us"}
+        assert all(isinstance(value, int) for value in snapshot.values())

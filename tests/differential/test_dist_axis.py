@@ -1,0 +1,140 @@
+"""Differential testing: the distributed backend against the NumPy oracle.
+
+The sixth backend axis.  The dist backend executes across worker
+*processes* over shared memory, which multiplies the ways results can
+diverge beyond what the in-process backends exercise: a shard descriptor
+can mis-slice, a halo exchange can fetch the wrong rows (or not fire at
+all), a recycled segment can leak a previous tenant's bytes, combine
+partials can be dealt to workers in an order that changes the reduction
+tree.  The comparison discipline matches the in-process harness exactly:
+
+* element-wise programs must be **bitwise** identical to the unoptimized
+  reference interpreter at 1, 2 and 4 workers — sharding slices rows but
+  never reorders arithmetic;
+* the stencil workload (halo exchange on every iteration) must be bitwise
+  at every worker count;
+* mixed programs with full 1-D reductions get the same tolerance as the
+  parallel backend (tree-combined partials reassociate) and **no looser**
+  — and because the shard plan keeps the *plan's* span set at any worker
+  count, dist results must additionally be bitwise stable across worker
+  counts.
+
+Non-vacuity is asserted separately: multi-process shard launches and at
+least one halo exchange must actually have happened, otherwise a backend
+that silently ran everything on the master would pass every comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend.session import Session
+from repro.runtime.engine import ExecutionEngine
+from repro.utils.config import config_override
+from repro.workloads import heat_equation
+from repro.workloads.generators import random_elementwise_program, random_mixed_program
+
+#: Same relaxation the parallel backend gets for reassociated reductions.
+RTOL, ATOL = 1e-6, 1e-8
+
+#: Same tiny tiles as the in-process harness: force multi-shard paths.
+TINY_TILES = dict(parallel_tile_elements=16, parallel_serial_threshold=4)
+
+WORKER_COUNTS = (1, 2, 4)
+
+ELEMENTWISE_SEEDS = tuple(range(0, 24))
+MIXED_SEEDS = tuple(range(1000, 1016))
+
+
+def _oracle(program, synced):
+    engine = ExecutionEngine(backend="interpreter", optimize=False)
+    result = engine.execute(program)
+    return [result.value(view) for view in synced]
+
+
+def _dist(program, synced, workers):
+    with config_override(**TINY_TILES, dist_num_workers=workers):
+        engine = ExecutionEngine(backend="dist", optimize=True)
+        result = engine.execute(program)
+        return [result.value(view) for view in synced], result.stats
+
+
+@pytest.mark.parametrize("seed", ELEMENTWISE_SEEDS)
+def test_elementwise_bitwise_vs_oracle(seed):
+    program, synced = random_elementwise_program(
+        seed, num_instructions=12, vector_length=24
+    )
+    expected = _oracle(program, synced)
+    for workers in WORKER_COUNTS:
+        program, synced = random_elementwise_program(
+            seed, num_instructions=12, vector_length=24
+        )
+        values, _ = _dist(program, synced, workers)
+        for index, (actual, reference) in enumerate(zip(values, expected)):
+            assert np.array_equal(actual, reference, equal_nan=True), (
+                f"dist({workers} workers) vs oracle, seed {seed}, output {index}"
+            )
+
+
+@pytest.mark.parametrize("seed", MIXED_SEEDS)
+def test_mixed_tolerance_vs_oracle_and_bitwise_across_worker_counts(seed):
+    program, synced = random_mixed_program(seed, num_instructions=10)
+    expected = _oracle(program, synced)
+    per_workers = {}
+    for workers in WORKER_COUNTS:
+        program, synced = random_mixed_program(seed, num_instructions=10)
+        values, _ = _dist(program, synced, workers)
+        per_workers[workers] = values
+        for index, (actual, reference) in enumerate(zip(values, expected)):
+            np.testing.assert_allclose(
+                actual,
+                reference,
+                rtol=RTOL,
+                atol=ATOL,
+                equal_nan=True,
+                err_msg=f"dist({workers} workers) vs oracle, seed {seed}, output {index}",
+            )
+    # The shard plan deals the *plan's* spans at every worker count, so the
+    # combine tree is identical: dist vs dist must be bitwise.
+    for workers in WORKER_COUNTS[1:]:
+        for index, (actual, reference) in enumerate(
+            zip(per_workers[workers], per_workers[1])
+        ):
+            assert np.array_equal(actual, reference, equal_nan=True), (
+                f"dist({workers}) vs dist(1), seed {seed}, output {index}"
+            )
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_stencil_bitwise_vs_oracle(workers):
+    session = Session(backend="interpreter", optimize=False)
+    expected = heat_equation(grid_size=24, iterations=3, session=session).to_numpy()
+    with config_override(
+        parallel_tile_elements=64,
+        parallel_serial_threshold=4,
+        dist_num_workers=workers,
+    ):
+        dist_session = Session(backend="dist", optimize=True)
+        actual = heat_equation(
+            grid_size=24, iterations=3, session=dist_session
+        ).to_numpy()
+    assert np.array_equal(actual, expected), f"stencil at {workers} workers"
+
+
+def test_axis_is_not_vacuous():
+    """Multi-process shard launches and halo exchanges actually happened."""
+    program, synced = random_elementwise_program(3, num_instructions=12, vector_length=24)
+    _, stats = _dist(program, synced, 2)
+    assert stats.dist_workers_used == 2
+    assert stats.dist_shard_launches >= 2, "no multi-process shard launches"
+    assert stats.dist_payload_bytes == 0, "array payload crossed the control channel"
+    with config_override(
+        parallel_tile_elements=64,
+        parallel_serial_threshold=4,
+        dist_num_workers=2,
+    ):
+        session = Session(backend="dist", optimize=True)
+        heat_equation(grid_size=24, iterations=3, session=session).to_numpy()
+        stencil_stats = session.stats_history[-1]
+    assert stencil_stats.dist_halo_exchanges >= 1, "no halo exchange fired"

@@ -1,0 +1,155 @@
+"""The shared-memory shard store: recycling, budget, manifests, sweeping."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.dist.shardstore import ShardStore, attach_segment, sweep_manifests
+from repro.utils.errors import DistributedExecutionError
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ShardStore(max_bytes=lambda: 1 << 20, directory=tmp_path)
+    yield store
+    store.close()
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    return True
+
+
+class TestLifecycle:
+    def test_create_returns_writable_buffer(self, store):
+        name, buffer = store.create(256)
+        assert buffer.nbytes >= 256
+        buffer[:256] = 7
+        # Another attachment observes the same bytes: it really is shared.
+        other = attach_segment(name)
+        assert bytes(other.buf[:256]) == b"\x07" * 256
+        other.close()
+
+    def test_release_parks_and_create_recycles(self, store):
+        name, _ = store.create(256)
+        store.release(name)
+        again, _ = store.create(256)
+        assert again == name
+        assert store.segments_created == 1
+        assert store.segments_recycled == 1
+
+    def test_different_size_classes_do_not_recycle(self, store):
+        name, _ = store.create(256)
+        store.release(name)
+        other, _ = store.create(1 << 16)
+        assert other != name
+
+    def test_stats_shape(self, store):
+        store.create(256)
+        stats = store.stats()
+        assert stats["dist_segments_created"] == 1
+        assert stats["dist_segments_active"] == 1
+        assert stats["dist_shm_bytes_active"] >= 256
+        assert stats["dist_shm_bytes_parked"] == 0
+
+    def test_close_unlinks_everything(self, tmp_path):
+        store = ShardStore(max_bytes=lambda: 1 << 20, directory=tmp_path)
+        active, _ = store.create(256)
+        parked, _ = store.create(1 << 14)
+        store.release(parked)
+        store.close()
+        assert not _segment_exists(active)
+        assert not _segment_exists(parked)
+
+    def test_create_after_close_raises(self, store):
+        store.close()
+        with pytest.raises(DistributedExecutionError, match="closed"):
+            store.create(64)
+
+
+class TestBudget:
+    def test_budget_exhaustion_raises_cleanly(self, tmp_path):
+        store = ShardStore(max_bytes=lambda: 1 << 12, directory=tmp_path)
+        try:
+            store.create(1 << 10)
+            with pytest.raises(DistributedExecutionError, match="budget"):
+                store.create(1 << 12)
+        finally:
+            store.close()
+
+    def test_parked_segments_are_evicted_for_fresh_ones(self, tmp_path):
+        store = ShardStore(max_bytes=lambda: 1 << 12, directory=tmp_path)
+        try:
+            parked, _ = store.create(1 << 11)
+            store.release(parked)
+            # A differently-sized request cannot recycle the parked segment
+            # and the budget cannot hold both: the parked one must go.
+            fresh, _ = store.create((1 << 12) - 2)
+            assert fresh != parked
+            assert not _segment_exists(parked)
+        finally:
+            store.close()
+
+
+class TestManifest:
+    def test_manifest_tracks_live_segments(self, store, tmp_path):
+        name, _ = store.create(256)
+        manifest = json.loads((tmp_path / f"{os.getpid()}.json").read_text())
+        assert manifest["pid"] == os.getpid()
+        assert name in manifest["segments"]
+
+    def test_sweep_leaves_live_owners_alone(self, store, tmp_path):
+        name, _ = store.create(256)
+        assert sweep_manifests(tmp_path) == []
+        assert _segment_exists(name)
+
+    def test_sweep_reclaims_after_owner_crash(self, tmp_path):
+        """A master that dies without cleanup must not leak /dev/shm entries."""
+        script = (
+            "import os, sys\n"
+            "from pathlib import Path\n"
+            "from repro.dist.shardstore import ShardStore\n"
+            "store = ShardStore(max_bytes=lambda: 1 << 20, directory=Path(sys.argv[1]))\n"
+            "name, _ = store.create(4096)\n"
+            "print(name, flush=True)\n"
+            # Die like a crash: no atexit, no close, manifest left behind.
+            "os._exit(9)\n"
+        )
+        env = dict(os.environ)
+        repo_src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        leaked = result.stdout.strip().split()[-1]
+        assert _segment_exists(leaked), "subprocess did not actually leak"
+        swept = sweep_manifests(tmp_path)
+        assert leaked in swept
+        assert not _segment_exists(leaked)
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestAttachment:
+    def test_attach_does_not_adopt_unlink_responsibility(self, store):
+        name, buffer = store.create(128)
+        buffer[:4] = 42
+        shm = attach_segment(name)
+        shm.close()
+        # Closing an attachment must not unlink the master's segment.
+        assert _segment_exists(name)
